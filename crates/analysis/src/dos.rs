@@ -1,0 +1,75 @@
+//! Worst-case (denial-of-service) slowdown bounds.
+
+use aqua_dram::{DdrTiming, DramGeometry};
+
+/// AQUA's worst-case slowdown under an adversarial migration flood
+/// (section VI-C).
+///
+/// The attacker triggers one quarantine per bank every `A * tRC`
+/// (22.5 us at `A` = 500); each quarantine may require an eviction plus an
+/// install (2 x 1.37 us). With all `B` banks attacked in parallel the
+/// channel is busy `B * 2.74 us` per period: slowdown
+/// `(t_AGG + B * 2 * t_mov) / t_AGG ~= 2.95x`.
+pub fn aqua_worst_case_slowdown(timing: &DdrTiming, geometry: &DramGeometry, a: u64) -> f64 {
+    let t_agg = timing.aggressor_time(a).as_ps() as f64;
+    let banks = geometry.total_banks() as f64;
+    let per_mitigation = 2.0 * timing.row_migration_latency(geometry).as_ps() as f64;
+    (t_agg + banks * per_mitigation) / t_agg
+}
+
+/// RRS's worst-case slowdown: the same flood at the lower threshold
+/// `T_RH / 6`, with each re-swap moving four rows (section IV-F) — about
+/// 12x at `T_RH` = 1K (the paper's Table VI quotes 11x).
+pub fn rrs_worst_case_slowdown(timing: &DdrTiming, geometry: &DramGeometry, t_rrs: u64) -> f64 {
+    let t_agg = timing.aggressor_time(t_rrs).as_ps() as f64;
+    let banks = geometry.total_banks() as f64;
+    let per_mitigation = 4.0 * timing.row_migration_latency(geometry).as_ps() as f64;
+    (t_agg + banks * per_mitigation) / t_agg
+}
+
+/// Blockhammer's worst-case slowdown for a two-row conflict pattern
+/// (section VII-B): unthrottled the pattern completes one round per
+/// `round_ns`; throttled it is limited to `quota` rounds per 64 ms window.
+pub fn blockhammer_worst_case_slowdown(timing: &DdrTiming, quota: u64, round_ns: u64) -> f64 {
+    let rounds_unthrottled = timing.t_refw.as_ns() as f64 / round_ns as f64;
+    rounds_unthrottled / quota as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (DdrTiming, DramGeometry) {
+        (DdrTiming::ddr4_2400(), DramGeometry::paper_table1())
+    }
+
+    #[test]
+    fn aqua_bound_is_2_95x() {
+        let (t, g) = setup();
+        let s = aqua_worst_case_slowdown(&t, &g, 500);
+        assert!((2.9..=3.0).contains(&s), "AQUA worst case = {s}");
+    }
+
+    #[test]
+    fn rrs_bound_is_about_11x() {
+        let (t, g) = setup();
+        let s = rrs_worst_case_slowdown(&t, &g, 166);
+        assert!((10.0..=14.0).contains(&s), "RRS worst case = {s}");
+    }
+
+    #[test]
+    fn blockhammer_bound_is_1280x() {
+        let (t, _) = setup();
+        let s = blockhammer_worst_case_slowdown(&t, 500, 100);
+        assert!((1275.0..=1285.0).contains(&s), "BH worst case = {s}");
+    }
+
+    #[test]
+    fn aqua_bound_stays_bounded_at_tiny_thresholds() {
+        // Even at an effective threshold of 50 the slowdown is bounded
+        // (unlike Blockhammer's, which scales with the quota).
+        let (t, g) = setup();
+        let s = aqua_worst_case_slowdown(&t, &g, 50);
+        assert!(s < 21.0, "{s}");
+    }
+}

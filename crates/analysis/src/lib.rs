@@ -1,0 +1,26 @@
+//! Closed-form analytical models from the AQUA paper.
+//!
+//! Everything in this crate is pure arithmetic derived from the paper's
+//! equations and published constants — no simulation. The benchmark harness
+//! uses these models to regenerate:
+//!
+//! - Table III (quarantine-area sizing, Eq. 1–3) — [`rqa_sizing`];
+//! - Figure 12 and Appendix A (relative migration overhead of RRS vs AQUA)
+//!   — [`migration_model`];
+//! - Tables VI and VII (storage comparisons across schemes and trackers)
+//!   — [`storage`];
+//! - the worst-case slowdown bounds of sections VI-C and VII-B —
+//!   [`dos`];
+//! - the power estimates of section V-H — [`power`];
+//! - the Rowhammer-threshold timeline of Figure 2 — [`thresholds`].
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dos;
+pub mod migration_model;
+pub mod power;
+pub mod rqa_sizing;
+pub mod security;
+pub mod storage;
+pub mod thresholds;

@@ -1,0 +1,118 @@
+//! The analytical migration model of Appendix A (Figure 12).
+//!
+//! Let `f` be the fraction of mitigation-eligible rows (those reaching
+//! `T_RH / 6` activations) that go on to reach `T_RH / 2`. In one epoch:
+//!
+//! - AQUA mitigates only the `f` rows, one row migration each;
+//! - RRS mitigates the `f` rows three times (at `T_RH/6`, `2T_RH/6`,
+//!   `3T_RH/6`) and the `1 - f` rows once, each mitigation being a swap of
+//!   two rows.
+//!
+//! The relative migration count is `r(f) = 2 (1 + 2f) / f`: at best (every
+//! eligible row is hot, `f = 1`) RRS does 6x more migrations than AQUA, and
+//! the ratio grows without bound as `f` shrinks. Across the paper's 34
+//! workloads the measured average is ~9x (Figure 6), corresponding to
+//! `f ~= 0.4`.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative number of row migrations RRS performs per AQUA migration.
+///
+/// # Panics
+///
+/// Panics unless `0 < f <= 1`.
+pub fn rrs_over_aqua_ratio(f: f64) -> f64 {
+    assert!(f > 0.0 && f <= 1.0, "f must be in (0, 1]");
+    2.0 * (1.0 + 2.0 * f) / f
+}
+
+/// The `f` implied by an observed migration ratio (inverse of
+/// [`rrs_over_aqua_ratio`]).
+///
+/// # Panics
+///
+/// Panics if `ratio <= 6` (unachievable: 6x is the model's lower bound).
+pub fn implied_f(ratio: f64) -> f64 {
+    assert!(ratio > 6.0, "the model's minimum ratio is 6");
+    2.0 / (ratio - 4.0)
+}
+
+/// A sampled curve for Figure 12: `(f, r(f))` points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure12 {
+    /// Sampled `(f, ratio)` pairs, `f` ascending.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Samples `n` points of the Figure 12 curve over `f` in `[0.05, 1.0]`.
+pub fn figure12(n: usize) -> Figure12 {
+    let n = n.max(2);
+    let points = (0..n)
+        .map(|i| {
+            let f = 0.05 + 0.95 * i as f64 / (n - 1) as f64;
+            (f, rrs_over_aqua_ratio(f))
+        })
+        .collect();
+    Figure12 { points }
+}
+
+/// Expected migration counts per epoch for both schemes given the number of
+/// rows in each band (used to cross-check the simulator against the model).
+pub fn expected_migrations(rows_at_trh_6: u64, rows_at_trh_2: u64) -> (f64, f64) {
+    let eligible = rows_at_trh_6 as f64;
+    let hot = rows_at_trh_2 as f64;
+    let aqua = hot; // one migration per hot row
+    let rrs = (hot * 3.0 + (eligible - hot)) * 2.0; // swaps move two rows
+    (aqua, rrs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_case_is_six_x() {
+        assert!((rrs_over_aqua_ratio(1.0) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_average_nine_x_implies_f_04() {
+        let f = implied_f(9.0);
+        assert!((f - 0.4).abs() < 1e-12, "f = {f}");
+        assert!((rrs_over_aqua_ratio(0.4) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_grows_as_f_shrinks() {
+        assert!(rrs_over_aqua_ratio(0.1) > rrs_over_aqua_ratio(0.5));
+        assert!(rrs_over_aqua_ratio(0.05) > 40.0);
+    }
+
+    #[test]
+    fn figure12_is_monotone_decreasing() {
+        let fig = figure12(50);
+        assert_eq!(fig.points.len(), 50);
+        for w in fig.points.windows(2) {
+            assert!(w[0].1 > w[1].1);
+        }
+        // Curve ends at the 6x floor.
+        assert!((fig.points.last().unwrap().1 - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_migrations_consistency() {
+        // With f = 1 (all eligible rows hot): ratio 6x.
+        let (aqua, rrs) = expected_migrations(100, 100);
+        assert_eq!(aqua, 100.0);
+        assert_eq!(rrs, 600.0);
+        // f = 0.4: ratio 9x.
+        let (aqua, rrs) = expected_migrations(1000, 400);
+        assert!((rrs / aqua - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "minimum ratio")]
+    fn implied_f_rejects_sub_six() {
+        implied_f(5.0);
+    }
+}

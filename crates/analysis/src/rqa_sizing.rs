@@ -1,0 +1,79 @@
+//! Quarantine-area sizing (Eq. 1–3, Table III).
+
+use aqua::required_rqa_rows;
+use aqua_dram::{DdrTiming, DramGeometry};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RqaSizingPoint {
+    /// Effective migration threshold `A`.
+    pub threshold: u64,
+    /// Required quarantine rows `R_max` (Eq. 3).
+    pub rows: u64,
+    /// Quarantine size in MB.
+    pub megabytes: f64,
+    /// Fraction of module capacity.
+    pub dram_overhead: f64,
+}
+
+/// Evaluates Eq. 3 at one effective threshold.
+pub fn sizing_point(timing: &DdrTiming, geometry: &DramGeometry, threshold: u64) -> RqaSizingPoint {
+    let rows = required_rqa_rows(timing, geometry, threshold);
+    RqaSizingPoint {
+        threshold,
+        rows,
+        megabytes: (rows * geometry.row_bytes as u64) as f64 / (1024.0 * 1024.0),
+        dram_overhead: rows as f64 / geometry.total_rows() as f64,
+    }
+}
+
+/// The six design points of Table III.
+pub fn table3(timing: &DdrTiming, geometry: &DramGeometry) -> Vec<RqaSizingPoint> {
+    [1000, 500, 250, 125, 50, 1]
+        .into_iter()
+        .map(|a| sizing_point(timing, geometry, a))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_matches_paper() {
+        let t = DdrTiming::ddr4_2400();
+        let g = DramGeometry::paper_table1();
+        let rows: Vec<u64> = table3(&t, &g).iter().map(|p| p.rows).collect();
+        assert_eq!(rows, vec![15_302, 23_053, 30_872, 37_176, 42_367, 46_620]);
+    }
+
+    #[test]
+    fn megabytes_match_paper() {
+        let t = DdrTiming::ddr4_2400();
+        let g = DramGeometry::paper_table1();
+        let p = sizing_point(&t, &g, 500);
+        assert!((p.megabytes - 180.0).abs() < 1.0, "{}", p.megabytes);
+        assert!((p.dram_overhead - 0.011).abs() < 0.001);
+    }
+
+    #[test]
+    fn overhead_is_bounded_even_at_threshold_one() {
+        let t = DdrTiming::ddr4_2400();
+        let g = DramGeometry::paper_table1();
+        // Section IV-E: even at an effective threshold of 1 the quarantine
+        // area stays around 2.2% of DRAM.
+        let p = sizing_point(&t, &g, 1);
+        assert!(p.dram_overhead < 0.023, "{}", p.dram_overhead);
+    }
+
+    #[test]
+    fn rows_grow_monotonically_as_threshold_drops() {
+        let t = DdrTiming::ddr4_2400();
+        let g = DramGeometry::paper_table1();
+        let pts = table3(&t, &g);
+        for w in pts.windows(2) {
+            assert!(w[0].rows < w[1].rows);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Storage comparisons across schemes and trackers (Tables VI and VII).
+
+use aqua::{AquaConfig, StorageReport};
+use aqua_baselines::crow::{overhead_for_threshold, CrowVariant};
+use aqua_dram::BaselineConfig;
+use aqua_rrs::RrsConfig;
+use serde::{Deserialize, Serialize};
+
+/// One column of Table VI: a mitigation scheme's storage/slowdown profile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeProfile {
+    /// Scheme name.
+    pub name: String,
+    /// SRAM for mapping tables, bytes (`None` = not applicable).
+    pub mapping_sram_bytes: Option<u64>,
+    /// DRAM storage overhead as a fraction of capacity.
+    pub dram_overhead: f64,
+    /// Whether the scheme works on commodity DRAM.
+    pub commodity_dram: bool,
+}
+
+/// Builds the Table VI storage columns at Rowhammer threshold `t_rh`.
+pub fn table6_storage(t_rh: u64, base: &BaselineConfig) -> Vec<SchemeProfile> {
+    let aqua_cfg = AquaConfig::for_rowhammer_threshold(t_rh, base).with_mapped_tables();
+    let aqua_report = StorageReport::for_config(&aqua_cfg);
+    let rrs_cfg = RrsConfig::for_rowhammer_threshold(t_rh, base);
+    vec![
+        SchemeProfile {
+            name: "blockhammer".into(),
+            mapping_sram_bytes: None,
+            dram_overhead: 0.0,
+            commodity_dram: true,
+        },
+        SchemeProfile {
+            name: "crow".into(),
+            mapping_sram_bytes: Some(26 * 1024 * 1024),
+            dram_overhead: overhead_for_threshold(t_rh, CrowVariant::Victim),
+            commodity_dram: false,
+        },
+        SchemeProfile {
+            name: "crow-agg".into(),
+            mapping_sram_bytes: Some(aqua_report.mapping_sram_bytes),
+            dram_overhead: overhead_for_threshold(t_rh, CrowVariant::Aggressor),
+            commodity_dram: false,
+        },
+        SchemeProfile {
+            name: "rrs".into(),
+            mapping_sram_bytes: Some(rrs_cfg.rit_sram_bits() / 8),
+            dram_overhead: 0.0,
+            commodity_dram: true,
+        },
+        SchemeProfile {
+            name: "aqua".into(),
+            mapping_sram_bytes: Some(aqua_report.total_sram_bytes()),
+            dram_overhead: aqua_cfg.dram_overhead(),
+            commodity_dram: true,
+        },
+    ]
+}
+
+/// One column of Table VII: total per-rank SRAM including the tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackerBudget {
+    /// Tracker SRAM, bytes.
+    pub tracker_bytes: u64,
+    /// Mapping table SRAM, bytes.
+    pub mapping_bytes: u64,
+    /// Buffers (copy buffer / swap buffers), bytes.
+    pub buffer_bytes: u64,
+}
+
+impl TrackerBudget {
+    /// Total SRAM per rank, bytes.
+    pub fn total(&self) -> u64 {
+        self.tracker_bytes + self.mapping_bytes + self.buffer_bytes
+    }
+}
+
+/// Published per-rank SRAM figures of Table VII (Misra-Gries and Hydra
+/// trackers; bytes).
+pub fn table7() -> [(&'static str, TrackerBudget); 4] {
+    let kb = 1024;
+    [
+        (
+            "rrs-mg",
+            TrackerBudget {
+                tracker_bytes: 396 * kb,
+                mapping_bytes: 2458 * kb, // 2.4 MB
+                buffer_bytes: 16 * kb,
+            },
+        ),
+        (
+            "aqua-mg",
+            TrackerBudget {
+                tracker_bytes: 396 * kb,
+                mapping_bytes: 33 * kb, // 32.6 KB
+                buffer_bytes: 8 * kb,
+            },
+        ),
+        (
+            "rrs-hydra",
+            TrackerBudget {
+                tracker_bytes: 29 * kb, // 28.3 KB
+                mapping_bytes: 2458 * kb,
+                buffer_bytes: 16 * kb,
+            },
+        ),
+        (
+            "aqua-hydra",
+            TrackerBudget {
+                tracker_bytes: 31 * kb, // 30.3 KB
+                mapping_bytes: 33 * kb,
+                buffer_bytes: 8 * kb,
+            },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_aqua_is_tens_of_kb_rrs_is_megabytes() {
+        let t = table6_storage(1000, &BaselineConfig::paper_table1());
+        let get = |n: &str| t.iter().find(|p| p.name == n).unwrap().clone();
+        let aqua = get("aqua").mapping_sram_bytes.unwrap();
+        let rrs = get("rrs").mapping_sram_bytes.unwrap();
+        assert!(aqua < 64 * 1024, "AQUA = {aqua} B");
+        assert!(rrs > 1024 * 1024, "RRS = {rrs} B");
+        assert!(rrs / aqua > 30, "ratio = {}", rrs / aqua);
+    }
+
+    #[test]
+    fn table6_dram_overheads() {
+        let t = table6_storage(1000, &BaselineConfig::paper_table1());
+        let get = |n: &str| t.iter().find(|p| p.name == n).unwrap().clone();
+        assert!((get("aqua").dram_overhead - 0.0113).abs() < 0.001);
+        assert!(get("crow").dram_overhead > 10.0); // 1060%
+        assert_eq!(get("rrs").dram_overhead, 0.0);
+        assert_eq!(get("blockhammer").dram_overhead, 0.0);
+    }
+
+    #[test]
+    fn table6_commodity_flags() {
+        let t = table6_storage(1000, &BaselineConfig::paper_table1());
+        for p in &t {
+            let expect = !p.name.starts_with("crow");
+            assert_eq!(p.commodity_dram, expect, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn table7_totals_match_paper() {
+        // Paper: RRS-MG 2870 KB, AQUA-MG 437 KB, RRS-Hydra 2502 KB,
+        // AQUA-Hydra 71 KB.
+        let totals: Vec<(&str, u64)> = table7()
+            .iter()
+            .map(|(n, b)| (*n, b.total() / 1024))
+            .collect();
+        assert_eq!(totals[0], ("rrs-mg", 2870));
+        assert_eq!(totals[1], ("aqua-mg", 437));
+        assert_eq!(totals[2], ("rrs-hydra", 2503));
+        assert_eq!(totals[3], ("aqua-hydra", 72));
+    }
+}

@@ -1,0 +1,61 @@
+//! The Rowhammer-threshold timeline (Figure 2).
+//!
+//! Section II-C: the threshold fell ~30x from 139K activations (DDR3, Kim
+//! et al. 2014) to 4.8K (LPDDR4, Kim et al. 2020). The intermediate DDR4
+//! point follows the same characterization studies.
+
+use serde::{Deserialize, Serialize};
+
+/// One measured device generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThresholdPoint {
+    /// Device generation label.
+    pub device: &'static str,
+    /// Year of characterization.
+    pub year: u32,
+    /// Observed Rowhammer threshold (activations in 64 ms).
+    pub t_rh: u64,
+}
+
+/// The Figure 2 series.
+pub const TIMELINE: [ThresholdPoint; 3] = [
+    ThresholdPoint {
+        device: "DDR3",
+        year: 2014,
+        t_rh: 139_000,
+    },
+    ThresholdPoint {
+        device: "DDR4",
+        year: 2018,
+        t_rh: 17_500,
+    },
+    ThresholdPoint {
+        device: "LPDDR4",
+        year: 2020,
+        t_rh: 4_800,
+    },
+];
+
+/// The overall reduction factor across the timeline (~30x in the paper).
+pub fn reduction_factor() -> f64 {
+    TIMELINE[0].t_rh as f64 / TIMELINE[TIMELINE.len() - 1].t_rh as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_is_monotonically_decreasing() {
+        for w in TIMELINE.windows(2) {
+            assert!(w[0].t_rh > w[1].t_rh);
+            assert!(w[0].year < w[1].year);
+        }
+    }
+
+    #[test]
+    fn reduction_is_about_30x() {
+        let r = reduction_factor();
+        assert!((28.0..=30.0).contains(&r), "reduction = {r}");
+    }
+}

@@ -1,0 +1,312 @@
+//! Collision-Avoidance Table (CAT).
+//!
+//! The SRAM FPT must hold entries for *arbitrary* row addresses without set
+//! conflicts (paper section IV-C). Following RRS/MIRAGE, the table is split
+//! into two skews, each indexed by an independent hash of the key; an insert
+//! goes to the skew whose candidate set is emptier (power-of-two-choices),
+//! which keeps the maximum set load far below the way count. With the paper's
+//! over-provisioning (32K entries for at most 23K valid) overflow is
+//! negligibly rare; if both candidate sets are ever full, a bounded cuckoo
+//! relocation pass frees a slot, and genuine exhaustion is reported as an
+//! error rather than a silent drop.
+
+use crate::AquaError;
+use std::fmt;
+
+const WAYS: usize = 16;
+const RELOCATION_DEPTH: usize = 24;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry<V> {
+    key: u64,
+    value: V,
+}
+
+/// A two-skew, set-associative table with no practical set conflicts.
+///
+/// # Example
+///
+/// ```
+/// use aqua::CollisionAvoidanceTable;
+///
+/// let mut cat: CollisionAvoidanceTable<u32> = CollisionAvoidanceTable::new(1024);
+/// cat.insert(42, 7)?;
+/// assert_eq!(cat.get(42), Some(&7));
+/// assert_eq!(cat.remove(42), Some(7));
+/// assert_eq!(cat.get(42), None);
+/// # Ok::<(), aqua::AquaError>(())
+/// ```
+#[derive(Clone)]
+pub struct CollisionAvoidanceTable<V> {
+    /// `skews[s]` is a flat `sets_per_skew * WAYS` slot array.
+    skews: [Vec<Option<Entry<V>>>; 2],
+    sets_per_skew: usize,
+    len: usize,
+    max_set_load: usize,
+}
+
+impl<V: Copy> CollisionAvoidanceTable<V> {
+    /// Creates a table with (at least) `capacity` total entries, split across
+    /// two skews of 16-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 32` (one set per skew).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2 * WAYS, "CAT capacity must be at least 32");
+        let sets_per_skew = (capacity / (2 * WAYS)).next_power_of_two();
+        CollisionAvoidanceTable {
+            skews: [
+                vec![None; sets_per_skew * WAYS],
+                vec![None; sets_per_skew * WAYS],
+            ],
+            sets_per_skew,
+            len: 0,
+            max_set_load: 0,
+        }
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slot capacity.
+    pub fn capacity(&self) -> usize {
+        2 * self.sets_per_skew * WAYS
+    }
+
+    /// Highest set occupancy observed (provisioning diagnostic).
+    pub fn max_set_load(&self) -> usize {
+        self.max_set_load
+    }
+
+    fn hash(&self, skew: usize, key: u64) -> usize {
+        // Two independent xorshift-multiply mixers (splitmix64 finalizers
+        // with distinct seeds).
+        let seed = if skew == 0 {
+            0x9e37_79b9_7f4a_7c15u64
+        } else {
+            0xbf58_476d_1ce4_e5b9u64
+        };
+        let mut x = key.wrapping_add(seed);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x as usize) & (self.sets_per_skew - 1)
+    }
+
+    fn set_slots(&self, _skew: usize, set: usize) -> std::ops::Range<usize> {
+        set * WAYS..(set + 1) * WAYS
+    }
+
+    fn find(&self, key: u64) -> Option<(usize, usize)> {
+        for skew in 0..2 {
+            let set = self.hash(skew, key);
+            for i in self.set_slots(skew, set) {
+                if let Some(e) = &self.skews[skew][i] {
+                    if e.key == key {
+                        return Some((skew, i));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.find(key)
+            .map(|(skew, i)| &self.skews[skew][i].as_ref().expect("found slot").value)
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.find(key).is_some()
+    }
+
+    /// Inserts or updates `key`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AquaError::FptFull`] if both candidate sets are full and
+    /// bounded relocation cannot free a slot (indicates under-provisioning).
+    pub fn insert(&mut self, key: u64, value: V) -> Result<(), AquaError> {
+        if let Some((skew, i)) = self.find(key) {
+            self.skews[skew][i] = Some(Entry { key, value });
+            return Ok(());
+        }
+        if self.try_place(key, value, 0) {
+            self.len += 1;
+            return Ok(());
+        }
+        Err(AquaError::FptFull {
+            capacity: self.capacity(),
+        })
+    }
+
+    fn set_load(&self, skew: usize, set: usize) -> usize {
+        self.set_slots(skew, set)
+            .filter(|&i| self.skews[skew][i].is_some())
+            .count()
+    }
+
+    fn try_place(&mut self, key: u64, value: V, depth: usize) -> bool {
+        let loads = [
+            self.set_load(0, self.hash(0, key)),
+            self.set_load(1, self.hash(1, key)),
+        ];
+        // Power-of-two-choices: install into the emptier candidate set.
+        let order = if loads[0] <= loads[1] { [0, 1] } else { [1, 0] };
+        for skew in order {
+            let set = self.hash(skew, key);
+            for i in self.set_slots(skew, set) {
+                if self.skews[skew][i].is_none() {
+                    self.skews[skew][i] = Some(Entry { key, value });
+                    let load = self.set_load(skew, set);
+                    self.max_set_load = self.max_set_load.max(load);
+                    return true;
+                }
+            }
+        }
+        if depth >= RELOCATION_DEPTH {
+            return false;
+        }
+        // Both sets full: cuckoo-relocate one victim to its alternate skew.
+        let skew = order[0];
+        let set = self.hash(skew, key);
+        let slot = set * WAYS + depth % WAYS;
+        let victim = self.skews[skew][slot].take().expect("full set has entries");
+        self.skews[skew][slot] = Some(Entry { key, value });
+        if self.try_place(victim.key, victim.value, depth + 1) {
+            true
+        } else {
+            // Undo: restore the victim and fail the insert.
+            let ours = self.skews[skew][slot].take().expect("just placed");
+            debug_assert_eq!(ours.key, key);
+            self.skews[skew][slot] = Some(victim);
+            false
+        }
+    }
+
+    /// Removes `key`, returning its value if present.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let (skew, i) = self.find(key)?;
+        let e = self.skews[skew][i].take().expect("found slot");
+        self.len -= 1;
+        Some(e.value)
+    }
+
+    /// Iterates over `(key, value)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.skews
+            .iter()
+            .flatten()
+            .filter_map(|slot| slot.as_ref().map(|e| (e.key, &e.value)))
+    }
+}
+
+impl<V: Copy> fmt::Debug for CollisionAvoidanceTable<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CollisionAvoidanceTable")
+            .field("len", &self.len)
+            .field("capacity", &self.capacity())
+            .field("max_set_load", &self.max_set_load)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut cat: CollisionAvoidanceTable<u32> = CollisionAvoidanceTable::new(64);
+        for k in 0..20u64 {
+            cat.insert(k, k as u32 * 10).unwrap();
+        }
+        assert_eq!(cat.len(), 20);
+        for k in 0..20u64 {
+            assert_eq!(cat.get(k), Some(&(k as u32 * 10)));
+        }
+        assert_eq!(cat.remove(5), Some(50));
+        assert_eq!(cat.get(5), None);
+        assert_eq!(cat.len(), 19);
+        assert_eq!(cat.remove(5), None);
+    }
+
+    #[test]
+    fn update_replaces_value() {
+        let mut cat: CollisionAvoidanceTable<u32> = CollisionAvoidanceTable::new(64);
+        cat.insert(1, 10).unwrap();
+        cat.insert(1, 20).unwrap();
+        assert_eq!(cat.len(), 1);
+        assert_eq!(cat.get(1), Some(&20));
+    }
+
+    #[test]
+    fn holds_paper_load_factor() {
+        // 32K entries for 23K valid (72% load): must never overflow.
+        let mut cat: CollisionAvoidanceTable<u32> = CollisionAvoidanceTable::new(32 * 1024);
+        for k in 0..23_000u64 {
+            cat.insert(k.wrapping_mul(0x2545_f491_4f6c_dd1d), k as u32)
+                .unwrap();
+        }
+        assert_eq!(cat.len(), 23_000);
+        // Power-of-two-choices keeps sets comfortably below 16 ways.
+        assert!(cat.max_set_load() <= WAYS);
+    }
+
+    #[test]
+    fn churn_does_not_leak_slots() {
+        let mut cat: CollisionAvoidanceTable<u32> = CollisionAvoidanceTable::new(256);
+        for round in 0..50u64 {
+            for k in 0..100u64 {
+                cat.insert(round * 1000 + k, k as u32).unwrap();
+            }
+            for k in 0..100u64 {
+                assert!(cat.remove(round * 1000 + k).is_some());
+            }
+        }
+        assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_an_error_not_a_drop() {
+        let mut cat: CollisionAvoidanceTable<u32> = CollisionAvoidanceTable::new(32);
+        let mut inserted = vec![];
+        let mut failed = false;
+        for k in 0..64u64 {
+            match cat.insert(k, k as u32) {
+                Ok(()) => inserted.push(k),
+                Err(AquaError::FptFull { .. }) => {
+                    failed = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(failed, "a 32-slot table cannot hold 64 entries");
+        // Every successfully inserted key must still be present.
+        for k in inserted {
+            assert!(cat.contains(k), "key {k} lost after overflow");
+        }
+    }
+
+    #[test]
+    fn iter_visits_all_entries() {
+        let mut cat: CollisionAvoidanceTable<u32> = CollisionAvoidanceTable::new(64);
+        for k in 0..10u64 {
+            cat.insert(k, 1).unwrap();
+        }
+        let mut keys: Vec<u64> = cat.iter().map(|(k, _)| k).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, (0..10u64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,60 @@
+//! AQUA error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while configuring or operating the AQUA engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AquaError {
+    /// The requested quarantine area does not fit in the configured DRAM.
+    RqaTooLarge {
+        /// Requested RQA rows.
+        requested: u64,
+        /// Rows available in the module.
+        available: u64,
+    },
+    /// The forward-pointer table ran out of capacity (CAT overflow after
+    /// bounded relocation). Indicates under-provisioning relative to the RQA.
+    FptFull {
+        /// Configured FPT entry count.
+        capacity: usize,
+    },
+    /// A configuration parameter was invalid.
+    InvalidConfig(&'static str),
+}
+
+impl fmt::Display for AquaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AquaError::RqaTooLarge {
+                requested,
+                available,
+            } => write!(
+                f,
+                "quarantine area of {requested} rows exceeds the {available} rows available"
+            ),
+            AquaError::FptFull { capacity } => {
+                write!(f, "forward-pointer table overflowed ({capacity} entries)")
+            }
+            AquaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for AquaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AquaError::RqaTooLarge {
+            requested: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(AquaError::FptFull { capacity: 4 }.to_string().contains('4'));
+        assert!(AquaError::InvalidConfig("x").to_string().contains('x'));
+    }
+}

@@ -1,0 +1,109 @@
+//! Forward-Pointer Table (FPT), SRAM variant.
+
+use crate::{AquaError, CollisionAvoidanceTable, RqaSlot};
+use aqua_dram::GlobalRowId;
+
+/// SRAM forward-pointer table: quarantined row → RQA slot.
+///
+/// Built on the over-provisioned [`CollisionAvoidanceTable`] so that entries
+/// from arbitrary memory addresses never suffer set conflicts (section IV-C:
+/// 32K entries for 23K valid rows, 108 KB of SRAM).
+#[derive(Debug, Clone)]
+pub struct ForwardPointerTable {
+    table: CollisionAvoidanceTable<RqaSlot>,
+}
+
+impl ForwardPointerTable {
+    /// Creates an FPT with `entries` slots.
+    pub fn new(entries: usize) -> Self {
+        ForwardPointerTable {
+            table: CollisionAvoidanceTable::new(entries),
+        }
+    }
+
+    /// Looks up the quarantine slot of `row`, if quarantined.
+    pub fn lookup(&self, row: GlobalRowId) -> Option<RqaSlot> {
+        self.table.get(row.index()).copied()
+    }
+
+    /// Maps `row` to `slot` (insert or update).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AquaError::FptFull`] on capacity exhaustion.
+    pub fn map(&mut self, row: GlobalRowId, slot: RqaSlot) -> Result<(), AquaError> {
+        self.table.insert(row.index(), slot)
+    }
+
+    /// Removes the mapping for `row`, returning its slot if present.
+    pub fn unmap(&mut self, row: GlobalRowId) -> Option<RqaSlot> {
+        self.table.remove(row.index())
+    }
+
+    /// Number of quarantined rows.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether no rows are quarantined.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Iterates over `(row, slot)` mappings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (GlobalRowId, RqaSlot)> + '_ {
+        self.table.iter().map(|(k, v)| (GlobalRowId::new(k), *v))
+    }
+
+    /// SRAM bits: 27 bits per entry (valid + tag + 15-bit forward pointer),
+    /// matching the paper's 108 KB for 32K entries.
+    pub fn sram_bits(&self) -> u64 {
+        self.table.capacity() as u64 * 27
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_unmap() {
+        let mut fpt = ForwardPointerTable::new(64);
+        let row = GlobalRowId::new(1234);
+        assert_eq!(fpt.lookup(row), None);
+        fpt.map(row, RqaSlot::new(7)).unwrap();
+        assert_eq!(fpt.lookup(row), Some(RqaSlot::new(7)));
+        assert_eq!(fpt.unmap(row), Some(RqaSlot::new(7)));
+        assert_eq!(fpt.lookup(row), None);
+        assert!(fpt.is_empty());
+    }
+
+    #[test]
+    fn remap_moves_slot() {
+        let mut fpt = ForwardPointerTable::new(64);
+        let row = GlobalRowId::new(5);
+        fpt.map(row, RqaSlot::new(1)).unwrap();
+        fpt.map(row, RqaSlot::new(2)).unwrap();
+        assert_eq!(fpt.len(), 1);
+        assert_eq!(fpt.lookup(row), Some(RqaSlot::new(2)));
+    }
+
+    #[test]
+    fn paper_sizing_is_108kb() {
+        let fpt = ForwardPointerTable::new(32 * 1024);
+        assert_eq!(fpt.sram_bits(), 32 * 1024 * 27);
+        assert_eq!(fpt.sram_bits() / 8 / 1024, 108);
+    }
+
+    #[test]
+    fn iter_roundtrips() {
+        let mut fpt = ForwardPointerTable::new(64);
+        for i in 0..10 {
+            fpt.map(GlobalRowId::new(i * 100), RqaSlot::new(i)).unwrap();
+        }
+        let mut pairs: Vec<_> = fpt.iter().map(|(r, s)| (r.index(), s.index())).collect();
+        pairs.sort_unstable();
+        assert_eq!(pairs.len(), 10);
+        assert_eq!(pairs[3], (300, 3));
+    }
+}

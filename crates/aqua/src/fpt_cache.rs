@@ -1,0 +1,286 @@
+//! FPT-Cache: on-chip cache of in-DRAM FPT entries (section V-C/D).
+//!
+//! A 16-way set-associative cache with RRIP replacement. Two design points
+//! from the paper are reproduced exactly:
+//!
+//! - Only entries of *currently quarantined* rows are cached (avoids
+//!   thrashing: the cache covers at most ~23K rows, not 2M).
+//! - All rows of an FPT *group* index into the same set, and each entry
+//!   carries a **singleton** bit meaning "my group has exactly one valid FPT
+//!   entry". A miss that finds a same-group entry with the singleton bit set
+//!   proves the missing row is *not* quarantined, skipping the DRAM lookup
+//!   (the optimization that removes 99% of false-positive lookups).
+
+use crate::RqaSlot;
+use serde::{Deserialize, Serialize};
+
+const RRPV_MAX: u8 = 3;
+const RRPV_INSERT: u8 = 2;
+
+/// Outcome of an FPT-Cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CacheLookup {
+    /// The row's FPT entry is cached: it is quarantined at this slot.
+    Hit(RqaSlot),
+    /// Miss, but a same-group singleton entry proves the row is not
+    /// quarantined — no DRAM lookup needed.
+    SingletonMiss,
+    /// Miss: the in-DRAM FPT must be consulted.
+    Miss,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    row: u64,
+    group: u64,
+    slot: RqaSlot,
+    rrpv: u8,
+    singleton: bool,
+}
+
+/// The FPT-Cache (default: 4K entries, 16-way, 16 KB of SRAM).
+#[derive(Debug, Clone)]
+pub struct FptCache {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<CacheEntry>>,
+}
+
+impl FptCache {
+    /// Creates a cache with `entries` total slots, 16-way set-associative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries < 16`.
+    pub fn new(entries: usize) -> Self {
+        let ways = 16;
+        assert!(entries >= ways, "FPT-Cache needs at least one 16-way set");
+        let sets = (entries / ways).max(1);
+        FptCache {
+            sets,
+            ways,
+            slots: vec![None; sets * ways],
+        }
+    }
+
+    /// Total entry capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of valid entries.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    fn set_range(&self, group: u64) -> std::ops::Range<usize> {
+        // Hash the group id into a set: all rows of a group share a set (the
+        // singleton optimization depends on it), while power-of-two strides
+        // in the physical layout — e.g. one hot region striped across every
+        // bank — spread over all sets instead of colliding in a few.
+        let mut x = group.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        let set = (x % self.sets as u64) as usize;
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up `row` (belonging to `group`), updating RRIP state on hit and
+    /// applying the singleton-group optimization on miss.
+    pub fn lookup(&mut self, row: u64, group: u64) -> CacheLookup {
+        let range = self.set_range(group);
+        // First pass: exact hit.
+        for i in range.clone() {
+            if let Some(e) = &mut self.slots[i] {
+                if e.row == row {
+                    e.rrpv = 0;
+                    return CacheLookup::Hit(e.slot);
+                }
+            }
+        }
+        // Second pass: same-group singleton (section V-D's second lookup).
+        for i in range {
+            if let Some(e) = &self.slots[i] {
+                if e.group == group && e.singleton {
+                    return CacheLookup::SingletonMiss;
+                }
+            }
+        }
+        CacheLookup::Miss
+    }
+
+    /// Inserts the FPT entry for `row` (quarantined at `slot`), evicting an
+    /// RRIP victim if the set is full.
+    pub fn insert(&mut self, row: u64, group: u64, slot: RqaSlot, singleton: bool) {
+        let range = self.set_range(group);
+        // Update in place if already present.
+        for i in range.clone() {
+            if let Some(e) = &mut self.slots[i] {
+                if e.row == row {
+                    e.slot = slot;
+                    e.singleton = singleton;
+                    e.rrpv = 0;
+                    return;
+                }
+            }
+        }
+        let entry = CacheEntry {
+            row,
+            group,
+            slot,
+            rrpv: RRPV_INSERT,
+            singleton,
+        };
+        // Prefer an invalid way.
+        for i in range.clone() {
+            if self.slots[i].is_none() {
+                self.slots[i] = Some(entry);
+                return;
+            }
+        }
+        // RRIP victim selection: find RRPV == max, ageing the set as needed.
+        loop {
+            for i in range.clone() {
+                if self.slots[i].map(|e| e.rrpv) == Some(RRPV_MAX) {
+                    self.slots[i] = Some(entry);
+                    return;
+                }
+            }
+            for i in range.clone() {
+                if let Some(e) = &mut self.slots[i] {
+                    e.rrpv = (e.rrpv + 1).min(RRPV_MAX);
+                }
+            }
+        }
+    }
+
+    /// Invalidates the cached entry for `row`, if present.
+    pub fn invalidate(&mut self, row: u64, group: u64) {
+        for i in self.set_range(group) {
+            if self.slots[i].map(|e| e.row) == Some(row) {
+                self.slots[i] = None;
+                return;
+            }
+        }
+    }
+
+    /// Updates the singleton bit on every cached entry of `group` (called
+    /// when the group's valid-entry count changes between 1 and 2+).
+    pub fn set_group_singleton(&mut self, group: u64, singleton: bool) {
+        for i in self.set_range(group) {
+            if let Some(e) = &mut self.slots[i] {
+                if e.group == group {
+                    e.singleton = singleton;
+                }
+            }
+        }
+    }
+
+    /// SRAM bits: valid + 13-bit tag (21-bit row minus 8 set-index bits) +
+    /// 15-bit pointer + 2 RRIP bits + singleton bit = 32 bits per entry,
+    /// i.e. 16 KB for the 4K-entry default (section V-G).
+    pub fn sram_bits(&self) -> u64 {
+        self.capacity() as u64 * 32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(i: u64) -> RqaSlot {
+        RqaSlot::new(i)
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = FptCache::new(64);
+        c.insert(100, 6, slot(9), true);
+        assert_eq!(c.lookup(100, 6), CacheLookup::Hit(slot(9)));
+    }
+
+    #[test]
+    fn singleton_miss_skips_dram() {
+        let mut c = FptCache::new(64);
+        // Row 100 of group 6 is quarantined and is the group's only entry.
+        c.insert(100, 6, slot(9), true);
+        // Row 101, same group, not cached: the singleton bit proves it is
+        // not quarantined.
+        assert_eq!(c.lookup(101, 6), CacheLookup::SingletonMiss);
+    }
+
+    #[test]
+    fn non_singleton_group_must_go_to_dram() {
+        let mut c = FptCache::new(64);
+        c.insert(100, 6, slot(9), false); // group has 2+ quarantined rows
+        assert_eq!(c.lookup(101, 6), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn different_group_is_plain_miss() {
+        let mut c = FptCache::new(64);
+        c.insert(100, 6, slot(9), true);
+        assert_eq!(c.lookup(200, 7), CacheLookup::Miss);
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut c = FptCache::new(64);
+        c.insert(100, 6, slot(9), true);
+        c.invalidate(100, 6);
+        assert_eq!(c.lookup(100, 6), CacheLookup::Miss);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn rrip_evicts_cold_entries_first() {
+        let mut c = FptCache::new(16); // single set
+                                       // Fill the set; rows 0..16 in the same group-set.
+        for r in 0..16u64 {
+            c.insert(r, r, slot(r), true); // groups alias into one set
+        }
+        // Touch rows 0..8 to make them hot (RRPV 0).
+        for r in 0..8u64 {
+            assert!(matches!(c.lookup(r, r), CacheLookup::Hit(_)));
+        }
+        // Insert a new entry: a cold row (8..16, RRPV 2->3) must be evicted.
+        c.insert(99, 99, slot(99), true);
+        let hot_survivors = (0..8u64)
+            .filter(|&r| matches!(c.lookup(r, r), CacheLookup::Hit(_)))
+            .count();
+        assert_eq!(hot_survivors, 8, "hot entries must survive RRIP eviction");
+    }
+
+    #[test]
+    fn group_singleton_update_propagates() {
+        let mut c = FptCache::new(64);
+        c.insert(100, 6, slot(9), true);
+        // A second row of the group gets quarantined: group no longer
+        // singleton, so the cached entry must stop vouching for its group.
+        c.set_group_singleton(6, false);
+        assert_eq!(c.lookup(101, 6), CacheLookup::Miss);
+        c.set_group_singleton(6, true);
+        assert_eq!(c.lookup(101, 6), CacheLookup::SingletonMiss);
+    }
+
+    #[test]
+    fn reinsert_updates_slot() {
+        let mut c = FptCache::new(64);
+        c.insert(100, 6, slot(9), true);
+        c.insert(100, 6, slot(11), false);
+        assert_eq!(c.lookup(100, 6), CacheLookup::Hit(slot(11)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn paper_sizing_is_16kb_class() {
+        let c = FptCache::new(4 * 1024);
+        let kb = c.sram_bits() / 8 / 1024;
+        assert!((16..=24).contains(&kb), "FPT-Cache = {kb} KB");
+    }
+}

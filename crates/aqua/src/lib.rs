@@ -1,0 +1,91 @@
+//! AQUA: scalable Rowhammer mitigation by quarantining aggressor rows.
+//!
+//! This crate implements the primary contribution of the MICRO 2022 paper
+//! *AQUA: Scalable Rowhammer Mitigation by Quarantining Aggressor Rows at
+//! Runtime*. AQUA breaks the spatial correlation between aggressor and victim
+//! rows by migrating any row that crosses an activation threshold into a
+//! dedicated, software-invisible *Row Quarantine Area* (RQA). Because the
+//! security of AQUA rests on **isolation** rather than randomization, the
+//! migration threshold can be `T_RH / 2` (instead of RRS's `T_RH / 6`),
+//! yielding an order of magnitude fewer migrations and far smaller tables.
+//!
+//! # Architecture
+//!
+//! - [`ForwardPointerTable`] (FPT): maps quarantined row → RQA slot. The SRAM
+//!   variant is an over-provisioned [`CollisionAvoidanceTable`] (CAT, adopted
+//!   from MIRAGE) with 32K entries for 23K valid rows.
+//! - [`ReversePointerTable`] (RPT): direct-mapped, one entry per RQA slot,
+//!   identifying the original location of the quarantined row.
+//! - [`QuarantineArea`] (RQA): a circular buffer of reserved DRAM rows sized
+//!   by Eq. 3 of the paper so that no slot is ever reused within a 64 ms
+//!   epoch; stale entries from past epochs are drained lazily on install.
+//! - [`MappedTables`]: the section V design that moves FPT and RPT to DRAM,
+//!   filtered by a [`ResettableBloomFilter`] and cached in a 16-way
+//!   RRIP-managed [`FptCache`] with the *singleton-group* optimization.
+//! - [`AquaEngine`]: ties the pieces together and implements the
+//!   [`Mitigation`](aqua_dram::mitigation::Mitigation) trait consumed by the
+//!   system simulator.
+//!
+//! # Security guarantee
+//!
+//! With a correctly sized RQA and a sound tracker, **no physical row receives
+//! `T_RH` activations within a refresh window** (section VI-A, properties
+//! P1–P3). The engine enforces the RQA never-reuse-within-epoch invariant at
+//! runtime and reports any violation (tests deliberately undersize the RQA to
+//! prove the check fires).
+//!
+//! # Example
+//!
+//! ```
+//! use aqua::{AquaConfig, AquaEngine};
+//! use aqua_dram::mitigation::Mitigation;
+//! use aqua_dram::{BaselineConfig, GlobalRowId, Time};
+//!
+//! let base = BaselineConfig::paper_table1();
+//! let cfg = AquaConfig::for_rowhammer_threshold(1000, &base);
+//! let mut engine = AquaEngine::new(cfg)?;
+//!
+//! // Hammer one row: after 500 activations AQUA quarantines it.
+//! let row = GlobalRowId::new(77);
+//! let mut now = Time::ZERO;
+//! for _ in 0..500 {
+//!     let t = engine.translate(row, now);
+//!     let actions = engine.on_activation(t.phys, now);
+//!     now = now + aqua_dram::Duration::from_ns(45);
+//!     if !actions.is_empty() {
+//!         break;
+//!     }
+//! }
+//! assert_eq!(engine.mitigation_stats().mitigations_triggered, 1);
+//! // The row now translates to a quarantine-area location.
+//! let t = engine.translate(row, now);
+//! assert!(engine.config().rqa_region_contains(t.phys));
+//! # Ok::<(), aqua::AquaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bloom;
+mod cat;
+mod config;
+mod engine;
+mod error;
+mod fpt;
+mod fpt_cache;
+mod mapped;
+mod rpt;
+mod rqa;
+mod storage;
+
+pub use bloom::ResettableBloomFilter;
+pub use cat::CollisionAvoidanceTable;
+pub use config::{required_rqa_rows, AquaConfig, TableMode, TrackerKind};
+pub use engine::{AquaEngine, AquaStats};
+pub use error::AquaError;
+pub use fpt::ForwardPointerTable;
+pub use fpt_cache::{CacheLookup, FptCache};
+pub use mapped::{LookupBreakdown, LookupOutcome, MappedLookup, MappedTables};
+pub use rpt::{ReversePointerTable, RptEntry};
+pub use rqa::{QuarantineArea, RqaSlot};
+pub use storage::StorageReport;

@@ -1,0 +1,128 @@
+//! Reverse-Pointer Table (RPT).
+
+use aqua_dram::GlobalRowId;
+use serde::{Deserialize, Serialize};
+
+/// One RPT entry: which memory row currently occupies an RQA slot, and in
+/// which epoch it was installed (the epoch tag drives lazy draining and the
+/// never-reuse-within-epoch security check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RptEntry {
+    /// Original (OS-visible) location of the quarantined row.
+    pub original: GlobalRowId,
+    /// Epoch in which the row was installed into this slot.
+    pub install_epoch: u64,
+}
+
+/// Direct-mapped reverse-pointer table: one entry per RQA slot.
+///
+/// Section IV-C: each entry holds a valid bit and a 21-bit reverse pointer;
+/// 23K entries occupy ~64 KB of SRAM (or 0.1 MB of DRAM in mapped mode).
+#[derive(Debug, Clone)]
+pub struct ReversePointerTable {
+    entries: Vec<Option<RptEntry>>,
+}
+
+impl ReversePointerTable {
+    /// Creates an empty RPT with `slots` entries.
+    pub fn new(slots: u64) -> Self {
+        ReversePointerTable {
+            entries: vec![None; slots as usize],
+        }
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> u64 {
+        self.entries.len() as u64
+    }
+
+    /// Number of valid entries.
+    pub fn valid_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// The entry at `slot`, if valid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn get(&self, slot: u64) -> Option<RptEntry> {
+        self.entries[slot as usize]
+    }
+
+    /// Sets the entry at `slot`, returning the previous occupant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn set(&mut self, slot: u64, entry: RptEntry) -> Option<RptEntry> {
+        self.entries[slot as usize].replace(entry)
+    }
+
+    /// Invalidates `slot`, returning the previous occupant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    pub fn clear(&mut self, slot: u64) -> Option<RptEntry> {
+        self.entries[slot as usize].take()
+    }
+
+    /// SRAM bits for this table: valid bit + 21-bit pointer + epoch parity
+    /// bit per entry (the full epoch counter is controller state, not SRAM).
+    pub fn sram_bits(&self) -> u64 {
+        self.entries.len() as u64 * (1 + 21 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut rpt = ReversePointerTable::new(8);
+        assert_eq!(rpt.get(3), None);
+        let e = RptEntry {
+            original: GlobalRowId::new(99),
+            install_epoch: 2,
+        };
+        assert_eq!(rpt.set(3, e), None);
+        assert_eq!(rpt.get(3), Some(e));
+        assert_eq!(rpt.valid_count(), 1);
+        assert_eq!(rpt.clear(3), Some(e));
+        assert_eq!(rpt.get(3), None);
+        assert_eq!(rpt.valid_count(), 0);
+    }
+
+    #[test]
+    fn set_returns_previous_occupant() {
+        let mut rpt = ReversePointerTable::new(4);
+        let a = RptEntry {
+            original: GlobalRowId::new(1),
+            install_epoch: 0,
+        };
+        let b = RptEntry {
+            original: GlobalRowId::new(2),
+            install_epoch: 1,
+        };
+        rpt.set(0, a);
+        assert_eq!(rpt.set(0, b), Some(a));
+        assert_eq!(rpt.get(0), Some(b));
+    }
+
+    #[test]
+    fn sram_size_matches_paper_scale() {
+        // 23K entries -> ~64 KB in the paper (22-bit entries plus overhead).
+        let rpt = ReversePointerTable::new(23_053);
+        let kb = rpt.sram_bits() as f64 / 8.0 / 1024.0;
+        assert!((60.0..70.0).contains(&kb), "RPT = {kb} KB");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_slot_panics() {
+        let rpt = ReversePointerTable::new(4);
+        rpt.get(4);
+    }
+}

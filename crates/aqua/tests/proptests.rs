@@ -1,0 +1,118 @@
+//! Property-based tests on AQUA's core data structures.
+
+use aqua::{CollisionAvoidanceTable, FptCache, QuarantineArea, ResettableBloomFilter, RqaSlot};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The CAT behaves exactly like a map for any insert/remove interleaving
+    /// that stays within a safe load factor.
+    #[test]
+    fn cat_matches_reference_map(ops in prop::collection::vec((0u64..500, any::<bool>()), 1..200)) {
+        let mut cat: CollisionAvoidanceTable<u64> = CollisionAvoidanceTable::new(2048);
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for (key, insert) in ops {
+            if insert {
+                cat.insert(key, key * 3).expect("well under capacity");
+                reference.insert(key, key * 3);
+            } else {
+                prop_assert_eq!(cat.remove(key), reference.remove(&key));
+            }
+            prop_assert_eq!(cat.len(), reference.len());
+        }
+        for (k, v) in &reference {
+            prop_assert_eq!(cat.get(*k), Some(v));
+        }
+    }
+
+    /// The bloom filter never yields a false negative, for any interleaving
+    /// of inserts and (balanced) removes.
+    #[test]
+    fn bloom_has_no_false_negatives(
+        groups in prop::collection::vec(0u64..10_000, 1..100),
+        bits in 8usize..1024,
+    ) {
+        let mut bf = ResettableBloomFilter::new(bits, 16);
+        let mut live: Vec<u64> = Vec::new();
+        for g in groups {
+            if live.len() > 20 && g % 3 == 0 {
+                let removed = live.swap_remove((g % live.len() as u64) as usize);
+                bf.remove(removed);
+            } else {
+                bf.insert(g);
+                live.push(g);
+            }
+            for l in &live {
+                prop_assert!(bf.peek(*l), "false negative for live group {l}");
+            }
+        }
+    }
+
+    /// After all inserts are removed, the (aliased) filter is fully clear.
+    #[test]
+    fn bloom_resets_completely(groups in prop::collection::vec(0u64..1000, 1..60)) {
+        let mut bf = ResettableBloomFilter::new(64, 16);
+        for g in &groups {
+            bf.insert(*g);
+        }
+        for g in &groups {
+            bf.remove(*g);
+        }
+        prop_assert_eq!(bf.fill_fraction(), 0.0);
+    }
+
+    /// The RQA allocator flags a within-epoch reuse if and only if more
+    /// slots were requested this epoch than exist.
+    #[test]
+    fn rqa_flags_reuse_exactly_when_oversubscribed(
+        slots in 1u64..64,
+        allocs_per_epoch in prop::collection::vec(0u64..128, 1..8),
+    ) {
+        let mut rqa = QuarantineArea::new(slots);
+        for demand in allocs_per_epoch {
+            let mut violations = 0u64;
+            for _ in 0..demand {
+                if rqa.allocate().reused_within_epoch {
+                    violations += 1;
+                }
+            }
+            prop_assert_eq!(violations, demand.saturating_sub(slots));
+            rqa.advance_epoch();
+        }
+    }
+
+    /// An FPT-Cache hit always returns the most recently inserted slot for
+    /// the row, no matter the eviction pressure.
+    #[test]
+    fn fpt_cache_never_returns_stale_slots(
+        rows in prop::collection::vec((0u64..64, 0u64..1000), 1..200),
+    ) {
+        let mut cache = FptCache::new(32); // 2 sets: heavy pressure
+        let mut latest: HashMap<u64, u64> = HashMap::new();
+        for (row, slot) in rows {
+            let group = row / 16;
+            cache.insert(row, group, RqaSlot::new(slot), false);
+            latest.insert(row, slot);
+            if let aqua::CacheLookup::Hit(s) = cache.lookup(row, group) {
+                prop_assert_eq!(s.index(), latest[&row], "stale slot for row {}", row);
+            }
+        }
+    }
+
+    /// Distinct keys stored in the CAT keep distinct values (no aliasing
+    /// between skews or relocations).
+    #[test]
+    fn cat_relocation_preserves_all_entries(keys in prop::collection::hash_set(any::<u64>(), 1..400)) {
+        let mut cat: CollisionAvoidanceTable<u64> = CollisionAvoidanceTable::new(2048);
+        let keys: HashSet<u64> = keys;
+        for k in &keys {
+            cat.insert(*k, k.wrapping_mul(7)).expect("within capacity");
+        }
+        prop_assert_eq!(cat.len(), keys.len());
+        for k in &keys {
+            prop_assert_eq!(cat.get(*k), Some(&k.wrapping_mul(7)));
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Analytical model of CROW's copy-row provisioning (paper section VII-B,
+//! Table V).
+//!
+//! CROW migrates victim (or aggressor) rows to spare *copy rows* using
+//! Row-Clone, which can only copy **within a subarray** (512 rows). An
+//! attacker can focus every aggressor on one subarray, so each subarray must
+//! reserve enough copy rows for all concurrent aggressors. With `c` copy rows
+//! a subarray tolerates `c / 2` aggressors (each double-sided aggressor pair
+//! consumes two copy rows), so the tolerated Rowhammer threshold is
+//! `ACTmax / (c / 2)` — 340K at CROW's default of 8 copy rows, and still
+//! 5.3K even when copy rows double the DRAM (Table V).
+
+use serde::{Deserialize, Serialize};
+
+/// Per-bank activation budget in one refresh window (section II-B).
+pub const ACT_MAX: u64 = 1_360_000;
+
+/// Rows per subarray in the CROW design.
+pub const SUBARRAY_ROWS: u64 = 512;
+
+/// One row of Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrowDesignPoint {
+    /// Copy rows provisioned per 512-row subarray.
+    pub copy_rows: u64,
+    /// DRAM overhead as a fraction (copy rows / subarray rows).
+    pub dram_overhead: f64,
+    /// Concurrent aggressors the subarray can absorb.
+    pub aggressors_tolerated: u64,
+    /// Minimum Rowhammer threshold at which the design is secure.
+    pub t_rh_tolerated: u64,
+}
+
+/// Evaluates a CROW design point with `copy_rows` per subarray.
+///
+/// # Panics
+///
+/// Panics if `copy_rows` is zero or odd (aggressor pairs need two rows).
+pub fn design_point(copy_rows: u64) -> CrowDesignPoint {
+    assert!(
+        copy_rows >= 2 && copy_rows.is_multiple_of(2),
+        "copy rows come in pairs"
+    );
+    let aggressors = copy_rows / 2;
+    CrowDesignPoint {
+        copy_rows,
+        dram_overhead: copy_rows as f64 / SUBARRAY_ROWS as f64,
+        aggressors_tolerated: aggressors,
+        t_rh_tolerated: ACT_MAX / aggressors,
+    }
+}
+
+/// The four design points of Table V (8, 32, 128, 512 copy rows).
+pub fn table5() -> Vec<CrowDesignPoint> {
+    [8, 32, 128, 512].into_iter().map(design_point).collect()
+}
+
+/// Which row CROW migrates on a mitigation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrowVariant {
+    /// Original CROW: move the *victims* (two copy rows per aggressor).
+    Victim,
+    /// CROW-Agg (the paper's aggressor-focused variant with AQUA-style
+    /// mapped tables): move the aggressor (one copy row per aggressor).
+    Aggressor,
+}
+
+/// DRAM overhead CROW needs to be secure at threshold `t_rh`, accounting for
+/// the tracker-reset halving of the effective threshold (Table VI: 1060% for
+/// CROW and 530% for CROW-Agg at `T_RH` = 1K).
+pub fn overhead_for_threshold(t_rh: u64, variant: CrowVariant) -> f64 {
+    assert!(t_rh >= 2);
+    let aggressors = ACT_MAX.div_ceil(t_rh / 2);
+    let rows_per_aggressor = match variant {
+        CrowVariant::Victim => 2,
+        CrowVariant::Aggressor => 1,
+    };
+    (aggressors * rows_per_aggressor) as f64 / SUBARRAY_ROWS as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_matches_paper() {
+        let t = table5();
+        assert_eq!(t[0].aggressors_tolerated, 4);
+        assert_eq!(t[0].t_rh_tolerated, 340_000);
+        assert!((t[0].dram_overhead - 0.0156).abs() < 0.001); // 1.6%
+        assert_eq!(t[1].t_rh_tolerated, 85_000);
+        assert_eq!(t[2].t_rh_tolerated, 21_250);
+        assert_eq!(t[3].t_rh_tolerated, 5_312); // ~5.3K
+        assert!((t[3].dram_overhead - 1.0).abs() < 1e-9); // 100%
+    }
+
+    #[test]
+    fn overhead_at_1k_matches_table6() {
+        // Table VI: CROW 1060%, CROW-Agg 530% at T_RH = 1K.
+        let victim = overhead_for_threshold(1000, CrowVariant::Victim);
+        let agg = overhead_for_threshold(1000, CrowVariant::Aggressor);
+        assert!((10.0..=11.0).contains(&victim), "CROW = {victim}");
+        assert!((5.0..=5.5).contains(&agg), "CROW-Agg = {agg}");
+    }
+
+    #[test]
+    fn overhead_shrinks_with_threshold() {
+        assert!(overhead_for_threshold(680_000, CrowVariant::Victim) <= 0.016);
+        assert!(
+            overhead_for_threshold(1000, CrowVariant::Victim)
+                > overhead_for_threshold(4000, CrowVariant::Victim)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pairs")]
+    fn odd_copy_rows_rejected() {
+        design_point(7);
+    }
+}

@@ -1,0 +1,28 @@
+//! Baseline Rowhammer mitigations AQUA is evaluated against.
+//!
+//! - [`VictimRefresh`] — the classic mitigation: refresh the rows adjacent to
+//!   a flagged aggressor. Cheap, but it *preserves* the spatial correlation
+//!   between aggressor and victims, which the Half-Double attack exploits:
+//!   the mitigative refreshes of rows at distance 1 act as activations that
+//!   disturb rows at distance 2 (paper section II-D, Table IV). The system
+//!   simulator's oracle counts refreshes as activations, so Half-Double
+//!   emerges naturally from this model.
+//! - [`Blockhammer`] — rate-limits activations so no row can exceed its
+//!   budget within a refresh window. Secure, but at `T_RH` = 1K a
+//!   row-conflict pattern that would run at one round per ~100 ns is limited
+//!   to 500 activations per 64 ms: a worst-case slowdown of 1280x
+//!   (section VII-B).
+//! - [`crow`] — an analytical model of CROW's copy-row provisioning: because
+//!   Row-Clone can only copy within a subarray, every subarray must reserve
+//!   enough copy rows for all concurrent aggressors, which makes CROW secure
+//!   only above `T_RH` ~= 340K at its default 8 copy rows (Table V).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod blockhammer;
+pub mod crow;
+mod victim_refresh;
+
+pub use blockhammer::{Blockhammer, BlockhammerConfig};
+pub use victim_refresh::{VictimRefresh, VictimRefreshConfig};

@@ -1,0 +1,82 @@
+//! Criterion end-to-end benchmarks: one small simulated epoch per scheme.
+//!
+//! These exercise the full translate / access / mitigate pipeline on the
+//! reduced `tiny` system (4 banks, 1 ms epochs) so they complete quickly;
+//! the figure-reproduction binaries in `src/bin/` run the full Table I
+//! system.
+
+use aqua::{AquaConfig, AquaEngine};
+use aqua_dram::mitigation::NoMitigation;
+use aqua_dram::BaselineConfig;
+use aqua_rrs::{RrsConfig, RrsEngine};
+use aqua_sim::{SimConfig, Simulation};
+use aqua_workload::attack::MigrationFlood;
+use aqua_workload::{AddressSpace, RequestGenerator};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn base() -> BaselineConfig {
+    BaselineConfig::tiny()
+}
+
+fn space() -> AddressSpace {
+    AddressSpace::new(base().geometry, 0.75)
+}
+
+fn gen() -> Box<dyn RequestGenerator> {
+    Box::new(MigrationFlood::new(&space(), 4, 500))
+}
+
+fn sim_cfg() -> SimConfig {
+    SimConfig::new(base()).epochs(1).t_rh(1000)
+}
+
+fn small_aqua_config() -> AquaConfig {
+    let cfg = AquaConfig::for_rowhammer_threshold(1000, &base()).with_rqa_rows(512);
+    AquaConfig {
+        tracker_entries_per_bank: 256,
+        fpt_entries: 1024,
+        ..cfg
+    }
+}
+
+fn bench_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epoch");
+    group.sample_size(10);
+    group.bench_function("baseline", |b| {
+        b.iter(|| Simulation::new(sim_cfg(), NoMitigation::new(base().geometry), [gen()]).run())
+    });
+    group.bench_function("aqua_sram", |b| {
+        b.iter(|| {
+            Simulation::new(
+                sim_cfg(),
+                AquaEngine::new(small_aqua_config()).unwrap(),
+                [gen()],
+            )
+            .run()
+        })
+    });
+    group.bench_function("aqua_mapped", |b| {
+        b.iter(|| {
+            let cfg = AquaConfig {
+                table_mode: aqua::TableMode::Mapped {
+                    bloom_bits: 1024,
+                    cache_entries: 256,
+                },
+                ..small_aqua_config()
+            };
+            Simulation::new(sim_cfg(), AquaEngine::new(cfg).unwrap(), [gen()]).run()
+        })
+    });
+    group.bench_function("rrs", |b| {
+        b.iter(|| {
+            let mut cfg = RrsConfig::for_rowhammer_threshold(1000, &base());
+            cfg.tracker_entries_per_bank = 256;
+            cfg.rit_pairs = 4096;
+            Simulation::new(sim_cfg(), RrsEngine::new(cfg), [gen()]).run()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch);
+criterion_main!(benches);

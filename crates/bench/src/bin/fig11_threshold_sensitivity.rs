@@ -1,0 +1,77 @@
+//! Figure 11: AQUA's sensitivity to the Rowhammer threshold, plus the
+//! section V-F structure-size sensitivity (`--structures`).
+//!
+//! Paper result: memory-mapped AQUA loses 0.2% at `T_RH` = 2K, 2.1% at 1K,
+//! and 6.8% at 500. Bloom-filter sizing 8/16/32 KB moves the loss only
+//! between 2.3% and 2.0%.
+
+use aqua::TableMode;
+use aqua_bench::output::{f2, print_table, write_csv};
+use aqua_bench::{Harness, Scheme};
+use aqua_sim::{gmean, Simulation};
+
+fn threshold_sweep() {
+    let mut rows = Vec::new();
+    for t_rh in [2000u64, 1000, 500] {
+        let harness = Harness::new(t_rh);
+        let mut perfs = Vec::new();
+        for workload in harness.workloads() {
+            let base = harness.run(Scheme::Baseline, &workload);
+            let aqua = harness.run(Scheme::AquaMapped, &workload);
+            perfs.push(aqua.normalized_perf(&base));
+            eprintln!("t_rh={t_rh} {workload}: {:.3}", perfs.last().unwrap());
+        }
+        rows.push(vec![t_rh.to_string(), f2(gmean(perfs))]);
+    }
+    print_table(
+        "Figure 11: AQUA (mapped) vs T_RH (paper gmean: 0.998 @2K, 0.979 @1K, 0.932 @500)",
+        &["T_RH", "normalized perf"],
+        &rows,
+    );
+    write_csv("fig11_threshold_sensitivity", &["t_rh", "perf"], &rows);
+}
+
+fn structure_sweep() {
+    let mut rows = Vec::new();
+    for (bloom_kb, cache_kb) in [(8u32, 16u32), (16, 16), (32, 16), (16, 8), (16, 32)] {
+        let harness = Harness::new(1000);
+        let mut perfs = Vec::new();
+        for workload in harness.workloads() {
+            let base = harness.run(Scheme::Baseline, &workload);
+            let cfg = harness.aqua_config();
+            let cfg = aqua::AquaConfig {
+                table_mode: TableMode::Mapped {
+                    bloom_bits: bloom_kb as usize * 1024 * 8,
+                    cache_entries: cache_kb as usize * 1024 / 4, // 4 B/entry
+                },
+                ..cfg
+            };
+            let engine = aqua::AquaEngine::new(cfg).expect("valid config");
+            let sim_cfg = aqua_sim::SimConfig::new(harness.base)
+                .epochs(harness.epochs)
+                .t_rh(harness.t_rh);
+            let mut report = Simulation::new(sim_cfg, engine, harness.generators(&workload)).run();
+            report.workload = workload.clone();
+            perfs.push(report.normalized_perf(&base));
+        }
+        rows.push(vec![
+            format!("bloom {bloom_kb} KB / cache {cache_kb} KB"),
+            f2(gmean(perfs)),
+        ]);
+        eprintln!("bloom {bloom_kb} KB cache {cache_kb} KB done");
+    }
+    print_table(
+        "Section V-F: structure-size sensitivity (paper: 2.3% / 2.1% / 2.0% loss for 8/16/32 KB bloom)",
+        &["configuration", "normalized perf"],
+        &rows,
+    );
+    write_csv("fig11_structures", &["config", "perf"], &rows);
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--structures") {
+        structure_sweep();
+    } else {
+        threshold_sweep();
+    }
+}

@@ -1,0 +1,84 @@
+//! General-purpose simulation CLI.
+//!
+//! ```text
+//! simulate [--scheme NAME] [--workload NAME] [--trh N] [--epochs N]
+//! ```
+//!
+//! - `--scheme`: baseline | aqua-sram | aqua-mapped | rrs | victim-refresh |
+//!   blockhammer (default aqua-sram)
+//! - `--workload`: any Table II name or `mixNN` (default mcf)
+//! - `--trh`: Rowhammer threshold (default 1000)
+//! - `--epochs`: 64 ms epochs to simulate (default 2)
+//!
+//! Prints the full run report, including the security-oracle verdict and the
+//! shadow-memory integrity check.
+
+use aqua_bench::{Harness, Scheme};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let scheme = match arg("--scheme").as_deref().unwrap_or("aqua-sram") {
+        "baseline" => Scheme::Baseline,
+        "aqua-sram" => Scheme::AquaSram,
+        "aqua-mapped" => Scheme::AquaMapped,
+        "rrs" => Scheme::Rrs,
+        "victim-refresh" => Scheme::VictimRefresh,
+        "blockhammer" => Scheme::Blockhammer,
+        other => {
+            eprintln!("unknown scheme {other}");
+            std::process::exit(2);
+        }
+    };
+    let workload = arg("--workload").unwrap_or_else(|| "mcf".into());
+    let t_rh: u64 = arg("--trh").and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let mut harness = Harness::new(t_rh);
+    if let Some(e) = arg("--epochs").and_then(|v| v.parse().ok()) {
+        harness.epochs = e;
+    }
+
+    println!(
+        "running {} on {workload} at T_RH={t_rh} for {} epochs...",
+        scheme.name(),
+        harness.epochs
+    );
+    let baseline = harness.run(Scheme::Baseline, &workload);
+    let report = if scheme == Scheme::Baseline {
+        baseline.clone()
+    } else {
+        harness.run(scheme, &workload)
+    };
+
+    println!("\nworkload             : {}", report.workload);
+    println!("scheme               : {}", report.scheme);
+    println!("requests completed   : {}", report.requests_done);
+    println!(
+        "normalized perf      : {:.4}",
+        report.normalized_perf(&baseline)
+    );
+    println!(
+        "row migrations/epoch : {:.1}",
+        report.migrations_per_epoch()
+    );
+    println!(
+        "victim refreshes     : {}",
+        report.mitigation.victim_refreshes
+    );
+    println!("throttled requests   : {}", report.mitigation.throttled);
+    println!("channel busy (data)  : {}", report.data_busy);
+    println!("channel busy (migr.) : {}", report.migration_busy);
+    println!("channel busy (table) : {}", report.table_busy);
+    println!(
+        "max row acts (window): {}",
+        report.oracle.max_window_activations
+    );
+    println!("rows over T_RH       : {}", report.oracle.rows_over_trh);
+    println!("rows flippable       : {}", report.oracle.rows_flippable);
+    println!("scheme violations    : {}", report.mitigation.violations);
+    println!("integrity violations : {}", report.integrity_violations);
+}

@@ -1,0 +1,240 @@
+//! Shared experiment harness for the figure/table reproduction binaries.
+//!
+//! Every `src/bin/*` binary regenerates one table or figure of the paper:
+//! it runs the required simulations (or analytical models), prints a
+//! paper-vs-measured comparison to stdout, and writes a CSV into
+//! `target/experiments/`.
+//!
+//! Environment knobs (all optional):
+//!
+//! - `AQUA_BENCH_EPOCHS`: simulated 64 ms epochs per run (default 2).
+//! - `AQUA_BENCH_WORKLOADS`: comma-separated subset of workload names
+//!   (default: all 18 SPEC + 16 mixes).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod output;
+
+use aqua::{AquaConfig, AquaEngine};
+use aqua_baselines::{Blockhammer, BlockhammerConfig, VictimRefresh, VictimRefreshConfig};
+use aqua_dram::mitigation::{Mitigation, NoMitigation};
+use aqua_dram::BaselineConfig;
+use aqua_rrs::{RrsConfig, RrsEngine};
+use aqua_sim::{RunReport, SimConfig, Simulation};
+use aqua_workload::{mix_table, spec, AddressSpace, RequestGenerator};
+
+/// The mitigation schemes the harness can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// No mitigation (the normalization baseline).
+    Baseline,
+    /// AQUA with SRAM tables (section IV).
+    AquaSram,
+    /// AQUA with memory-mapped tables (section V).
+    AquaMapped,
+    /// Randomized Row-Swap.
+    Rrs,
+    /// Classic distance-1 victim refresh.
+    VictimRefresh,
+    /// Blockhammer-style throttling.
+    Blockhammer,
+}
+
+impl Scheme {
+    /// Scheme name as used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::AquaSram => "aqua-sram",
+            Scheme::AquaMapped => "aqua-mapped",
+            Scheme::Rrs => "rrs",
+            Scheme::VictimRefresh => "victim-refresh",
+            Scheme::Blockhammer => "blockhammer",
+        }
+    }
+}
+
+/// Experiment harness configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Harness {
+    /// Baseline system (Table I).
+    pub base: BaselineConfig,
+    /// Rowhammer threshold under study.
+    pub t_rh: u64,
+    /// Simulated epochs per run.
+    pub epochs: u64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Harness {
+    /// Creates the default harness at `t_rh`, honouring `AQUA_BENCH_EPOCHS`.
+    pub fn new(t_rh: u64) -> Self {
+        let epochs = std::env::var("AQUA_BENCH_EPOCHS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2);
+        Harness {
+            base: BaselineConfig::paper_table1(),
+            t_rh,
+            epochs,
+            seed: 42,
+        }
+    }
+
+    /// The OS-visible address space (97% of rows; AQUA reserves ~1.2%).
+    pub fn space(&self) -> AddressSpace {
+        AddressSpace::new(self.base.geometry, 0.97)
+    }
+
+    /// All 34 workload names (18 SPEC + 16 mixes), honouring
+    /// `AQUA_BENCH_WORKLOADS`.
+    pub fn workloads(&self) -> Vec<String> {
+        if let Ok(list) = std::env::var("AQUA_BENCH_WORKLOADS") {
+            return list.split(',').map(|s| s.trim().to_string()).collect();
+        }
+        spec::TABLE2
+            .iter()
+            .map(|w| w.name.to_string())
+            .chain(mix_table().iter().map(|m| m.name.clone()))
+            .collect()
+    }
+
+    /// Builds the four per-core generators for a workload name (a SPEC name
+    /// or `mixNN`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown workload name.
+    pub fn generators(&self, workload: &str) -> Vec<Box<dyn RequestGenerator>> {
+        let space = self.space();
+        if let Some(w) = spec::by_name(workload) {
+            return (0..self.base.cores)
+                .map(|c| {
+                    Box::new(w.generator(&space, c, self.base.cores, self.seed))
+                        as Box<dyn RequestGenerator>
+                })
+                .collect();
+        }
+        if let Some(m) = mix_table().iter().find(|m| m.name == workload) {
+            return (0..self.base.cores)
+                .map(|c| Box::new(m.generator(&space, c, self.seed)) as Box<dyn RequestGenerator>)
+                .collect();
+        }
+        panic!("unknown workload {workload}");
+    }
+
+    fn sim_config(&self) -> SimConfig {
+        SimConfig::new(self.base)
+            .epochs(self.epochs)
+            .t_rh(self.t_rh)
+    }
+
+    /// AQUA configuration at this harness's threshold.
+    pub fn aqua_config(&self) -> AquaConfig {
+        AquaConfig::for_rowhammer_threshold(self.t_rh, &self.base)
+    }
+
+    fn run_with<M: Mitigation>(&self, mitigation: M, workload: &str) -> RunReport {
+        let mut report =
+            Simulation::new(self.sim_config(), mitigation, self.generators(workload)).run();
+        report.workload = workload.to_string();
+        report
+    }
+
+    /// Runs one `(scheme, workload)` pair and returns its report.
+    pub fn run(&self, scheme: Scheme, workload: &str) -> RunReport {
+        match scheme {
+            Scheme::Baseline => self.run_with(NoMitigation::new(self.base.geometry), workload),
+            Scheme::AquaSram => {
+                let engine = AquaEngine::new(self.aqua_config()).expect("valid AQUA config");
+                self.run_with(engine, workload)
+            }
+            Scheme::AquaMapped => {
+                let engine = AquaEngine::new(self.aqua_config().with_mapped_tables())
+                    .expect("valid AQUA config");
+                self.run_with(engine, workload)
+            }
+            Scheme::Rrs => {
+                let cfg = RrsConfig::for_rowhammer_threshold(self.t_rh, &self.base);
+                self.run_with(RrsEngine::new(cfg), workload)
+            }
+            Scheme::VictimRefresh => {
+                let cfg = VictimRefreshConfig::for_rowhammer_threshold(self.t_rh);
+                self.run_with(VictimRefresh::new(cfg, self.base.geometry), workload)
+            }
+            Scheme::Blockhammer => {
+                let cfg = BlockhammerConfig::for_rowhammer_threshold(self.t_rh);
+                self.run_with(Blockhammer::new(cfg, self.base.geometry), workload)
+            }
+        }
+    }
+
+    /// Runs an AQUA-mapped simulation and returns both the report and the
+    /// engine-specific statistics (Figure 10's lookup breakdown).
+    pub fn run_aqua_mapped_detailed(&self, workload: &str) -> (RunReport, aqua::LookupBreakdown) {
+        let engine =
+            AquaEngine::new(self.aqua_config().with_mapped_tables()).expect("valid AQUA config");
+        let mut sim = Simulation::new(self.sim_config(), engine, self.generators(workload));
+        let mut report = sim.run();
+        report.workload = workload.to_string();
+        let breakdown = sim
+            .mitigation()
+            .lookup_breakdown()
+            .expect("mapped engine reports a breakdown");
+        (report, breakdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_harness() -> Harness {
+        Harness {
+            base: BaselineConfig::paper_table1(),
+            t_rh: 1000,
+            epochs: 1,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn workload_list_has_34_entries() {
+        let h = tiny_harness();
+        // (Unless the env var narrows it; tests run with a clean env.)
+        if std::env::var("AQUA_BENCH_WORKLOADS").is_err() {
+            assert_eq!(h.workloads().len(), 34);
+        }
+    }
+
+    #[test]
+    fn generators_exist_for_spec_and_mixes() {
+        let h = tiny_harness();
+        assert_eq!(h.generators("povray").len(), 4);
+        assert_eq!(h.generators("mix00").len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        tiny_harness().generators("nope");
+    }
+
+    #[test]
+    fn scheme_names_are_distinct() {
+        let names: std::collections::HashSet<&str> = [
+            Scheme::Baseline,
+            Scheme::AquaSram,
+            Scheme::AquaMapped,
+            Scheme::Rrs,
+            Scheme::VictimRefresh,
+            Scheme::Blockhammer,
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,251 @@
+//! Per-bank row-buffer state machine.
+
+use crate::stats::CommandStats;
+use crate::{DdrTiming, Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// Row-buffer management policy.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PagePolicy {
+    /// Keep the row open after an access (the paper's baseline): subsequent
+    /// accesses to the same row are fast row-buffer hits.
+    #[default]
+    Open,
+    /// Precharge immediately after every access: every access activates.
+    /// Raises activation counts — and therefore Rowhammer pressure — at the
+    /// cost of losing row-buffer hits.
+    Closed,
+}
+
+/// Outcome of one bank access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Whether the access caused a row activation (row-buffer miss or empty).
+    pub activated: bool,
+    /// When the requested data burst completes.
+    pub data_ready: Time,
+    /// Total service latency from the request time.
+    pub latency: Duration,
+}
+
+/// One DRAM bank with an open-page row-buffer policy.
+///
+/// The bank tracks the currently open row and the earliest time the next
+/// activation may issue (`tRC` window). Accesses to the open row are
+/// row-buffer hits; anything else precharges and activates, which is what the
+/// Rowhammer trackers count.
+///
+/// # Example
+///
+/// ```
+/// use aqua_dram::{Bank, DdrTiming, Time};
+///
+/// let mut bank = Bank::new(DdrTiming::ddr4_2400());
+/// let r = bank.access(42, Time::ZERO);
+/// assert!(r.activated);
+/// assert_eq!(bank.open_row(), Some(42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bank {
+    timing: DdrTiming,
+    policy: PagePolicy,
+    open_row: Option<u32>,
+    /// Earliest time the next ACT may issue (enforces tRC).
+    next_act_at: Time,
+    /// Earliest time the bank is usable at all (refresh blocking).
+    blocked_until: Time,
+    stats: CommandStats,
+}
+
+impl Bank {
+    /// Creates an idle bank (all rows closed) with the open-page policy.
+    pub fn new(timing: DdrTiming) -> Self {
+        Self::with_policy(timing, PagePolicy::Open)
+    }
+
+    /// Creates an idle bank with an explicit row-buffer policy.
+    pub fn with_policy(timing: DdrTiming, policy: PagePolicy) -> Self {
+        Bank {
+            timing,
+            policy,
+            open_row: None,
+            next_act_at: Time::ZERO,
+            blocked_until: Time::ZERO,
+            stats: CommandStats::default(),
+        }
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// Command counts issued by this bank so far.
+    pub fn stats(&self) -> &CommandStats {
+        &self.stats
+    }
+
+    /// Blocks the bank until `until` (used by the refresh scheduler).
+    ///
+    /// A refresh closes the row buffer.
+    pub fn block_until(&mut self, until: Time) {
+        self.blocked_until = self.blocked_until.max(until);
+        self.next_act_at = self.next_act_at.max(until);
+        self.open_row = None;
+        self.stats.refreshes += 1;
+    }
+
+    /// Services one access to `row` arriving at `now`; returns when data is
+    /// ready and whether an activation occurred.
+    pub fn access(&mut self, row: u32, now: Time) -> AccessResult {
+        let start = now.max(self.blocked_until);
+        if self.open_row == Some(row) {
+            let ready = start + self.timing.hit_latency();
+            self.stats.reads += 1;
+            return AccessResult {
+                activated: false,
+                data_ready: ready,
+                latency: ready.saturating_since(now),
+            };
+        }
+        // Row-buffer miss (or empty): precharge if needed, then activate.
+        let mut t = start;
+        if self.open_row.is_some() {
+            t += self.timing.t_rp;
+            self.stats.precharges += 1;
+        }
+        // Honour the tRC window between consecutive activations.
+        t = t.max(self.next_act_at);
+        self.next_act_at = t + self.timing.t_rc;
+        self.open_row = match self.policy {
+            PagePolicy::Open => Some(row),
+            PagePolicy::Closed => None, // auto-precharge after the access
+        };
+        self.stats.activations += 1;
+        self.stats.reads += 1;
+        let ready = t + self.timing.t_rcd + self.timing.t_cl + self.timing.t_ccd_s;
+        AccessResult {
+            activated: true,
+            data_ready: ready,
+            latency: ready.saturating_since(now),
+        }
+    }
+
+    /// Performs a whole-row streaming transfer (for row migration): activates
+    /// `row` and streams every line. Returns the transfer completion time.
+    ///
+    /// Section IV-D: ~685 ns per direction for an 8 KB row.
+    pub fn stream_row(&mut self, row: u32, now: Time, lines: u32) -> Time {
+        let start = now.max(self.blocked_until).max(self.next_act_at);
+        self.next_act_at = start + self.timing.t_rc;
+        self.open_row = Some(row);
+        self.stats.activations += 1;
+        self.stats.streamed_rows += 1;
+        start + self.timing.t_rc + self.timing.t_ccd_l * lines as u64
+    }
+
+    /// Explicitly refresh-activates `row` (victim refresh). Counts as an
+    /// activation for disturbance purposes, which is exactly the mechanism the
+    /// Half-Double attack exploits.
+    pub fn refresh_row(&mut self, _row: u32, now: Time) -> Time {
+        let start = now.max(self.blocked_until).max(self.next_act_at);
+        self.next_act_at = start + self.timing.t_rc;
+        self.open_row = None; // refresh closes the bank
+        self.stats.victim_refreshes += 1;
+        start + self.timing.t_rc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bank() -> Bank {
+        Bank::new(DdrTiming::ddr4_2400())
+    }
+
+    #[test]
+    fn first_access_activates() {
+        let mut b = bank();
+        let r = b.access(1, Time::ZERO);
+        assert!(r.activated);
+        assert_eq!(b.stats().activations, 1);
+    }
+
+    #[test]
+    fn same_row_hits() {
+        let mut b = bank();
+        let r1 = b.access(1, Time::ZERO);
+        let r2 = b.access(1, r1.data_ready);
+        assert!(!r2.activated);
+        assert_eq!(r2.latency, DdrTiming::ddr4_2400().hit_latency());
+        assert_eq!(b.stats().activations, 1);
+        assert_eq!(b.stats().reads, 2);
+    }
+
+    #[test]
+    fn conflict_precharges_and_activates() {
+        let mut b = bank();
+        let r1 = b.access(1, Time::ZERO);
+        let r2 = b.access(2, r1.data_ready);
+        assert!(r2.activated);
+        assert_eq!(b.stats().precharges, 1);
+        assert_eq!(b.stats().activations, 2);
+    }
+
+    #[test]
+    fn trc_limits_activation_rate() {
+        let mut b = bank();
+        // Ping-pong between two rows as fast as possible.
+        let mut now = Time::ZERO;
+        for i in 0..10u32 {
+            let r = b.access(i % 2, now);
+            now = r.data_ready;
+        }
+        // 10 activations need at least 9 * tRC of elapsed time.
+        assert!(now >= Time::ZERO + Duration::from_ns(45) * 9);
+        assert_eq!(b.stats().activations, 10);
+    }
+
+    #[test]
+    fn refresh_blocks_and_closes() {
+        let mut b = bank();
+        b.access(1, Time::ZERO);
+        b.block_until(Time::from_ns(1000));
+        assert_eq!(b.open_row(), None);
+        let r = b.access(1, Time::from_ns(500));
+        assert!(r.activated);
+        assert!(r.data_ready > Time::from_ns(1000));
+    }
+
+    #[test]
+    fn stream_row_takes_transfer_time() {
+        let mut b = bank();
+        let done = b.stream_row(3, Time::ZERO, 128);
+        // 45 ns ACT window + 128 * 5 ns streaming = 685 ns.
+        assert_eq!(done, Time::from_ns(685));
+        assert_eq!(b.stats().streamed_rows, 1);
+    }
+
+    #[test]
+    fn closed_page_activates_every_access() {
+        let mut b = Bank::with_policy(DdrTiming::ddr4_2400(), PagePolicy::Closed);
+        let mut now = Time::ZERO;
+        for _ in 0..5 {
+            let r = b.access(1, now);
+            assert!(r.activated, "closed page never hits");
+            now = r.data_ready;
+        }
+        assert_eq!(b.stats().activations, 5);
+        assert_eq!(b.open_row(), None);
+    }
+
+    #[test]
+    fn refresh_row_counts_as_victim_refresh() {
+        let mut b = bank();
+        let done = b.refresh_row(9, Time::ZERO);
+        assert_eq!(done, Time::from_ns(45));
+        assert_eq!(b.stats().victim_refreshes, 1);
+        assert_eq!(b.open_row(), None);
+    }
+}

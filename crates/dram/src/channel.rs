@@ -1,0 +1,163 @@
+//! Shared-channel accounting.
+//!
+//! Two distinct resources are modelled:
+//!
+//! - the **data bus**: every 64-byte burst occupies it for one slot
+//!   (`tCCD_S` = 3.3 ns at DDR4-2400); bursts from different banks pipeline
+//!   behind each other but do not block bank-internal work;
+//! - **exclusive blocking**: a row migration streams a whole row through the
+//!   controller's copy-buffer and makes the channel unavailable for anything
+//!   else until it completes (paper section IV-G) — this is the dominant
+//!   slowdown source for both AQUA and RRS.
+
+use crate::{Duration, Time};
+use serde::{Deserialize, Serialize};
+
+/// Cumulative channel-occupancy accounting.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelStats {
+    /// Bus time from ordinary data bursts.
+    pub data_busy: Duration,
+    /// Exclusive-blocking time from row migrations.
+    pub migration_busy: Duration,
+    /// Bus time from extra table accesses (memory-mapped FPT/RPT).
+    pub table_busy: Duration,
+    /// Number of exclusive migration reservations.
+    pub migrations: u64,
+}
+
+/// The shared command/data channel of one memory channel.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// End of the current exclusive (migration) reservation.
+    blocked_until: Time,
+    /// When the data bus frees up.
+    bus_free_at: Time,
+    stats: ChannelStats,
+}
+
+impl Channel {
+    /// Creates an idle channel.
+    pub fn new() -> Self {
+        Channel {
+            blocked_until: Time::ZERO,
+            bus_free_at: Time::ZERO,
+            stats: ChannelStats::default(),
+        }
+    }
+
+    /// Earliest time a new bank access may start (end of any exclusive
+    /// migration in progress). Ordinary bursts do **not** move this.
+    pub fn blocked_until(&self) -> Time {
+        self.blocked_until
+    }
+
+    /// When the data bus next frees up.
+    pub fn bus_free_at(&self) -> Time {
+        self.bus_free_at
+    }
+
+    /// Occupancy statistics so far.
+    pub fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    /// Schedules one data burst whose data is ready at `ready`; returns the
+    /// burst's start time (bursts pipeline behind each other on the bus).
+    pub fn reserve_burst(&mut self, ready: Time, burst: Duration) -> Time {
+        let start = ready.max(self.bus_free_at).max(self.blocked_until);
+        self.bus_free_at = start + burst;
+        self.stats.data_busy += burst;
+        start
+    }
+
+    /// Reserves the channel exclusively for a row migration of length `dur`
+    /// starting at or after `now`; returns the migration start time.
+    pub fn reserve_migration(&mut self, now: Time, dur: Duration) -> Time {
+        let start = now.max(self.bus_free_at).max(self.blocked_until);
+        self.blocked_until = start + dur;
+        self.bus_free_at = start + dur;
+        self.stats.migration_busy += dur;
+        self.stats.migrations += 1;
+        start
+    }
+
+    /// Schedules a bus slot for an extra in-DRAM table access (memory-mapped
+    /// FPT / RPT reads and writes); returns the slot start.
+    pub fn reserve_table_access(&mut self, ready: Time, dur: Duration) -> Time {
+        let start = ready.max(self.bus_free_at).max(self.blocked_until);
+        self.bus_free_at = start + dur;
+        self.stats.table_busy += dur;
+        start
+    }
+}
+
+impl Default for Channel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursts_pipeline_on_the_bus() {
+        let mut ch = Channel::new();
+        let burst = Duration::from_ns_tenths(33);
+        let s1 = ch.reserve_burst(Time::ZERO, burst);
+        let s2 = ch.reserve_burst(Time::ZERO, burst);
+        assert_eq!(s1, Time::ZERO);
+        assert_eq!(s2, Time::ZERO + burst);
+        assert_eq!(ch.stats().data_busy, burst * 2);
+        // Bursts never block bank-access starts.
+        assert_eq!(ch.blocked_until(), Time::ZERO);
+    }
+
+    #[test]
+    fn migration_blocks_subsequent_traffic() {
+        let mut ch = Channel::new();
+        let mig = Duration::from_ns(1370);
+        ch.reserve_migration(Time::ZERO, mig);
+        assert_eq!(ch.blocked_until(), Time::ZERO + mig);
+        let s = ch.reserve_burst(Time::ZERO, Duration::from_ns(5));
+        assert_eq!(s, Time::ZERO + mig);
+        assert_eq!(ch.stats().migrations, 1);
+        assert_eq!(ch.stats().migration_busy, mig);
+    }
+
+    #[test]
+    fn migration_waits_for_bus_drain() {
+        let mut ch = Channel::new();
+        ch.reserve_burst(Time::ZERO, Duration::from_ns(5));
+        let start = ch.reserve_migration(Time::ZERO, Duration::from_ns(1370));
+        assert_eq!(start, Time::from_ns(5));
+    }
+
+    #[test]
+    fn idle_gap_is_not_counted_busy() {
+        let mut ch = Channel::new();
+        ch.reserve_burst(Time::from_us(100), Duration::from_ns(5));
+        assert_eq!(ch.stats().data_busy, Duration::from_ns(5));
+        assert_eq!(ch.bus_free_at(), Time::from_us(100) + Duration::from_ns(5));
+    }
+
+    #[test]
+    fn table_access_is_tracked_separately() {
+        let mut ch = Channel::new();
+        ch.reserve_table_access(Time::ZERO, Duration::from_ns(50));
+        assert_eq!(ch.stats().table_busy, Duration::from_ns(50));
+        assert_eq!(ch.stats().data_busy, Duration::ZERO);
+    }
+
+    #[test]
+    fn back_to_back_migrations_serialize() {
+        let mut ch = Channel::new();
+        let mig = Duration::from_ns(1370);
+        let s1 = ch.reserve_migration(Time::ZERO, mig);
+        let s2 = ch.reserve_migration(Time::ZERO, mig);
+        assert_eq!(s1, Time::ZERO);
+        assert_eq!(s2, Time::ZERO + mig);
+    }
+}

@@ -1,0 +1,182 @@
+//! DRAM module geometry: channels, ranks, banks, rows.
+
+use crate::error::AddressError;
+use crate::{BankId, GlobalRowId, RowAddr};
+use serde::{Deserialize, Serialize};
+
+/// Logical organization of one DRAM channel.
+///
+/// The paper's baseline (Table I) is a single-channel, single-rank, 16-bank
+/// 16 GB module with 128K rows per bank and 8 KB rows; see
+/// [`DramGeometry::paper_table1`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Number of ranks on the channel.
+    pub ranks: u32,
+    /// Number of banks per rank.
+    pub banks_per_rank: u32,
+    /// Number of rows in each bank.
+    pub rows_per_bank: u32,
+    /// Bytes per DRAM row (the unit moved by one row migration).
+    pub row_bytes: u32,
+    /// Bytes per cache-line data burst.
+    pub line_bytes: u32,
+}
+
+impl DramGeometry {
+    /// Geometry of the paper's Table I baseline: 1 rank x 16 banks x 128K rows
+    /// of 8 KB each (16 GB total).
+    pub const fn paper_table1() -> Self {
+        DramGeometry {
+            ranks: 1,
+            banks_per_rank: 16,
+            rows_per_bank: 128 * 1024,
+            row_bytes: 8 * 1024,
+            line_bytes: 64,
+        }
+    }
+
+    /// A small geometry for fast unit tests: 1 rank x 4 banks x 1024 rows.
+    pub const fn tiny() -> Self {
+        DramGeometry {
+            ranks: 1,
+            banks_per_rank: 4,
+            rows_per_bank: 1024,
+            row_bytes: 8 * 1024,
+            line_bytes: 64,
+        }
+    }
+
+    /// Total banks across all ranks.
+    pub const fn total_banks(&self) -> u32 {
+        self.ranks * self.banks_per_rank
+    }
+
+    /// Total rows across the module.
+    pub const fn total_rows(&self) -> u64 {
+        self.total_banks() as u64 * self.rows_per_bank as u64
+    }
+
+    /// Total capacity in bytes.
+    pub const fn capacity_bytes(&self) -> u64 {
+        self.total_rows() * self.row_bytes as u64
+    }
+
+    /// Cache lines per row (burst transfers needed to stream one row).
+    pub const fn lines_per_row(&self) -> u32 {
+        self.row_bytes / self.line_bytes
+    }
+
+    /// Flattens a `(bank, row)` address into a module-wide row id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressError`] if the bank or row index exceeds the geometry.
+    pub fn flatten(&self, addr: RowAddr) -> Result<GlobalRowId, AddressError> {
+        if addr.bank.index() >= self.total_banks() {
+            return Err(AddressError::BankOutOfRange {
+                bank: addr.bank.index(),
+                banks: self.total_banks(),
+            });
+        }
+        if addr.row >= self.rows_per_bank {
+            return Err(AddressError::RowOutOfRange {
+                row: addr.row,
+                rows: self.rows_per_bank,
+            });
+        }
+        Ok(GlobalRowId::new(
+            addr.bank.index() as u64 * self.rows_per_bank as u64 + addr.row as u64,
+        ))
+    }
+
+    /// Expands a module-wide row id into a `(bank, row)` address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressError`] if the id exceeds the module's row count.
+    pub fn expand(&self, id: GlobalRowId) -> Result<RowAddr, AddressError> {
+        if id.index() >= self.total_rows() {
+            return Err(AddressError::GlobalRowOutOfRange {
+                id: id.index(),
+                rows: self.total_rows(),
+            });
+        }
+        Ok(RowAddr {
+            bank: BankId::new((id.index() / self.rows_per_bank as u64) as u32),
+            row: (id.index() % self.rows_per_bank as u64) as u32,
+        })
+    }
+
+    /// Iterates over all bank ids in the module.
+    pub fn banks(&self) -> impl Iterator<Item = BankId> {
+        (0..self.total_banks()).map(BankId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_geometry_is_16gb() {
+        let g = DramGeometry::paper_table1();
+        assert_eq!(g.total_banks(), 16);
+        assert_eq!(g.total_rows(), 2 * 1024 * 1024);
+        assert_eq!(g.capacity_bytes(), 16 * 1024 * 1024 * 1024);
+        assert_eq!(g.lines_per_row(), 128);
+    }
+
+    #[test]
+    fn flatten_expand_roundtrip() {
+        let g = DramGeometry::paper_table1();
+        let addr = RowAddr {
+            bank: BankId::new(7),
+            row: 12345,
+        };
+        let id = g.flatten(addr).unwrap();
+        assert_eq!(g.expand(id).unwrap(), addr);
+    }
+
+    #[test]
+    fn flatten_rejects_out_of_range() {
+        let g = DramGeometry::tiny();
+        assert!(g
+            .flatten(RowAddr {
+                bank: BankId::new(4),
+                row: 0
+            })
+            .is_err());
+        assert!(g
+            .flatten(RowAddr {
+                bank: BankId::new(0),
+                row: 1024
+            })
+            .is_err());
+        assert!(g.expand(GlobalRowId::new(4 * 1024)).is_err());
+    }
+
+    #[test]
+    fn flatten_is_bank_major() {
+        let g = DramGeometry::tiny();
+        let id0 = g
+            .flatten(RowAddr {
+                bank: BankId::new(0),
+                row: 1023,
+            })
+            .unwrap();
+        let id1 = g
+            .flatten(RowAddr {
+                bank: BankId::new(1),
+                row: 0,
+            })
+            .unwrap();
+        assert_eq!(id0.index() + 1, id1.index());
+    }
+
+    #[test]
+    fn banks_iterator_counts() {
+        let g = DramGeometry::tiny();
+        assert_eq!(g.banks().count(), 4);
+    }
+}

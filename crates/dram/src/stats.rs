@@ -1,0 +1,64 @@
+//! Command-count statistics used by the power model and experiment reports.
+
+use serde::{Deserialize, Serialize};
+use std::ops::AddAssign;
+
+/// Counts of DRAM commands issued, per bank or aggregated module-wide.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandStats {
+    /// Row activations (ACT commands).
+    pub activations: u64,
+    /// Column reads (includes writes for this model's purposes).
+    pub reads: u64,
+    /// Precharge commands.
+    pub precharges: u64,
+    /// Periodic refresh commands applied to this bank.
+    pub refreshes: u64,
+    /// Mitigative victim-refresh row activations.
+    pub victim_refreshes: u64,
+    /// Whole-row streaming transfers (row-migration halves).
+    pub streamed_rows: u64,
+}
+
+impl AddAssign for CommandStats {
+    fn add_assign(&mut self, rhs: CommandStats) {
+        self.activations += rhs.activations;
+        self.reads += rhs.reads;
+        self.precharges += rhs.precharges;
+        self.refreshes += rhs.refreshes;
+        self.victim_refreshes += rhs.victim_refreshes;
+        self.streamed_rows += rhs.streamed_rows;
+    }
+}
+
+impl CommandStats {
+    /// Sums a collection of per-bank stats into a module-wide total.
+    pub fn aggregate<'a, I: IntoIterator<Item = &'a CommandStats>>(iter: I) -> CommandStats {
+        let mut total = CommandStats::default();
+        for s in iter {
+            total += *s;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregation_sums_fields() {
+        let a = CommandStats {
+            activations: 1,
+            reads: 2,
+            precharges: 3,
+            refreshes: 4,
+            victim_refreshes: 5,
+            streamed_rows: 6,
+        };
+        let total = CommandStats::aggregate([&a, &a]);
+        assert_eq!(total.activations, 2);
+        assert_eq!(total.reads, 4);
+        assert_eq!(total.streamed_rows, 12);
+    }
+}

@@ -1,0 +1,308 @@
+//! Integer time types with picosecond resolution.
+//!
+//! DDR4 timing parameters include fractional nanoseconds (`tRCD` = 14.2 ns in
+//! the paper's Table I), so the crate represents all times as integer
+//! picoseconds. A `u64` picosecond counter wraps after ~213 days of simulated
+//! time, far beyond any simulation in this repository.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An absolute simulation timestamp, in picoseconds since simulation start.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Time(u64);
+
+/// A span of simulated time, in picoseconds.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Duration(u64);
+
+impl Time {
+    /// The simulation epoch origin (t = 0).
+    pub const ZERO: Time = Time(0);
+
+    /// Creates a timestamp from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Time(ps)
+    }
+
+    /// Creates a timestamp from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Time(ns * 1_000)
+    }
+
+    /// Creates a timestamp from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Time(us * 1_000_000)
+    }
+
+    /// Creates a timestamp from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Time(ms * 1_000_000_000)
+    }
+
+    /// Raw picosecond value.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (truncated) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Value in fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Returns the later of two timestamps.
+    pub fn max(self, other: Time) -> Time {
+        Time(self.0.max(other.0))
+    }
+
+    /// Returns the earlier of two timestamps.
+    pub fn min(self, other: Time) -> Time {
+        Time(self.0.min(other.0))
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Creates a duration from raw picoseconds.
+    pub const fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Duration(ns * 1_000)
+    }
+
+    /// Creates a duration from tenths of a nanosecond (100 ps units).
+    ///
+    /// DDR4 datasheets quote parameters such as `tRCD` = 14.2 ns; this
+    /// constructor keeps them exact: `Duration::from_ns_tenths(142)`.
+    pub const fn from_ns_tenths(tenths: u64) -> Self {
+        Duration(tenths * 100)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Duration(us * 1_000_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Duration(ms * 1_000_000_000)
+    }
+
+    /// Raw picosecond value.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Value in (truncated) nanoseconds.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Value in fractional nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Value in fractional microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in fractional milliseconds.
+    pub fn as_ms_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// How many whole times `other` fits into `self`.
+    pub const fn div_duration(self, other: Duration) -> u64 {
+        self.0 / other.0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies by an integer factor, checking for overflow.
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow (which would indicate a mis-scaled simulation).
+    pub fn checked_scale(self, factor: u64) -> Duration {
+        Duration(
+            self.0
+                .checked_mul(factor)
+                .expect("duration arithmetic overflow"),
+        )
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        Duration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3} us", self.0 as f64 / 1e6)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} ms", self.as_ms_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.as_us_f64())
+        } else {
+            write!(f, "{:.3} ns", self.as_ns_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Time::from_ns(1).as_ps(), 1_000);
+        assert_eq!(Time::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(Time::from_ms(64).as_ps(), 64_000_000_000);
+        assert_eq!(Duration::from_ns_tenths(142).as_ps(), 14_200);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = Time::from_ns(100) + Duration::from_ns(50);
+        assert_eq!(t.as_ns(), 150);
+        assert_eq!((t - Time::from_ns(100)).as_ns(), 50);
+        assert_eq!(t.max(Time::from_ns(200)).as_ns(), 200);
+        assert_eq!(t.min(Time::from_ns(200)).as_ns(), 150);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = Duration::from_ns(45) * 500;
+        assert_eq!(d.as_us_f64(), 22.5);
+        assert_eq!(d / 500, Duration::from_ns(45));
+        assert_eq!(
+            Duration::from_ms(64).div_duration(Duration::from_ns(45)),
+            1_422_222
+        );
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let early = Time::from_ns(5);
+        let late = Time::from_ns(10);
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(late.saturating_since(early), Duration::from_ns(5));
+        assert_eq!(
+            Duration::from_ns(3).saturating_sub(Duration::from_ns(9)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn display_units_scale() {
+        assert_eq!(format!("{}", Duration::from_ns(5)), "5.000 ns");
+        assert_eq!(format!("{}", Duration::from_us(5)), "5.000 us");
+        assert_eq!(format!("{}", Duration::from_ms(5)), "5.000 ms");
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Duration = (0..4).map(|_| Duration::from_ns(10)).sum();
+        assert_eq!(total, Duration::from_ns(40));
+    }
+}

@@ -1,0 +1,161 @@
+//! DDR4 timing parameters and derived quantities.
+
+use crate::{DramGeometry, Duration};
+use serde::{Deserialize, Serialize};
+
+/// JEDEC DDR4 timing parameters relevant to Rowhammer mitigation.
+///
+/// Defaults mirror the paper's Table I (DDR4-2400, Micron MT40A2G4):
+/// `tRC` = 45 ns, `tRCD` = `tCL` = `tRP` = 14.2 ns, `tCCD_S` = 3.3 ns,
+/// `tCCD_L` = 5 ns, `tREFI` = 7.8 us, `tRFC` = 350 ns, `tREFW` = 64 ms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DdrTiming {
+    /// Row cycle time: minimum ACT-to-ACT delay within a bank.
+    pub t_rc: Duration,
+    /// ACT-to-column-command delay.
+    pub t_rcd: Duration,
+    /// Column access (CAS) latency.
+    pub t_cl: Duration,
+    /// Precharge latency.
+    pub t_rp: Duration,
+    /// Short column-to-column delay (different bank group).
+    pub t_ccd_s: Duration,
+    /// Long column-to-column delay (same bank group); also the streaming
+    /// per-line transfer time used for row migrations (5 ns in the paper).
+    pub t_ccd_l: Duration,
+    /// Average refresh command interval.
+    pub t_refi: Duration,
+    /// Refresh cycle time (bank unavailable per refresh command).
+    pub t_rfc: Duration,
+    /// Refresh window: every row must be refreshed within this period.
+    pub t_refw: Duration,
+}
+
+impl DdrTiming {
+    /// The paper's Table I DDR4-2400 parameters.
+    pub const fn ddr4_2400() -> Self {
+        DdrTiming {
+            t_rc: Duration::from_ns(45),
+            t_rcd: Duration::from_ns_tenths(142),
+            t_cl: Duration::from_ns_tenths(142),
+            t_rp: Duration::from_ns_tenths(142),
+            t_ccd_s: Duration::from_ns_tenths(33),
+            t_ccd_l: Duration::from_ns(5),
+            t_refi: Duration::from_ns(7_800),
+            t_rfc: Duration::from_ns(350),
+            t_refw: Duration::from_ms(64),
+        }
+    }
+
+    /// Maximum activations to one bank within a refresh window (`ACTmax`).
+    ///
+    /// Section II-B: `ACTmax = tREFW * (1 - tRFC / tREFI) / tRC`, about 1360K
+    /// for the default parameters. This is the attacker's activation budget
+    /// per bank per 64 ms.
+    pub fn act_max(&self) -> u64 {
+        let usable_ps = self.t_refw.as_ps() as f64
+            * (1.0 - self.t_rfc.as_ps() as f64 / self.t_refi.as_ps() as f64);
+        (usable_ps / self.t_rc.as_ps() as f64) as u64
+    }
+
+    /// Time to stream one row between DRAM and the copy-buffer.
+    ///
+    /// Section IV-D: one activation (`tRC` = 45 ns ACT-to-ACT) followed by one
+    /// streaming line transfer per cache line (5 ns each): ~685 ns for an 8 KB
+    /// row of 128 lines.
+    pub fn row_transfer_time(&self, geometry: &DramGeometry) -> Duration {
+        self.t_rc + self.t_ccd_l * geometry.lines_per_row() as u64
+    }
+
+    /// Latency of one row migration (one row read + one row write): ~1.37 us.
+    ///
+    /// This is the channel-blocking cost of moving a row into the quarantine
+    /// area (AQUA) and half the cost of one RRS swap.
+    pub fn row_migration_latency(&self, geometry: &DramGeometry) -> Duration {
+        self.row_transfer_time(geometry) * 2
+    }
+
+    /// Latency of one row swap (two reads + two writes): ~2.74 us.
+    pub fn row_swap_latency(&self, geometry: &DramGeometry) -> Duration {
+        self.row_transfer_time(geometry) * 4
+    }
+
+    /// Time for `activations` back-to-back activations of one row (Eq. 1).
+    pub fn aggressor_time(&self, activations: u64) -> Duration {
+        self.t_rc * activations
+    }
+
+    /// Latency of a row-buffer hit (column access + burst).
+    pub fn hit_latency(&self) -> Duration {
+        self.t_cl + self.t_ccd_s
+    }
+
+    /// Latency of a row-buffer miss (precharge + activate + column access).
+    pub fn miss_latency(&self) -> Duration {
+        self.t_rp + self.t_rcd + self.t_cl + self.t_ccd_s
+    }
+
+    /// Number of refresh commands per refresh window.
+    pub fn refreshes_per_window(&self) -> u64 {
+        self.t_refw.div_duration(self.t_refi)
+    }
+}
+
+impl Default for DdrTiming {
+    fn default() -> Self {
+        Self::ddr4_2400()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn act_max_matches_paper() {
+        // Paper II-B: ACTmax ~= 1360K for DDR4-2400.
+        let t = DdrTiming::ddr4_2400();
+        let act_max = t.act_max();
+        assert!(
+            (1_355_000..=1_365_000).contains(&act_max),
+            "ACTmax = {act_max}"
+        );
+    }
+
+    #[test]
+    fn row_transfer_matches_paper() {
+        // Paper IV-D: ~685 ns to stream one 8 KB row.
+        let t = DdrTiming::ddr4_2400();
+        let g = DramGeometry::paper_table1();
+        assert_eq!(t.row_transfer_time(&g), Duration::from_ns(45 + 128 * 5));
+    }
+
+    #[test]
+    fn migration_latency_matches_paper() {
+        // Paper IV-D: one migration = 1.37 us, one swap = 2.74 us.
+        let t = DdrTiming::ddr4_2400();
+        let g = DramGeometry::paper_table1();
+        assert_eq!(t.row_migration_latency(&g).as_ns(), 1_370);
+        assert_eq!(t.row_swap_latency(&g).as_ns(), 2_740);
+    }
+
+    #[test]
+    fn aggressor_time_eq1() {
+        // Eq. 1 with A = 500: t_AGG = 500 * 45 ns = 22.5 us.
+        let t = DdrTiming::ddr4_2400();
+        assert_eq!(t.aggressor_time(500).as_us_f64(), 22.5);
+    }
+
+    #[test]
+    fn refreshes_per_window() {
+        let t = DdrTiming::ddr4_2400();
+        assert_eq!(t.refreshes_per_window(), 8205);
+    }
+
+    #[test]
+    fn latencies_are_ordered() {
+        let t = DdrTiming::ddr4_2400();
+        assert!(t.hit_latency() < t.miss_latency());
+        assert!(t.miss_latency() < t.t_rc + t.hit_latency());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests on the DDR4 timing model.
+
+use aqua_dram::{Bank, Channel, DdrTiming, Duration, PagePolicy, RefreshScheduler, Time};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Data is never ready before the request arrives, and consecutive
+    /// activations of a bank are always separated by at least tRC.
+    #[test]
+    fn bank_timing_invariants(
+        accesses in prop::collection::vec((0u32..32, 0u64..200), 1..200),
+    ) {
+        let timing = DdrTiming::ddr4_2400();
+        let mut bank = Bank::new(timing);
+        let mut now = Time::ZERO;
+        let mut last_act: Option<Time> = None;
+        for (row, advance_ns) in accesses {
+            now = now + Duration::from_ns(advance_ns);
+            let r = bank.access(row, now);
+            prop_assert!(r.data_ready >= now, "time travel");
+            prop_assert!(r.latency >= timing.hit_latency());
+            if r.activated {
+                // The ACT issued at data_ready - tRCD - tCL - tCCD.
+                let act_at = r.data_ready
+                    - timing.t_ccd_s
+                    - timing.t_cl
+                    - timing.t_rcd;
+                if let Some(prev) = last_act {
+                    prop_assert!(
+                        act_at.saturating_since(prev) >= timing.t_rc,
+                        "ACT-to-ACT spacing below tRC"
+                    );
+                }
+                last_act = Some(act_at);
+            }
+            now = r.data_ready;
+        }
+    }
+
+    /// Closed-page banks activate on every access; open-page banks activate
+    /// at most as often.
+    #[test]
+    fn closed_page_act_count_dominates(
+        accesses in prop::collection::vec(0u32..8, 1..100),
+    ) {
+        let timing = DdrTiming::ddr4_2400();
+        let mut open = Bank::new(timing);
+        let mut closed = Bank::with_policy(timing, PagePolicy::Closed);
+        let mut t_open = Time::ZERO;
+        let mut t_closed = Time::ZERO;
+        for &row in &accesses {
+            t_open = open.access(row, t_open).data_ready;
+            t_closed = closed.access(row, t_closed).data_ready;
+        }
+        prop_assert_eq!(closed.stats().activations, accesses.len() as u64);
+        prop_assert!(open.stats().activations <= closed.stats().activations);
+    }
+
+    /// The channel never goes backwards: each reservation starts at or after
+    /// the requested time and at or after every earlier reservation's start.
+    #[test]
+    fn channel_reservations_are_monotonic(
+        ops in prop::collection::vec((0u64..1000, 0u8..3), 1..100),
+    ) {
+        let mut ch = Channel::new();
+        let mut last_start = Time::ZERO;
+        for (at_ns, kind) in ops {
+            let at = Time::from_ns(at_ns);
+            let start = match kind {
+                0 => ch.reserve_burst(at, Duration::from_ns(3)),
+                1 => ch.reserve_table_access(at, Duration::from_ns(3)),
+                _ => ch.reserve_migration(at, Duration::from_ns(1370)),
+            };
+            prop_assert!(start >= at);
+            prop_assert!(start >= last_start);
+            last_start = start;
+        }
+    }
+
+    /// Refresh delays are bounded by tRFC and idempotent.
+    #[test]
+    fn refresh_delay_is_bounded(at_ns in 0u64..1_000_000) {
+        let timing = DdrTiming::ddr4_2400();
+        let sched = RefreshScheduler::new(&timing);
+        let t = Time::from_ns(at_ns);
+        let adjusted = sched.next_available(t);
+        prop_assert!(adjusted >= t);
+        prop_assert!(adjusted.saturating_since(t) <= timing.t_rfc);
+        prop_assert_eq!(sched.next_available(adjusted), adjusted);
+    }
+}

@@ -1,0 +1,49 @@
+//! Randomized Row-Swap (RRS) — the baseline AQUA is compared against.
+//!
+//! RRS (Saileshwar et al., ASPLOS 2022) mitigates Rowhammer by swapping an
+//! aggressor row with a *randomly chosen* row once it crosses a swap
+//! threshold. Security comes from randomization: the attacker cannot tell
+//! where the row went, so it cannot keep hammering the same physical row.
+//! Two consequences drive its overheads (paper sections II-E/F):
+//!
+//! - **Threshold lowering.** Because an attacker could re-discover a swapped
+//!   row by chance (the birthday paradox), the swap threshold must be
+//!   `T_RH / 6` — three times more mitigations than AQUA's `T_RH / 2`.
+//! - **Swap cost.** Every mitigation moves *two* rows (two reads + two
+//!   writes, ~2.74 us of channel blocking); re-swapping an already swapped
+//!   pair `<X, Y>` requires restoring both rows and creating two new pairs
+//!   `<X, A>` and `<Y, B>` — four row migrations (section IV-F).
+//!
+//! The Row Indirection Table (RIT) must stay in SRAM (2.4 MB per rank at
+//! `T_RH` = 1K): a memory-mapped RIT would leak swap destinations through
+//! access timing, which breaks RRS's security argument — this is exactly the
+//! property AQUA's isolation-based design relaxes (footnote 2 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use aqua_dram::mitigation::Mitigation;
+//! use aqua_dram::{BaselineConfig, GlobalRowId, Time};
+//! use aqua_rrs::{RrsConfig, RrsEngine};
+//!
+//! let base = BaselineConfig::paper_table1();
+//! let mut rrs = RrsEngine::new(RrsConfig::for_rowhammer_threshold(1000, &base));
+//! let row = GlobalRowId::new(9);
+//! for _ in 0..200 {
+//!     let t = rrs.translate(row, Time::ZERO);
+//!     rrs.on_activation(t.phys, Time::ZERO);
+//! }
+//! // The swap threshold is 1000/6 = 166: one swap has happened.
+//! assert_eq!(rrs.stats().swaps, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod engine;
+mod rit;
+
+pub use config::RrsConfig;
+pub use engine::{RrsEngine, RrsStats};
+pub use rit::RowIndirectionTable;

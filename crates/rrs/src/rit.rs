@@ -1,0 +1,157 @@
+//! Row Indirection Table (RIT): the symmetric swap map.
+
+use aqua::CollisionAvoidanceTable;
+use aqua_dram::GlobalRowId;
+use std::collections::VecDeque;
+
+/// The RIT stores the swap pairs as a symmetric map: if `X` and `Y` are
+/// swapped, both `X -> Y` and `Y -> X` are present. Translation is therefore
+/// an involution: applying it twice returns the original row.
+///
+/// Built on the same over-provisioned CAT as AQUA's SRAM FPT (RRS introduced
+/// the structure). Pair creation order is tracked so stale pairs can be
+/// unswapped when the table fills.
+#[derive(Debug)]
+pub struct RowIndirectionTable {
+    map: CollisionAvoidanceTable<u64>,
+    /// Pairs in creation order, with the epoch they were created in.
+    order: VecDeque<(GlobalRowId, GlobalRowId, u64)>,
+    pair_capacity: usize,
+}
+
+impl RowIndirectionTable {
+    /// Creates a RIT able to hold `pairs` swap pairs. The backing CAT is
+    /// over-provisioned ~1.5x (as in the paper) so set conflicts cannot
+    /// reject an insert while the table is within its pair capacity.
+    pub fn new(pairs: usize) -> Self {
+        RowIndirectionTable {
+            map: CollisionAvoidanceTable::new((pairs * 3).max(64)),
+            order: VecDeque::new(),
+            pair_capacity: pairs.max(1),
+        }
+    }
+
+    /// Current number of live pairs.
+    pub fn pairs(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Configured pair capacity.
+    pub fn pair_capacity(&self) -> usize {
+        self.pair_capacity
+    }
+
+    /// Translates `row` through the swap map (identity if unswapped).
+    pub fn translate(&self, row: GlobalRowId) -> GlobalRowId {
+        self.map
+            .get(row.index())
+            .map(|&dest| GlobalRowId::new(dest))
+            .unwrap_or(row)
+    }
+
+    /// Whether `row` participates in a swap pair.
+    pub fn is_swapped(&self, row: GlobalRowId) -> bool {
+        self.map.contains(row.index())
+    }
+
+    /// Records the swap pair `(a, b)` created in `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is already swapped (the engine must unswap
+    /// first) or if `a == b`.
+    pub fn insert_pair(&mut self, a: GlobalRowId, b: GlobalRowId, epoch: u64) {
+        assert_ne!(a, b, "cannot swap a row with itself");
+        assert!(
+            !self.is_swapped(a) && !self.is_swapped(b),
+            "rows must be unswapped before forming a new pair"
+        );
+        self.map
+            .insert(a.index(), b.index())
+            .expect("RIT sized for worst-case swap rate");
+        self.map
+            .insert(b.index(), a.index())
+            .expect("RIT sized for worst-case swap rate");
+        self.order.push_back((a, b, epoch));
+    }
+
+    /// Removes the pair containing `row`, returning `(a, b)` if present.
+    pub fn remove_pair(&mut self, row: GlobalRowId) -> Option<(GlobalRowId, GlobalRowId)> {
+        let dest = GlobalRowId::new(*self.map.get(row.index())?);
+        self.map.remove(row.index());
+        self.map.remove(dest.index());
+        self.order
+            .retain(|&(a, b, _)| !(a == row || b == row || a == dest || b == dest));
+        Some((row, dest))
+    }
+
+    /// Removes and returns the oldest pair created strictly before `epoch`,
+    /// if the table is over its capacity watermark.
+    pub fn evict_stale_pair(&mut self, epoch: u64) -> Option<(GlobalRowId, GlobalRowId)> {
+        if self.order.len() < self.pair_capacity {
+            return None;
+        }
+        match self.order.front().copied() {
+            Some((a, _, created)) if created < epoch => self.remove_pair(a),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(i: u64) -> GlobalRowId {
+        GlobalRowId::new(i)
+    }
+
+    #[test]
+    fn translate_is_an_involution() {
+        let mut rit = RowIndirectionTable::new(16);
+        rit.insert_pair(row(1), row(2), 0);
+        assert_eq!(rit.translate(row(1)), row(2));
+        assert_eq!(rit.translate(row(2)), row(1));
+        assert_eq!(rit.translate(rit.translate(row(1))), row(1));
+        assert_eq!(rit.translate(row(3)), row(3));
+    }
+
+    #[test]
+    fn remove_pair_restores_identity() {
+        let mut rit = RowIndirectionTable::new(16);
+        rit.insert_pair(row(1), row(2), 0);
+        assert_eq!(rit.remove_pair(row(2)), Some((row(2), row(1))));
+        assert_eq!(rit.translate(row(1)), row(1));
+        assert_eq!(rit.pairs(), 0);
+        assert_eq!(rit.remove_pair(row(1)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unswapped")]
+    fn double_swap_is_rejected() {
+        let mut rit = RowIndirectionTable::new(16);
+        rit.insert_pair(row(1), row(2), 0);
+        rit.insert_pair(row(1), row(3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn self_swap_is_rejected() {
+        let mut rit = RowIndirectionTable::new(16);
+        rit.insert_pair(row(1), row(1), 0);
+    }
+
+    #[test]
+    fn stale_eviction_respects_capacity_and_age() {
+        let mut rit = RowIndirectionTable::new(2);
+        rit.insert_pair(row(1), row(2), 0);
+        rit.insert_pair(row(3), row(4), 0);
+        // At capacity but same epoch: nothing evictable.
+        assert_eq!(rit.evict_stale_pair(0), None);
+        // Next epoch: the oldest pair goes.
+        assert_eq!(rit.evict_stale_pair(1), Some((row(1), row(2))));
+        assert_eq!(rit.pairs(), 1);
+        // Below capacity now: no more evictions.
+        assert_eq!(rit.evict_stale_pair(1), None);
+    }
+}

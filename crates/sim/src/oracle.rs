@@ -1,0 +1,346 @@
+//! Ground-truth activation oracle (the security checker).
+
+use aqua_dram::{DramGeometry, RowAddr};
+use serde::{Deserialize, Serialize};
+
+/// Summary of what the oracle observed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleSummary {
+    /// Maximum activations any physical row accumulated in a two-epoch
+    /// window (the refresh-window upper bound of section VI-A).
+    pub max_window_activations: u64,
+    /// Distinct physical rows whose window count exceeded `T_RH` —
+    /// each one is a potential Rowhammer bit flip.
+    pub rows_over_trh: u64,
+    /// Total activations recorded (normal + victim refresh).
+    pub total_activations: u64,
+    /// Distinct rows where a Rowhammer bit flip is possible: some *single*
+    /// adjacent row accumulated more than `T_RH` activations since this
+    /// row's last refresh. Victim refreshes reset the disturbance, so this
+    /// metric credits victim-refresh where it works — and exposes
+    /// Half-Double where it does not.
+    pub rows_flippable: u64,
+    /// Average rows per epoch with 166+ activations (Table II column).
+    pub avg_rows_166: u64,
+    /// Average rows per epoch with 500+ activations (Table II column).
+    pub avg_rows_500: u64,
+    /// Average rows per epoch with 1000+ activations (Table II column).
+    pub avg_rows_1000: u64,
+    /// Epochs completed.
+    pub epochs: u64,
+}
+
+/// Counts every activation of every *physical* row, independent of the
+/// mitigation scheme's own (fallible, resettable) tracker.
+///
+/// Any 64 ms refresh window spans at most two tracker epochs, so the count
+/// `previous_epoch + current_epoch` upper-bounds the sliding-window
+/// activation count of a row; a row whose bound exceeds `T_RH` is reported
+/// as vulnerable.
+#[derive(Debug)]
+pub struct ActivationOracle {
+    t_rh: u64,
+    rows_per_bank: u32,
+    curr: Vec<u32>,
+    prev: Vec<u32>,
+    flagged: Vec<bool>,
+    /// Disturbance on each row from its lower neighbour (`row - 1`) since
+    /// the row's last refresh.
+    dist_lo: Vec<u32>,
+    /// Disturbance from the upper neighbour (`row + 1`).
+    dist_hi: Vec<u32>,
+    flippable: Vec<bool>,
+    summary: OracleSummary,
+    band_totals: [u64; 3],
+}
+
+impl ActivationOracle {
+    /// Creates the oracle for a module, flagging rows whose two-epoch count
+    /// exceeds `t_rh`.
+    pub fn new(geometry: &DramGeometry, t_rh: u64) -> Self {
+        let rows = geometry.total_rows() as usize;
+        ActivationOracle {
+            t_rh,
+            rows_per_bank: geometry.rows_per_bank,
+            curr: vec![0; rows],
+            prev: vec![0; rows],
+            flagged: vec![false; rows],
+            dist_lo: vec![0; rows],
+            dist_hi: vec![0; rows],
+            flippable: vec![false; rows],
+            summary: OracleSummary::default(),
+            band_totals: [0; 3],
+        }
+    }
+
+    fn index(&self, row: RowAddr) -> usize {
+        row.bank.index() as usize * self.rows_per_bank as usize + row.row as usize
+    }
+
+    /// Records one activation of physical row `row`.
+    pub fn record(&mut self, row: RowAddr) {
+        let i = self.index(row);
+        self.curr[i] += 1;
+        self.summary.total_activations += 1;
+        let window = self.curr[i] as u64 + self.prev[i] as u64;
+        if window > self.summary.max_window_activations {
+            self.summary.max_window_activations = window;
+        }
+        if window > self.t_rh && !self.flagged[i] {
+            self.flagged[i] = true;
+            self.summary.rows_over_trh += 1;
+        }
+        self.disturb_neighbours(row, i);
+    }
+
+    /// Records a mitigative refresh of `row`: the refresh is itself a row
+    /// activation (it disturbs the row's neighbours — the Half-Double
+    /// mechanism) but it *restores* the row's own charge, resetting the
+    /// disturbance accumulated on it.
+    pub fn record_refresh(&mut self, row: RowAddr) {
+        let i = self.index(row);
+        self.curr[i] += 1;
+        self.summary.total_activations += 1;
+        self.dist_lo[i] = 0;
+        self.dist_hi[i] = 0;
+        self.disturb_neighbours(row, i);
+    }
+
+    fn disturb_neighbours(&mut self, row: RowAddr, i: usize) {
+        if row.row > 0 {
+            // `row` is the upper neighbour of `row - 1`.
+            let below = i - 1;
+            self.dist_hi[below] += 1;
+            self.check_flippable(below);
+        }
+        if row.row + 1 < self.rows_per_bank {
+            let above = i + 1;
+            self.dist_lo[above] += 1;
+            self.check_flippable(above);
+        }
+    }
+
+    fn check_flippable(&mut self, i: usize) {
+        if !self.flippable[i]
+            && (self.dist_lo[i] as u64 > self.t_rh || self.dist_hi[i] as u64 > self.t_rh)
+        {
+            self.flippable[i] = true;
+            self.summary.rows_flippable += 1;
+        }
+    }
+
+    /// Current-epoch activation count of `row`.
+    pub fn epoch_count(&self, row: RowAddr) -> u64 {
+        self.curr[self.index(row)] as u64
+    }
+
+    /// Two-epoch window bound for `row`.
+    pub fn window_count(&self, row: RowAddr) -> u64 {
+        let i = self.index(row);
+        self.curr[i] as u64 + self.prev[i] as u64
+    }
+
+    /// Whether a bit flip became possible in `row` at any point in the run
+    /// (a single neighbour exceeded `T_RH` activations since `row`'s last
+    /// refresh).
+    pub fn is_flippable(&self, row: RowAddr) -> bool {
+        self.flippable[self.index(row)]
+    }
+
+    /// Rolls over to the next epoch, folding the band histogram
+    /// (Table II's 166+/500+/1000+ columns) into the running averages.
+    pub fn end_epoch(&mut self) {
+        for &c in &self.curr {
+            let c = c as u64;
+            if c >= 166 {
+                self.band_totals[0] += 1;
+                if c >= 500 {
+                    self.band_totals[1] += 1;
+                    if c >= 1000 {
+                        self.band_totals[2] += 1;
+                    }
+                }
+            }
+        }
+        self.summary.epochs += 1;
+        std::mem::swap(&mut self.prev, &mut self.curr);
+        self.curr.fill(0);
+        // Every row receives its periodic refresh once per window, which
+        // restores its charge; disturbance does not carry across epochs.
+        self.dist_lo.fill(0);
+        self.dist_hi.fill(0);
+    }
+
+    /// The oracle's summary (per-epoch band counts averaged over epochs).
+    pub fn summary(&self) -> OracleSummary {
+        let mut s = self.summary;
+        let epochs = s.epochs.max(1);
+        s.avg_rows_166 = self.band_totals[0] / epochs;
+        s.avg_rows_500 = self.band_totals[1] / epochs;
+        s.avg_rows_1000 = self.band_totals[2] / epochs;
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_dram::BankId;
+
+    fn addr(bank: u32, row: u32) -> RowAddr {
+        RowAddr {
+            bank: BankId::new(bank),
+            row,
+        }
+    }
+
+    fn oracle(t_rh: u64) -> ActivationOracle {
+        ActivationOracle::new(&DramGeometry::tiny(), t_rh)
+    }
+
+    #[test]
+    fn counts_accumulate_per_row() {
+        let mut o = oracle(100);
+        for _ in 0..5 {
+            o.record(addr(0, 1));
+        }
+        o.record(addr(1, 1));
+        assert_eq!(o.epoch_count(addr(0, 1)), 5);
+        assert_eq!(o.epoch_count(addr(1, 1)), 1);
+        assert_eq!(o.summary().total_activations, 6);
+    }
+
+    #[test]
+    fn window_spans_two_epochs() {
+        let mut o = oracle(100);
+        for _ in 0..60 {
+            o.record(addr(0, 1));
+        }
+        o.end_epoch();
+        for _ in 0..50 {
+            o.record(addr(0, 1));
+        }
+        // 60 + 50 = 110 > 100: flagged once.
+        assert_eq!(o.window_count(addr(0, 1)), 110);
+        let s = o.summary();
+        assert_eq!(s.rows_over_trh, 1);
+        assert_eq!(s.max_window_activations, 110);
+    }
+
+    #[test]
+    fn window_forgets_after_two_epochs() {
+        let mut o = oracle(100);
+        for _ in 0..60 {
+            o.record(addr(0, 1));
+        }
+        o.end_epoch();
+        o.end_epoch();
+        for _ in 0..60 {
+            o.record(addr(0, 1));
+        }
+        assert_eq!(o.summary().rows_over_trh, 0);
+    }
+
+    #[test]
+    fn exactly_trh_is_not_a_violation() {
+        // The threat model: a flip needs MORE than T_RH activations.
+        let mut o = oracle(100);
+        for _ in 0..100 {
+            o.record(addr(0, 1));
+        }
+        assert_eq!(o.summary().rows_over_trh, 0);
+        o.record(addr(0, 1));
+        assert_eq!(o.summary().rows_over_trh, 1);
+    }
+
+    #[test]
+    fn band_histogram_averages_over_epochs() {
+        let mut o = oracle(10_000);
+        // Epoch 1: one row with 200 acts, one with 600.
+        for _ in 0..200 {
+            o.record(addr(0, 1));
+        }
+        for _ in 0..600 {
+            o.record(addr(0, 2));
+        }
+        o.end_epoch();
+        // Epoch 2: nothing.
+        o.end_epoch();
+        let s = o.summary();
+        assert_eq!(s.epochs, 2);
+        assert_eq!(s.avg_rows_166, 1); // 2 rows / 2 epochs
+        assert_eq!(s.avg_rows_500, 0); // 1 row / 2 epochs, integer division
+    }
+
+    #[test]
+    fn disturbance_accumulates_from_single_neighbour() {
+        let mut o = oracle(10);
+        // Hammer row 5; row 4 and row 6 each accumulate disturbance.
+        for _ in 0..11 {
+            o.record(addr(0, 5));
+        }
+        let s = o.summary();
+        assert_eq!(s.rows_flippable, 2, "{s:?}");
+    }
+
+    #[test]
+    fn refresh_resets_victim_disturbance() {
+        let mut o = oracle(10);
+        for _ in 0..8 {
+            o.record(addr(0, 5));
+        }
+        // Victim refresh of row 6 restores its charge.
+        o.record_refresh(addr(0, 6));
+        for _ in 0..8 {
+            o.record(addr(0, 5));
+        }
+        // Row 6 never saw more than 8 post-refresh activations; row 4 did.
+        assert_eq!(o.summary().rows_flippable, 1);
+    }
+
+    #[test]
+    fn refreshes_disturb_the_next_row_over() {
+        // The Half-Double mechanism in miniature: refreshes of row 6 count
+        // as activations adjacent to row 7.
+        let mut o = oracle(10);
+        for _ in 0..11 {
+            o.record_refresh(addr(0, 6));
+        }
+        let s = o.summary();
+        assert!(s.rows_flippable >= 1);
+    }
+
+    #[test]
+    fn bank_edges_do_not_wrap() {
+        let mut o = oracle(5);
+        let last = DramGeometry::tiny().rows_per_bank - 1;
+        for _ in 0..10 {
+            o.record(addr(0, 0));
+            o.record(addr(0, last));
+        }
+        // Only the single in-bank neighbour of each edge row is disturbed.
+        assert_eq!(o.summary().rows_flippable, 2);
+    }
+
+    #[test]
+    fn disturbance_resets_at_epoch() {
+        let mut o = oracle(10);
+        for _ in 0..8 {
+            o.record(addr(0, 5));
+        }
+        o.end_epoch();
+        for _ in 0..8 {
+            o.record(addr(0, 5));
+        }
+        assert_eq!(o.summary().rows_flippable, 0);
+    }
+
+    #[test]
+    fn flagged_rows_counted_once() {
+        let mut o = oracle(10);
+        for _ in 0..50 {
+            o.record(addr(0, 1));
+        }
+        assert_eq!(o.summary().rows_over_trh, 1);
+    }
+}

@@ -1,0 +1,452 @@
+//! The system simulator: cores + channel + banks + mitigation + oracle.
+
+use crate::{ActivationOracle, CoreState, RunReport, ShadowMemory};
+use aqua_dram::mitigation::{Mitigation, MitigationAction};
+use aqua_dram::{Bank, BaselineConfig, Channel, Duration, RefreshScheduler, Time};
+use aqua_workload::RequestGenerator;
+
+/// Simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// The baseline system (geometry, timing, cores, MLP, epoch length).
+    pub base: BaselineConfig,
+    /// Number of epochs (refresh windows) to simulate.
+    pub epochs: u64,
+    /// Rowhammer threshold the oracle checks against.
+    pub t_rh: u64,
+}
+
+impl SimConfig {
+    /// Creates a configuration with the paper defaults (2 epochs, `T_RH` 1K).
+    pub fn new(base: BaselineConfig) -> Self {
+        SimConfig {
+            base,
+            epochs: 2,
+            t_rh: 1000,
+        }
+    }
+
+    /// Sets the number of simulated epochs.
+    pub fn epochs(mut self, epochs: u64) -> Self {
+        self.epochs = epochs.max(1);
+        self
+    }
+
+    /// Sets the oracle's Rowhammer threshold.
+    pub fn t_rh(mut self, t_rh: u64) -> Self {
+        self.t_rh = t_rh;
+        self
+    }
+}
+
+/// One simulation run binding a mitigation scheme to a set of core streams.
+pub struct Simulation<M: Mitigation> {
+    cfg: SimConfig,
+    banks: Vec<Bank>,
+    channel: Channel,
+    refresh: RefreshScheduler,
+    mitigation: M,
+    oracle: ActivationOracle,
+    shadow: ShadowMemory,
+    cores: Vec<CoreState>,
+    burst: Duration,
+}
+
+impl<M: Mitigation> Simulation<M> {
+    /// Builds a simulation. Each generator drives one core (1 to 4 streams).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no generators are supplied or more than `cfg.base.cores`.
+    pub fn new(
+        cfg: SimConfig,
+        mitigation: M,
+        generators: impl IntoIterator<Item = Box<dyn RequestGenerator>>,
+    ) -> Self {
+        let cores: Vec<CoreState> = generators
+            .into_iter()
+            .map(|g| CoreState::new(g, cfg.base.mlp))
+            .collect();
+        assert!(
+            !cores.is_empty() && cores.len() <= cfg.base.cores as usize,
+            "between 1 and {} generators required",
+            cfg.base.cores
+        );
+        let mut shadow = ShadowMemory::new(&cfg.base.geometry);
+        for row in mitigation.reserved_rows() {
+            shadow.vacate(row);
+        }
+        Simulation {
+            banks: (0..cfg.base.geometry.total_banks())
+                .map(|_| Bank::with_policy(cfg.base.timing, cfg.base.page_policy))
+                .collect(),
+            channel: Channel::new(),
+            refresh: RefreshScheduler::new(&cfg.base.timing),
+            oracle: ActivationOracle::new(&cfg.base.geometry, cfg.t_rh),
+            shadow,
+            mitigation,
+            cores,
+            burst: cfg.base.timing.t_ccd_s,
+            cfg,
+        }
+    }
+
+    /// The mitigation scheme (for scheme-specific statistics after a run).
+    pub fn mitigation(&self) -> &M {
+        &self.mitigation
+    }
+
+    /// The security oracle.
+    pub fn oracle(&self) -> &ActivationOracle {
+        &self.oracle
+    }
+
+    fn apply_actions(
+        &mut self,
+        actions: Vec<MitigationAction>,
+        at: Time,
+        mut completion: Time,
+    ) -> Time {
+        for action in actions {
+            match action {
+                MitigationAction::BlockChannel {
+                    duration, movement, ..
+                } => {
+                    self.channel.reserve_migration(at, duration);
+                    self.shadow.apply(movement);
+                }
+                MitigationAction::RefreshRows(rows) => {
+                    for r in rows {
+                        self.banks[r.bank.index() as usize].refresh_row(r.row, at);
+                        // Victim refreshes are activations the *oracle* sees
+                        // but the scheme's tracker does not — the Half-Double
+                        // blind spot.
+                        self.oracle.record_refresh(r);
+                    }
+                }
+                MitigationAction::Throttle { delay } => {
+                    completion += delay;
+                }
+                MitigationAction::TableWrites { count } => {
+                    for _ in 0..count {
+                        self.channel.reserve_table_access(at, self.burst);
+                    }
+                }
+            }
+        }
+        completion
+    }
+
+    /// Serves one request from core `ci` issued at `t0`; returns completion.
+    fn serve(&mut self, ci: usize, t0: Time) {
+        let req = self.cores[ci].pending();
+        let tr = self.mitigation.translate(req.row, t0);
+        let mut t = self.refresh.next_available(t0 + tr.lookup_latency);
+
+        // Extra in-DRAM mapping-table read on the critical path.
+        if let Some(trow) = tr.table_row {
+            let start = t.max(self.channel.blocked_until());
+            let res = self.banks[trow.bank.index() as usize].access(trow.row, start);
+            let slot = self
+                .channel
+                .reserve_table_access(res.data_ready, self.burst);
+            if res.activated {
+                self.oracle.record(trow);
+                let actions = self.mitigation.on_activation(trow, res.data_ready);
+                self.apply_actions(actions, res.data_ready, res.data_ready);
+            }
+            t = slot + self.burst;
+        }
+
+        let phys = tr.phys;
+        // End-to-end integrity: the translation must resolve to the physical
+        // row actually holding the requested row's data.
+        self.shadow.verify(req.row, phys);
+        let start = t.max(self.channel.blocked_until());
+        let res = self.banks[phys.bank.index() as usize].access(phys.row, start);
+        let slot = self.channel.reserve_burst(res.data_ready, self.burst);
+        let mut completion = slot + self.burst;
+        if res.activated {
+            self.oracle.record(phys);
+            let actions = self.mitigation.on_activation(phys, completion);
+            completion = self.apply_actions(actions, completion, completion);
+        }
+        self.cores[ci].commit(t0, completion);
+    }
+
+    /// Runs for `cfg.epochs` refresh windows and reports the results.
+    pub fn run(&mut self) -> RunReport {
+        let epoch_len = self.cfg.base.epoch;
+        let end = Time::ZERO + epoch_len.checked_scale(self.cfg.epochs);
+        let t_refi = self.cfg.base.timing.t_refi;
+        let mut next_epoch = Time::ZERO + epoch_len;
+        let mut next_tick = Time::ZERO + t_refi;
+        loop {
+            let (ci, t) = self
+                .cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| (i, c.ready_at()))
+                .min_by_key(|&(_, t)| t)
+                .expect("at least one core");
+            if t >= end {
+                break;
+            }
+            while t >= next_tick {
+                let actions = self.mitigation.on_refresh_tick();
+                if !actions.is_empty() {
+                    self.apply_actions(actions, next_tick, next_tick);
+                }
+                next_tick += t_refi;
+            }
+            while t >= next_epoch {
+                self.mitigation.end_epoch();
+                self.oracle.end_epoch();
+                next_epoch += epoch_len;
+            }
+            self.serve(ci, t);
+        }
+        // Close out remaining epoch boundaries.
+        while next_epoch <= end {
+            self.mitigation.end_epoch();
+            self.oracle.end_epoch();
+            next_epoch += epoch_len;
+        }
+        let stats = self.channel.stats();
+        RunReport {
+            scheme: self.mitigation.name().to_string(),
+            workload: self.cores[0].label(),
+            requests_done: self.cores.iter().map(|c| c.issued()).sum(),
+            per_core: self.cores.iter().map(|c| c.issued()).collect(),
+            epochs: self.cfg.epochs,
+            data_busy: stats.data_busy,
+            migration_busy: stats.migration_busy,
+            table_busy: stats.table_busy,
+            mitigation: self.mitigation.mitigation_stats(),
+            oracle: self.oracle.summary(),
+            integrity_violations: self.shadow.violations(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua::{AquaConfig, AquaEngine};
+    use aqua_dram::mitigation::NoMitigation;
+    use aqua_dram::BaselineConfig;
+    use aqua_workload::attack::Hammer;
+    use aqua_workload::AddressSpace;
+
+    fn base() -> BaselineConfig {
+        BaselineConfig::tiny() // 4 banks, 1024 rows/bank, 1 ms epochs
+    }
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(base().geometry, 0.75)
+    }
+
+    fn aqua_engine(t_rh: u64) -> AquaEngine {
+        let cfg = AquaConfig::for_rowhammer_threshold(t_rh, &base()).with_rqa_rows(512);
+        let cfg = AquaConfig {
+            tracker_entries_per_bank: 256,
+            fpt_entries: 1024,
+            ..cfg
+        };
+        AquaEngine::new(cfg).unwrap()
+    }
+
+    fn sim_config(t_rh: u64) -> SimConfig {
+        SimConfig::new(base()).epochs(2).t_rh(t_rh)
+    }
+
+    #[test]
+    fn double_sided_attack_flips_without_mitigation() {
+        let gen = Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(1000), NoMitigation::new(base().geometry), [gen]);
+        let report = sim.run();
+        // 1 ms epoch at ~45 ns per activation: each aggressor gets ~10K
+        // activations -> far beyond T_RH = 1000.
+        assert!(report.oracle.rows_over_trh >= 2, "{:?}", report.oracle);
+        assert!(report.oracle.max_window_activations > 1000);
+    }
+
+    #[test]
+    fn aqua_stops_double_sided_attack() {
+        let gen = Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(1000), aqua_engine(1000), [gen]);
+        let report = sim.run();
+        assert_eq!(report.oracle.rows_over_trh, 0, "{:?}", report.oracle);
+        assert_eq!(report.mitigation.violations, 0);
+        assert!(report.mitigation.row_migrations > 0);
+        sim.mitigation().check_consistency();
+    }
+
+    #[test]
+    fn migrations_block_the_channel() {
+        use aqua_workload::attack::MigrationFlood;
+        // A bank-parallel flood keeps the baseline and mitigated bank-level
+        // parallelism identical, so the only difference is channel blocking.
+        let mk = || Box::new(MigrationFlood::new(&space(), 4, 500)) as Box<dyn RequestGenerator>;
+        let mut baseline =
+            Simulation::new(sim_config(1000), NoMitigation::new(base().geometry), [mk()]);
+        let base_report = baseline.run();
+        let mut mitigated = Simulation::new(sim_config(1000), aqua_engine(1000), [mk()]);
+        let aqua_report = mitigated.run();
+        assert!(
+            aqua_report.requests_done < base_report.requests_done,
+            "aqua {} vs baseline {}",
+            aqua_report.requests_done,
+            base_report.requests_done
+        );
+        assert!(aqua_report.migration_busy > Duration::ZERO);
+    }
+
+    #[test]
+    fn victim_refresh_stops_classic_but_not_half_double() {
+        use aqua_baselines::{VictimRefresh, VictimRefreshConfig};
+        // The tiny config's 1 ms epochs accrue ~10K activations per hammered
+        // row, so a threshold of 100 keeps the same activation-to-threshold
+        // ratio the full system has at T_RH = 1K over 64 ms.
+        let t_rh = 100;
+        let mk_vr = || {
+            let mut cfg = VictimRefreshConfig::for_rowhammer_threshold(t_rh);
+            cfg.tracker_entries_per_bank = 256;
+            VictimRefresh::new(cfg, base().geometry)
+        };
+        use aqua_dram::{BankId, RowAddr};
+        let victim = RowAddr {
+            bank: BankId::new(0),
+            row: 100,
+        };
+        // Classic double-sided around row 100: victim refresh protects the
+        // targeted victim (the refresh storm still endangers rows further
+        // out — the collateral Half-Double leverages).
+        let classic = Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(t_rh), mk_vr(), [classic]);
+        let classic_report = sim.run();
+        assert!(
+            !sim.oracle().is_flippable(victim),
+            "victim refresh must protect the targeted victim"
+        );
+        assert!(classic_report.mitigation.victim_refreshes > 0);
+        // Half-Double: hammering the distance-2 rows (98 and 102) turns the
+        // mitigative refreshes of rows 99/101 into an un-tracked attack on
+        // row 100.
+        let hd = Box::new(Hammer::half_double(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(t_rh), mk_vr(), [hd]);
+        let hd_report = sim.run();
+        assert!(
+            sim.oracle().is_flippable(victim),
+            "Half-Double must defeat victim refresh: {:?}",
+            hd_report.oracle
+        );
+    }
+
+    #[test]
+    fn aqua_stops_half_double() {
+        let hd = Box::new(Hammer::half_double(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(100), aqua_engine(100), [hd]);
+        let report = sim.run();
+        assert_eq!(report.oracle.rows_flippable, 0, "{:?}", report.oracle);
+        assert_eq!(report.oracle.rows_over_trh, 0);
+    }
+
+    #[test]
+    fn quiet_stream_sees_no_mitigations() {
+        use aqua_workload::HotColdGenerator;
+        let s = space();
+        let gen =
+            Box::new(HotColdGenerator::uniform(&s, 0, 512, 20_000, 3)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(1000), aqua_engine(1000), [gen]);
+        let report = sim.run();
+        assert_eq!(report.mitigation.row_migrations, 0);
+        assert_eq!(report.oracle.rows_over_trh, 0);
+        assert!(report.requests_done > 0);
+    }
+
+    #[test]
+    fn data_integrity_holds_under_migration_churn() {
+        use aqua_workload::attack::MigrationFlood;
+        let flood = Box::new(MigrationFlood::new(&space(), 4, 50)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(100), aqua_engine(100), [flood]);
+        let report = sim.run();
+        assert!(report.mitigation.row_migrations > 50);
+        assert_eq!(report.integrity_violations, 0, "data must follow the maps");
+    }
+
+    #[test]
+    fn rrs_data_integrity_holds_under_swap_churn() {
+        use aqua_rrs::{RrsConfig, RrsEngine};
+        use aqua_workload::attack::MigrationFlood;
+        let mut cfg = RrsConfig::for_rowhammer_threshold(600, &base());
+        cfg.tracker_entries_per_bank = 256;
+        cfg.rit_pairs = 512;
+        // Fresh conflicting pairs keep generating activations even after
+        // earlier pairs were swapped apart into separate banks.
+        let gen = Box::new(MigrationFlood::new(&space(), 4, 100)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(600), RrsEngine::new(cfg), [gen]);
+        let report = sim.run();
+        assert!(report.mitigation.row_migrations > 10);
+        assert_eq!(report.integrity_violations, 0);
+    }
+
+    #[test]
+    fn closed_page_makes_single_sided_hammering_effective() {
+        use aqua_dram::PagePolicy;
+        // Under open-page, re-accessing one row produces row-buffer hits and
+        // no Rowhammer pressure; a closed-page controller activates on every
+        // access, so single-sided hammering works — and AQUA must stop it.
+        let mut closed = base();
+        closed.page_policy = PagePolicy::Closed;
+        let gen = || Box::new(Hammer::single_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut open_sim = Simulation::new(
+            sim_config(1000),
+            NoMitigation::new(base().geometry),
+            [gen()],
+        );
+        let open_report = open_sim.run();
+        assert_eq!(open_report.oracle.rows_over_trh, 0, "open page absorbs it");
+        let closed_cfg = SimConfig::new(closed).epochs(2).t_rh(1000);
+        let mut closed_sim =
+            Simulation::new(closed_cfg, NoMitigation::new(base().geometry), [gen()]);
+        let closed_report = closed_sim.run();
+        assert!(
+            closed_report.oracle.rows_over_trh > 0,
+            "closed page hammers"
+        );
+        let mut protected = Simulation::new(closed_cfg, aqua_engine(1000), [gen()]);
+        let protected_report = protected.run();
+        assert_eq!(protected_report.oracle.rows_over_trh, 0);
+    }
+
+    #[test]
+    fn epochs_are_counted() {
+        let gen = Box::new(Hammer::single_sided(&space(), 0, 5)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(
+            sim_config(1000).epochs(3),
+            NoMitigation::new(base().geometry),
+            [gen],
+        );
+        let report = sim.run();
+        assert_eq!(report.epochs, 3);
+        assert_eq!(report.oracle.epochs, 3);
+    }
+
+    #[test]
+    fn multi_core_counts_all_streams() {
+        let mk =
+            |b: u32| Box::new(Hammer::single_sided(&space(), b, 7)) as Box<dyn RequestGenerator>;
+        let mut quad = base();
+        quad.cores = 4;
+        let mut sim = Simulation::new(
+            SimConfig::new(quad).epochs(2).t_rh(1_000_000),
+            NoMitigation::new(base().geometry),
+            [mk(0), mk(1), mk(2), mk(3)],
+        );
+        let report = sim.run();
+        assert_eq!(report.per_core.len(), 4);
+        assert!(report.per_core.iter().all(|&c| c > 0));
+        assert_eq!(report.requests_done, report.per_core.iter().sum::<u64>());
+    }
+}

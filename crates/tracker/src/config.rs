@@ -1,0 +1,82 @@
+//! Tracker configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration shared by all trackers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackerConfig {
+    /// Mitigation threshold `A`: a mitigation fires every `A` activations of
+    /// one row within an epoch. For AQUA this is `T_RH / 2` (section IV-B);
+    /// for RRS it is `T_RH / 6` (section II-F).
+    pub mitigation_threshold: u64,
+    /// Misra-Gries entries per bank. Graphene sizes this as
+    /// `ACTmax / mitigation_threshold` so the summary can never miss a row
+    /// that crosses the threshold.
+    pub entries_per_bank: usize,
+}
+
+impl TrackerConfig {
+    /// Default AQUA configuration for a given Rowhammer threshold: mitigate
+    /// every `t_rh / 2` activations, with Graphene-style entry provisioning
+    /// for DDR4-2400 (`ACTmax` = 1360K per bank per 64 ms).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rh < 2`.
+    pub fn for_rowhammer_threshold(t_rh: u64) -> Self {
+        assert!(t_rh >= 2, "Rowhammer threshold must be at least 2");
+        Self::with_mitigation_threshold(t_rh / 2)
+    }
+
+    /// Configuration with an explicit per-epoch mitigation threshold `A`
+    /// (e.g. `T_RH / 6` for RRS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is zero.
+    pub fn with_mitigation_threshold(a: u64) -> Self {
+        assert!(a > 0, "mitigation threshold must be positive");
+        const ACT_MAX: u64 = 1_360_000;
+        TrackerConfig {
+            mitigation_threshold: a,
+            entries_per_bank: (ACT_MAX / a).max(1) as usize,
+        }
+    }
+
+    /// Overrides the per-bank entry count (for storage studies).
+    pub fn entries_per_bank(mut self, entries: usize) -> Self {
+        self.entries_per_bank = entries;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aqua_default_is_half_trh() {
+        let c = TrackerConfig::for_rowhammer_threshold(1000);
+        assert_eq!(c.mitigation_threshold, 500);
+        assert_eq!(c.entries_per_bank, 2720);
+    }
+
+    #[test]
+    fn rrs_style_threshold() {
+        let c = TrackerConfig::with_mitigation_threshold(166);
+        assert_eq!(c.mitigation_threshold, 166);
+        assert!(c.entries_per_bank > 8000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_trh() {
+        TrackerConfig::for_rowhammer_threshold(1);
+    }
+
+    #[test]
+    fn entry_override() {
+        let c = TrackerConfig::for_rowhammer_threshold(1000).entries_per_bank(64);
+        assert_eq!(c.entries_per_bank, 64);
+    }
+}

@@ -1,0 +1,259 @@
+//! CRA-style per-row counters in DRAM with an on-chip counter cache.
+//!
+//! CRA (Counter-based Row Activation, Kim et al., IEEE CAL 2014 — reference
+//! [14] of the paper) keeps one exact activation counter per DRAM row,
+//! stored *in DRAM*, with a small SRAM counter cache absorbing the hot rows'
+//! counter traffic. Unlike Misra-Gries it never overestimates (no spurious
+//! mitigations), and unlike Hydra it needs no group escalation — but every
+//! counter-cache miss costs a DRAM access, which is why later designs
+//! (Hydra) added the group level. It is included here as the third point in
+//! the tracker design space AQUA can plug into.
+
+use crate::{AggressorTracker, TrackerDecision, TrackerStats};
+use aqua_dram::RowAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// CRA tracker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CraConfig {
+    /// Mitigation threshold `A` (activations per row per epoch).
+    pub mitigation_threshold: u64,
+    /// Entries in the SRAM counter cache.
+    pub cache_entries: usize,
+    /// Associativity of the counter cache.
+    pub cache_ways: usize,
+}
+
+impl CraConfig {
+    /// A design point comparable to the paper's other trackers: 8K-entry,
+    /// 8-way counter cache, mitigating at `t_rh / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_rh < 2`.
+    pub fn for_rowhammer_threshold(t_rh: u64) -> Self {
+        assert!(t_rh >= 2, "Rowhammer threshold must be at least 2");
+        CraConfig {
+            mitigation_threshold: t_rh / 2,
+            cache_entries: 8 * 1024,
+            cache_ways: 8,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CacheEntry {
+    row: RowAddr,
+    count: u64,
+    lru: u64,
+}
+
+/// Exact per-row counters in DRAM, cached in SRAM.
+#[derive(Debug)]
+pub struct CraTracker {
+    config: CraConfig,
+    /// Backing store: the in-DRAM counter table (exact, unbounded).
+    dram_counts: HashMap<RowAddr, u64>,
+    /// Set-associative SRAM counter cache.
+    cache: Vec<Option<CacheEntry>>,
+    sets: usize,
+    lru_clock: u64,
+    stats: TrackerStats,
+}
+
+impl CraTracker {
+    /// Creates the tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache configuration is degenerate.
+    pub fn new(config: CraConfig) -> Self {
+        assert!(config.cache_entries >= config.cache_ways && config.cache_ways > 0);
+        let sets = config.cache_entries / config.cache_ways;
+        CraTracker {
+            config,
+            dram_counts: HashMap::new(),
+            cache: vec![None; sets * config.cache_ways],
+            sets,
+            lru_clock: 0,
+            stats: TrackerStats::default(),
+        }
+    }
+
+    fn set_range(&self, row: RowAddr) -> std::ops::Range<usize> {
+        let key = (row.bank.index() as u64) << 32 | row.row as u64;
+        let mut x = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        x ^= x >> 29;
+        let set = (x % self.sets as u64) as usize;
+        set * self.config.cache_ways..(set + 1) * self.config.cache_ways
+    }
+
+    /// The exact count for `row` this epoch (cache or DRAM).
+    pub fn count(&self, row: RowAddr) -> u64 {
+        for i in self.set_range(row) {
+            if let Some(e) = &self.cache[i] {
+                if e.row == row {
+                    return e.count;
+                }
+            }
+        }
+        self.dram_counts.get(&row).copied().unwrap_or(0)
+    }
+}
+
+impl AggressorTracker for CraTracker {
+    fn on_activation(&mut self, row: RowAddr) -> TrackerDecision {
+        self.stats.activations += 1;
+        self.lru_clock += 1;
+        let range = self.set_range(row);
+        // Cache hit: increment in place.
+        for i in range.clone() {
+            if let Some(e) = &mut self.cache[i] {
+                if e.row == row {
+                    e.count += 1;
+                    e.lru = self.lru_clock;
+                    let count = e.count;
+                    return if count % self.config.mitigation_threshold == 0 {
+                        self.stats.mitigations += 1;
+                        TrackerDecision::trigger(count)
+                    } else {
+                        TrackerDecision::quiet(count)
+                    };
+                }
+            }
+        }
+        // Miss: fetch the counter from DRAM, evicting the set's LRU entry
+        // (written back to DRAM) — both cost a DRAM access.
+        self.stats.dram_accesses += 1;
+        let count = self.dram_counts.entry(row).or_insert(0);
+        *count += 1;
+        let count = *count;
+        let victim = range
+            .clone()
+            .min_by_key(|&i| self.cache[i].map_or(0, |e| e.lru))
+            .expect("non-empty set");
+        if let Some(old) = self.cache[victim] {
+            self.dram_counts.insert(old.row, old.count);
+            self.stats.replacements += 1;
+        }
+        self.cache[victim] = Some(CacheEntry {
+            row,
+            count,
+            lru: self.lru_clock,
+        });
+        if count.is_multiple_of(self.config.mitigation_threshold) {
+            self.stats.mitigations += 1;
+            TrackerDecision::trigger(count)
+        } else {
+            TrackerDecision::quiet(count)
+        }
+    }
+
+    fn end_epoch(&mut self) {
+        self.dram_counts.clear();
+        self.cache.fill(None);
+        self.stats.epochs += 1;
+    }
+
+    fn stats(&self) -> TrackerStats {
+        self.stats
+    }
+
+    fn sram_bits(&self) -> u64 {
+        // Tag (21) + counter (21) + valid per cache entry.
+        self.config.cache_entries as u64 * (21 + 21 + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_dram::BankId;
+
+    fn row(r: u32) -> RowAddr {
+        RowAddr {
+            bank: BankId::new(0),
+            row: r,
+        }
+    }
+
+    fn tracker(a: u64, entries: usize) -> CraTracker {
+        CraTracker::new(CraConfig {
+            mitigation_threshold: a,
+            cache_entries: entries,
+            cache_ways: 4,
+        })
+    }
+
+    #[test]
+    fn exact_counting_through_the_cache() {
+        let mut t = tracker(10, 16);
+        let fired: Vec<u64> = (1..=25)
+            .filter(|_| t.on_activation(row(1)).mitigate())
+            .collect();
+        assert_eq!(fired.len(), 2); // at 10 and 20
+        assert_eq!(t.count(row(1)), 25);
+    }
+
+    #[test]
+    fn counts_survive_eviction() {
+        // Touch many rows so row 1's counter gets evicted to DRAM, then
+        // verify the count picks up where it left off.
+        let mut t = tracker(100, 8);
+        for _ in 0..7 {
+            t.on_activation(row(1));
+        }
+        for r in 100..200 {
+            t.on_activation(row(r));
+        }
+        assert_eq!(t.count(row(1)), 7, "evicted counter must persist in DRAM");
+        for _ in 0..3 {
+            t.on_activation(row(1));
+        }
+        assert_eq!(t.count(row(1)), 10);
+    }
+
+    #[test]
+    fn never_spurious_unlike_misra_gries() {
+        // CRA is exact: churning unique rows never pushes anyone over the
+        // threshold.
+        let mut t = tracker(5, 8);
+        for r in 0..10_000u32 {
+            assert!(!t.on_activation(row(r)).mitigate());
+        }
+    }
+
+    #[test]
+    fn misses_cost_dram_accesses() {
+        let mut t = tracker(100, 8);
+        for r in 0..100 {
+            t.on_activation(row(r));
+        }
+        assert!(t.stats().dram_accesses >= 92, "{}", t.stats().dram_accesses);
+        // Hot-row re-activations are cache hits.
+        let before = t.stats().dram_accesses;
+        for _ in 0..10 {
+            t.on_activation(row(99));
+        }
+        assert_eq!(t.stats().dram_accesses, before);
+    }
+
+    #[test]
+    fn epoch_reset_clears_everything() {
+        let mut t = tracker(10, 16);
+        for _ in 0..9 {
+            t.on_activation(row(1));
+        }
+        t.end_epoch();
+        assert_eq!(t.count(row(1)), 0);
+        assert!(!t.on_activation(row(1)).mitigate());
+    }
+
+    #[test]
+    fn sram_is_cache_only() {
+        let t = tracker(500, 8 * 1024);
+        let kb = t.sram_bits() / 8 / 1024;
+        assert!((40..=48).contains(&kb), "CRA cache = {kb} KB");
+    }
+}

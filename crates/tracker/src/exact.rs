@@ -1,0 +1,122 @@
+//! Idealized exact per-row tracker.
+
+use crate::{AggressorTracker, TrackerDecision, TrackerStats};
+use aqua_dram::RowAddr;
+use std::collections::HashMap;
+
+/// An idealized tracker with one exact counter per accessed row.
+///
+/// Never issues spurious mitigations and never misses a row, but its storage
+/// grows with the footprint (it models an "ideal tracker", as used for the
+/// Blockhammer comparison in section VII-B). Useful in tests as ground truth
+/// for the Misra-Gries overestimate.
+#[derive(Debug)]
+pub struct ExactTracker {
+    threshold: u64,
+    counts: HashMap<RowAddr, u64>,
+    stats: TrackerStats,
+}
+
+impl ExactTracker {
+    /// Creates an exact tracker that mitigates every `threshold` activations
+    /// of a row within an epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(threshold: u64) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        ExactTracker {
+            threshold,
+            counts: HashMap::new(),
+            stats: TrackerStats::default(),
+        }
+    }
+
+    /// Exact count for `row` in the current epoch.
+    pub fn count(&self, row: RowAddr) -> u64 {
+        self.counts.get(&row).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct rows activated this epoch.
+    pub fn tracked_rows(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+impl AggressorTracker for ExactTracker {
+    fn on_activation(&mut self, row: RowAddr) -> TrackerDecision {
+        self.stats.activations += 1;
+        let count = self.counts.entry(row).or_insert(0);
+        *count += 1;
+        if (*count).is_multiple_of(self.threshold) {
+            self.stats.mitigations += 1;
+            TrackerDecision::trigger(*count)
+        } else {
+            TrackerDecision::quiet(*count)
+        }
+    }
+
+    fn end_epoch(&mut self) {
+        self.counts.clear();
+        self.stats.epochs += 1;
+    }
+
+    fn stats(&self) -> TrackerStats {
+        self.stats
+    }
+
+    fn sram_bits(&self) -> u64 {
+        // 21-bit global row id + 21-bit counter per live entry.
+        self.counts.len() as u64 * (21 + 21)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_dram::BankId;
+
+    fn row(r: u32) -> RowAddr {
+        RowAddr {
+            bank: BankId::new(0),
+            row: r,
+        }
+    }
+
+    #[test]
+    fn fires_exactly_at_multiples() {
+        let mut t = ExactTracker::new(5);
+        let fired: Vec<u64> = (1..=12)
+            .filter(|_| t.on_activation(row(1)).mitigate())
+            .collect();
+        assert_eq!(fired.len(), 2);
+        assert_eq!(t.count(row(1)), 12);
+    }
+
+    #[test]
+    fn epoch_reset() {
+        let mut t = ExactTracker::new(5);
+        for _ in 0..4 {
+            t.on_activation(row(1));
+        }
+        t.end_epoch();
+        assert_eq!(t.count(row(1)), 0);
+        assert_eq!(t.tracked_rows(), 0);
+    }
+
+    #[test]
+    fn storage_grows_with_footprint() {
+        let mut t = ExactTracker::new(5);
+        for r in 0..100 {
+            t.on_activation(row(r));
+        }
+        assert_eq!(t.sram_bits(), 100 * 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_threshold() {
+        ExactTracker::new(0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Hydra-style hybrid SRAM/DRAM tracker (paper Appendix B).
+//!
+//! Hydra keeps small *group* counters in SRAM. While a group of rows is cold,
+//! one shared counter suffices. Once the group counter crosses a group
+//! threshold, Hydra falls back to exact per-row counters stored in DRAM,
+//! initialized conservatively to the group-counter value, with a small SRAM
+//! row-counter cache (RCC) absorbing most per-row counter accesses.
+//!
+//! This reproduces the two properties the paper relies on:
+//! no undercounting (per-row counters start at the group count, an
+//! overestimate) and a tiny SRAM footprint (~28 KB per rank) at the cost of a
+//! small number of extra DRAM accesses.
+
+use crate::{AggressorTracker, TrackerDecision, TrackerStats};
+use aqua_dram::RowAddr;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hydra tracker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HydraConfig {
+    /// Mitigation threshold `A` (activations per row per epoch).
+    pub mitigation_threshold: u64,
+    /// Number of SRAM group counters.
+    pub group_counters: usize,
+    /// Rows per group (total rows / group counters, rounded up).
+    pub rows_per_group: u32,
+    /// Group-counter value at which the group switches to per-row counting.
+    pub group_threshold: u64,
+    /// Entries in the SRAM row-counter cache.
+    pub rcc_entries: usize,
+}
+
+impl HydraConfig {
+    /// Configuration mirroring the published Hydra design point for a 16 GB
+    /// rank (2M rows): 32K group counters (groups of 64 rows), group threshold
+    /// at half the mitigation threshold, 4K-entry RCC.
+    pub fn for_rowhammer_threshold(t_rh: u64) -> Self {
+        let a = (t_rh / 2).max(1);
+        HydraConfig {
+            mitigation_threshold: a,
+            group_counters: 32 * 1024,
+            rows_per_group: 64,
+            group_threshold: (a / 2).max(1),
+            rcc_entries: 4 * 1024,
+        }
+    }
+}
+
+/// Hydra-style hybrid tracker.
+///
+/// # Example
+///
+/// ```
+/// use aqua_dram::{BankId, RowAddr};
+/// use aqua_tracker::{AggressorTracker, HydraConfig, HydraTracker};
+///
+/// let mut t = HydraTracker::new(HydraConfig::for_rowhammer_threshold(1000), 128 * 1024);
+/// let row = RowAddr { bank: BankId::new(0), row: 42 };
+/// let fired: u32 = (0..1000).map(|_| t.on_activation(row).mitigate() as u32).sum();
+/// assert!(fired >= 1); // conservative overestimates may fire early, never late
+/// ```
+#[derive(Debug)]
+pub struct HydraTracker {
+    config: HydraConfig,
+    rows_per_bank: u32,
+    group_counts: Vec<u64>,
+    /// Per-row counters for escalated groups (modelled as residing in DRAM).
+    row_counts: HashMap<RowAddr, u64>,
+    /// Direct-mapped row-counter cache: slot -> row currently cached.
+    rcc: Vec<Option<RowAddr>>,
+    stats: TrackerStats,
+}
+
+impl HydraTracker {
+    /// Creates a Hydra tracker for a module with `rows_per_bank` rows per bank.
+    pub fn new(config: HydraConfig, rows_per_bank: u32) -> Self {
+        HydraTracker {
+            config,
+            rows_per_bank,
+            group_counts: vec![0; config.group_counters],
+            row_counts: HashMap::new(),
+            rcc: vec![None; config.rcc_entries],
+            stats: TrackerStats::default(),
+        }
+    }
+
+    fn group_of(&self, row: RowAddr) -> usize {
+        let flat = row.bank.index() as u64 * self.rows_per_bank as u64 + row.row as u64;
+        (flat / self.config.rows_per_group as u64) as usize % self.config.group_counters
+    }
+
+    fn rcc_slot(&self, row: RowAddr) -> usize {
+        let flat = row.bank.index() as u64 * self.rows_per_bank as u64 + row.row as u64;
+        (flat as usize) % self.config.rcc_entries
+    }
+
+    /// Number of groups currently escalated to per-row counting.
+    pub fn escalated_rows(&self) -> usize {
+        self.row_counts.len()
+    }
+}
+
+impl AggressorTracker for HydraTracker {
+    fn on_activation(&mut self, row: RowAddr) -> TrackerDecision {
+        self.stats.activations += 1;
+        let group = self.group_of(row);
+        let gcount = &mut self.group_counts[group];
+        if *gcount < self.config.group_threshold {
+            // Cold group: shared counter only, pure SRAM.
+            *gcount += 1;
+            return TrackerDecision::quiet(*gcount);
+        }
+        // Hot group: per-row counter, initialized conservatively to the group
+        // count on first touch (never undercounts).
+        let init = *gcount;
+        let slot = self.rcc_slot(row);
+        if self.rcc[slot] != Some(row) {
+            // RCC miss: fetch/instantiate the per-row counter from DRAM.
+            self.stats.dram_accesses += 1;
+            if self.rcc[slot].is_some() {
+                self.stats.replacements += 1;
+            }
+            self.rcc[slot] = Some(row);
+        }
+        let count = self.row_counts.entry(row).or_insert(init);
+        *count += 1;
+        if *count >= self.config.mitigation_threshold
+            && (*count).is_multiple_of(self.config.mitigation_threshold)
+        {
+            self.stats.mitigations += 1;
+            TrackerDecision::trigger(*count)
+        } else {
+            TrackerDecision::quiet(*count)
+        }
+    }
+
+    fn end_epoch(&mut self) {
+        self.group_counts.fill(0);
+        self.row_counts.clear();
+        self.rcc.fill(None);
+        self.stats.epochs += 1;
+    }
+
+    fn stats(&self) -> TrackerStats {
+        self.stats
+    }
+
+    fn sram_bits(&self) -> u64 {
+        // Group counters (each wide enough for the group threshold) plus the
+        // RCC (tag + counter per entry). Per-row counters live in DRAM.
+        let gc_bits = self.config.group_counters as u64 * 5;
+        let rcc_bits = self.config.rcc_entries as u64 * (21 + 21 + 1);
+        gc_bits + rcc_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_dram::BankId;
+
+    fn row(r: u32) -> RowAddr {
+        RowAddr {
+            bank: BankId::new(0),
+            row: r,
+        }
+    }
+
+    fn config(a: u64) -> HydraConfig {
+        HydraConfig {
+            mitigation_threshold: a,
+            group_counters: 64,
+            rows_per_group: 4,
+            group_threshold: a / 2,
+            rcc_entries: 16,
+        }
+    }
+
+    #[test]
+    fn cold_groups_stay_in_sram() {
+        let mut t = HydraTracker::new(config(100), 1024);
+        for _ in 0..49 {
+            t.on_activation(row(1));
+        }
+        assert_eq!(t.stats().dram_accesses, 0);
+        assert_eq!(t.escalated_rows(), 0);
+    }
+
+    #[test]
+    fn hot_group_escalates_and_fires() {
+        let mut t = HydraTracker::new(config(100), 1024);
+        let mut fired_at = None;
+        for i in 1..=150u64 {
+            if t.on_activation(row(1)).mitigate() {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        // Conservative init can make it fire early; never later than 100.
+        let at = fired_at.expect("must fire by the 100th activation");
+        assert!(at <= 100, "fired at {at}");
+        assert!(t.stats().dram_accesses >= 1);
+    }
+
+    #[test]
+    fn never_undercounts_vs_truth() {
+        let mut t = HydraTracker::new(config(40), 1024);
+        let mut truth = 0u64;
+        for _ in 0..60 {
+            truth += 1;
+            let d = t.on_activation(row(7));
+            assert!(d.estimate() >= truth.min(d.estimate()));
+        }
+        // The per-row estimate is at least the activations since escalation
+        // plus the group count at escalation, i.e. >= true count.
+        let d = t.on_activation(row(7));
+        truth += 1;
+        assert!(d.estimate() >= truth);
+    }
+
+    #[test]
+    fn group_sharing_is_conservative() {
+        // Two rows in the same group share the group counter while cold, so
+        // the first escalated row inherits the *combined* count (safe side).
+        let mut t = HydraTracker::new(config(100), 1024);
+        for _ in 0..25 {
+            t.on_activation(row(0));
+            t.on_activation(row(1)); // same group of 4 rows
+        }
+        // Group crossed threshold (50) at combined count; row 0's estimate
+        // now exceeds its true count of ~25.
+        let d = t.on_activation(row(0));
+        assert!(d.estimate() > 25);
+    }
+
+    #[test]
+    fn rcc_misses_cost_dram_accesses() {
+        let mut t = HydraTracker::new(config(10), 1024);
+        // Escalate one group (rows 0..4).
+        for _ in 0..5 {
+            t.on_activation(row(0));
+        }
+        let before = t.stats().dram_accesses;
+        // Alternate two rows that collide in the 16-entry RCC (0 and 16 map
+        // to slot 0 but are in different groups; use rows 0 and 1 which share
+        // the group but different RCC slots -> each misses only once).
+        t.on_activation(row(0));
+        t.on_activation(row(1));
+        t.on_activation(row(0));
+        t.on_activation(row(1));
+        let misses = t.stats().dram_accesses - before;
+        assert!(misses <= 2, "expected <=2 cold misses, got {misses}");
+    }
+
+    #[test]
+    fn epoch_reset_clears_everything() {
+        let mut t = HydraTracker::new(config(10), 1024);
+        for _ in 0..20 {
+            t.on_activation(row(3));
+        }
+        t.end_epoch();
+        assert_eq!(t.escalated_rows(), 0);
+        let d = t.on_activation(row(3));
+        assert_eq!(d.estimate(), 1);
+    }
+
+    #[test]
+    fn sram_is_much_smaller_than_exact() {
+        let paper = HydraConfig::for_rowhammer_threshold(1000);
+        let t = HydraTracker::new(paper, 128 * 1024);
+        // ~28 KB per rank in the paper; our accounting lands in the tens of KB.
+        let kb = t.sram_bits() as f64 / 8.0 / 1024.0;
+        assert!(kb < 64.0, "Hydra SRAM {kb} KB");
+    }
+}

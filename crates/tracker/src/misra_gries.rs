@@ -1,0 +1,307 @@
+//! Per-bank Misra-Gries / Space-Saving aggressor tracker (Graphene-style).
+
+use crate::{AggressorTracker, TrackerConfig, TrackerDecision, TrackerStats};
+use aqua_dram::RowAddr;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One bank's Space-Saving summary.
+///
+/// Invariant: `counts` and `buckets` describe the same multiset — every
+/// tracked row appears in exactly one bucket, keyed by its current count.
+#[derive(Debug, Default)]
+struct BankSummary {
+    counts: HashMap<u32, u64>,
+    buckets: BTreeMap<u64, HashSet<u32>>,
+    replacements: u64,
+}
+
+impl BankSummary {
+    fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn min_count(&self) -> u64 {
+        self.buckets.keys().next().copied().unwrap_or(0)
+    }
+
+    fn move_bucket(&mut self, row: u32, from: u64, to: u64) {
+        let empty = {
+            let set = self
+                .buckets
+                .get_mut(&from)
+                .expect("bucket for tracked count must exist");
+            set.remove(&row);
+            set.is_empty()
+        };
+        if empty {
+            self.buckets.remove(&from);
+        }
+        self.buckets.entry(to).or_default().insert(row);
+    }
+
+    /// Records one activation; returns the row's new estimated count.
+    fn touch(&mut self, row: u32, capacity: usize) -> u64 {
+        if let Some(count) = self.counts.get_mut(&row) {
+            let old = *count;
+            *count += 1;
+            let new = *count;
+            self.move_bucket(row, old, new);
+            return new;
+        }
+        if self.len() < capacity {
+            self.counts.insert(row, 1);
+            self.buckets.entry(1).or_default().insert(row);
+            return 1;
+        }
+        // Table full: replace a minimum-count entry. The newcomer inherits
+        // min + 1 — the overestimate that causes the paper's spurious
+        // mitigations (section IV-F).
+        let min = self.min_count();
+        let victim = *self
+            .buckets
+            .get(&min)
+            .and_then(|s| s.iter().next())
+            .expect("non-empty summary must have a min bucket");
+        self.counts.remove(&victim);
+        if let Some(set) = self.buckets.get_mut(&min) {
+            set.remove(&victim);
+            if set.is_empty() {
+                self.buckets.remove(&min);
+            }
+        }
+        self.replacements += 1;
+        let new = min + 1;
+        self.counts.insert(row, new);
+        self.buckets.entry(new).or_default().insert(row);
+        new
+    }
+
+    fn clear(&mut self) {
+        self.counts.clear();
+        self.buckets.clear();
+    }
+}
+
+/// Graphene-style per-bank Misra-Gries (Space-Saving) tracker.
+///
+/// Guarantee: with `entries_per_bank >= ACTmax / A`, any row that receives `A`
+/// activations within an epoch is flagged at or before its `A`-th activation
+/// (the summary may *overestimate* counts, never underestimate by more than
+/// the minimum count, which the sizing keeps below `A`).
+///
+/// # Example
+///
+/// ```
+/// use aqua_dram::{BankId, RowAddr};
+/// use aqua_tracker::{AggressorTracker, MisraGriesTracker, TrackerConfig};
+///
+/// let mut t = MisraGriesTracker::new(TrackerConfig::with_mitigation_threshold(10), 4);
+/// let row = RowAddr { bank: BankId::new(1), row: 3 };
+/// let fired: u32 = (0..25).map(|_| t.on_activation(row).mitigate() as u32).sum();
+/// assert_eq!(fired, 2); // at counts 10 and 20
+/// ```
+#[derive(Debug)]
+pub struct MisraGriesTracker {
+    config: TrackerConfig,
+    banks: Vec<BankSummary>,
+    stats: TrackerStats,
+}
+
+impl MisraGriesTracker {
+    /// Creates a tracker with one summary per bank.
+    pub fn new(config: TrackerConfig, banks: u32) -> Self {
+        MisraGriesTracker {
+            config,
+            banks: (0..banks).map(|_| BankSummary::default()).collect(),
+            stats: TrackerStats::default(),
+        }
+    }
+
+    /// The configured mitigation threshold `A`.
+    pub fn mitigation_threshold(&self) -> u64 {
+        self.config.mitigation_threshold
+    }
+
+    /// Current estimated count for `row`, if tracked.
+    pub fn estimate(&self, row: RowAddr) -> Option<u64> {
+        self.banks
+            .get(row.bank.index() as usize)
+            .and_then(|b| b.counts.get(&row.row).copied())
+    }
+}
+
+impl AggressorTracker for MisraGriesTracker {
+    fn on_activation(&mut self, row: RowAddr) -> TrackerDecision {
+        self.stats.activations += 1;
+        let bank = self
+            .banks
+            .get_mut(row.bank.index() as usize)
+            .expect("bank index within configured bank count");
+        let before_replacements = bank.replacements;
+        let count = bank.touch(row.row, self.config.entries_per_bank);
+        self.stats.replacements += bank.replacements - before_replacements;
+        if count >= self.config.mitigation_threshold
+            && count.is_multiple_of(self.config.mitigation_threshold)
+        {
+            self.stats.mitigations += 1;
+            TrackerDecision::trigger(count)
+        } else {
+            TrackerDecision::quiet(count)
+        }
+    }
+
+    fn end_epoch(&mut self) {
+        for bank in &mut self.banks {
+            bank.clear();
+        }
+        self.stats.epochs += 1;
+    }
+
+    fn stats(&self) -> TrackerStats {
+        self.stats
+    }
+
+    fn sram_bits(&self) -> u64 {
+        // Per entry: 17-bit row address (128K rows/bank), 21-bit counter
+        // (counts up to ACTmax), valid bit. CAM/comparator overhead excluded.
+        let bits_per_entry = 17 + 21 + 1;
+        self.banks.len() as u64 * self.config.entries_per_bank as u64 * bits_per_entry
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_dram::BankId;
+
+    fn row(bank: u32, row: u32) -> RowAddr {
+        RowAddr {
+            bank: BankId::new(bank),
+            row,
+        }
+    }
+
+    fn tracker(a: u64, entries: usize) -> MisraGriesTracker {
+        MisraGriesTracker::new(
+            TrackerConfig::with_mitigation_threshold(a).entries_per_bank(entries),
+            4,
+        )
+    }
+
+    #[test]
+    fn fires_at_every_multiple_of_threshold() {
+        let mut t = tracker(100, 8);
+        let mut fired = vec![];
+        for i in 1..=350u64 {
+            if t.on_activation(row(0, 1)).mitigate() {
+                fired.push(i);
+            }
+        }
+        assert_eq!(fired, vec![100, 200, 300]);
+        assert_eq!(t.stats().mitigations, 3);
+    }
+
+    #[test]
+    fn separate_banks_do_not_interfere() {
+        let mut t = tracker(10, 8);
+        for _ in 0..9 {
+            assert!(!t.on_activation(row(0, 5)).mitigate());
+            assert!(!t.on_activation(row(1, 5)).mitigate());
+        }
+        assert!(t.on_activation(row(0, 5)).mitigate());
+        assert!(t.on_activation(row(1, 5)).mitigate());
+    }
+
+    #[test]
+    fn replacement_inherits_min_count() {
+        let mut t = tracker(100, 2);
+        // Fill the 2-entry bank summary.
+        for _ in 0..5 {
+            t.on_activation(row(0, 1));
+        }
+        for _ in 0..3 {
+            t.on_activation(row(0, 2));
+        }
+        // New row evicts the min (count 3) and starts at 4.
+        let d = t.on_activation(row(0, 3));
+        assert_eq!(d.estimate(), 4);
+        assert_eq!(t.estimate(row(0, 2)), None);
+        assert_eq!(t.stats().replacements, 1);
+    }
+
+    #[test]
+    fn spurious_mitigation_from_spill() {
+        // Paper IV-F: a fresh row can inherit a near-threshold count and
+        // trigger a mitigation it never earned.
+        let mut t = tracker(10, 1);
+        for _ in 0..9 {
+            t.on_activation(row(0, 1));
+        }
+        // Row 2 replaces row 1, inheriting count 9 + 1 = 10 -> fires.
+        let d = t.on_activation(row(0, 2));
+        assert!(d.mitigate());
+        assert_eq!(d.estimate(), 10);
+    }
+
+    #[test]
+    fn never_undercounts() {
+        // Estimated count >= true count for every tracked row, always.
+        let mut t = tracker(50, 4);
+        let mut truth: std::collections::HashMap<u32, u64> = Default::default();
+        let pattern = [1u32, 2, 1, 3, 4, 5, 1, 2, 6, 1, 7, 1, 1, 2, 3];
+        for &r in pattern.iter().cycle().take(600) {
+            *truth.entry(r).or_default() += 1;
+            t.on_activation(row(0, r));
+            if let Some(est) = t.estimate(row(0, r)) {
+                assert!(est >= truth[&r], "row {r}: est {est} < true {}", truth[&r]);
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_reset_clears_counts() {
+        let mut t = tracker(10, 4);
+        for _ in 0..9 {
+            t.on_activation(row(0, 1));
+        }
+        t.end_epoch();
+        assert_eq!(t.estimate(row(0, 1)), None);
+        // After reset, 9 more activations do not fire (would have at 10).
+        for _ in 0..9 {
+            assert!(!t.on_activation(row(0, 1)).mitigate());
+        }
+        assert_eq!(t.stats().epochs, 1);
+    }
+
+    #[test]
+    fn guarantee_with_graphene_sizing() {
+        // With entries >= ACTs/threshold, a hot row among background noise is
+        // always flagged by its A-th activation.
+        let a = 20;
+        let total_acts = 400;
+        let entries = (total_acts / a) as usize; // Graphene sizing
+        let mut t = tracker(a, entries);
+        let mut hot_acts = 0;
+        let mut flagged = false;
+        for i in 0..total_acts {
+            if i % 2 == 0 {
+                hot_acts += 1;
+                if t.on_activation(row(0, 9999)).mitigate() {
+                    flagged = true;
+                    break;
+                }
+            } else {
+                t.on_activation(row(0, i as u32)); // unique cold rows
+            }
+        }
+        assert!(flagged, "hot row not flagged");
+        assert!(hot_acts <= a, "flagged only after {hot_acts} > {a} ACTs");
+    }
+
+    #[test]
+    fn sram_bits_scale_with_entries() {
+        let small = tracker(100, 10).sram_bits();
+        let large = tracker(100, 100).sram_bits();
+        assert_eq!(large, small * 10);
+    }
+}

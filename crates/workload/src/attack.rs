@@ -1,0 +1,277 @@
+//! Adversarial access patterns (threat model of section II-A, attacks of
+//! sections VI and VII).
+
+use crate::{AddressSpace, MemoryRequest, RequestGenerator};
+use aqua_dram::{Duration, GlobalRowId};
+
+/// Round-robin hammering of a fixed row set at maximum rate.
+///
+/// Covers single-sided (`rows.len() == 1`), double-sided (two rows around a
+/// victim), and many-sided patterns. A zero gap lets bank timing (`tRC`)
+/// limit the achieved activation rate, as a real attacker would.
+#[derive(Debug, Clone)]
+pub struct Hammer {
+    label: String,
+    rows: Vec<GlobalRowId>,
+    next: usize,
+    gap: Duration,
+}
+
+impl Hammer {
+    /// Hammers `rows` round-robin with `gap` compute time between accesses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty.
+    pub fn new(label: impl Into<String>, rows: Vec<GlobalRowId>, gap: Duration) -> Self {
+        assert!(!rows.is_empty(), "hammer pattern needs at least one row");
+        Hammer {
+            label: label.into(),
+            rows,
+            next: 0,
+            gap,
+        }
+    }
+
+    /// Single-sided hammering of one row.
+    pub fn single_sided(space: &AddressSpace, bank: u32, row: u32) -> Self {
+        Hammer::new("single-sided", vec![space.at(bank, row)], Duration::ZERO)
+    }
+
+    /// Double-sided hammering around `victim` (activates `victim +- 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim` is the first row of the bank.
+    pub fn double_sided(space: &AddressSpace, bank: u32, victim: u32) -> Self {
+        assert!(victim >= 1, "double-sided needs a row above and below");
+        Hammer::new(
+            "double-sided",
+            vec![space.at(bank, victim - 1), space.at(bank, victim + 1)],
+            Duration::ZERO,
+        )
+    }
+
+    /// Many-sided hammering of `n` rows spaced 2 apart (TRRespass-style).
+    pub fn many_sided(space: &AddressSpace, bank: u32, first: u32, n: u32) -> Self {
+        let rows = (0..n).map(|i| space.at(bank, first + 2 * i)).collect();
+        Hammer::new(format!("{n}-sided"), rows, Duration::ZERO)
+    }
+
+    /// The Half-Double pattern around `victim`: hammer the *distance-2* rows
+    /// (`victim +- 2`) at maximum rate. Under victim-refresh, every
+    /// mitigation refreshes the distance-1 rows (`victim +- 1`); those
+    /// refreshes are row activations the tracker never sees, so the
+    /// distance-1 rows silently accumulate far more than `T_RH` activations
+    /// and flip bits in `victim` (section II-D, Figure 1a).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim < 2`.
+    pub fn half_double(space: &AddressSpace, bank: u32, victim: u32) -> Self {
+        assert!(victim >= 2, "half-double needs two rows of headroom");
+        Hammer::new(
+            "half-double",
+            vec![space.at(bank, victim - 2), space.at(bank, victim + 2)],
+            Duration::ZERO,
+        )
+    }
+
+    /// Hammers the two rows at distance `d` from `victim` (`victim +- d`).
+    /// `d = 1` is the classic double-sided pattern; `d = 2` is Half-Double;
+    /// larger `d` models the escalation the paper warns about: if the
+    /// defence refreshes out to distance `d - 1`, its refreshes of the
+    /// `victim +- 1` rows still hammer the victim (section I).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `victim < d` or `d == 0`.
+    pub fn distance_sided(space: &AddressSpace, bank: u32, victim: u32, d: u32) -> Self {
+        assert!(d >= 1 && victim >= d, "need d rows of headroom");
+        Hammer::new(
+            format!("distance-{d}"),
+            vec![space.at(bank, victim - d), space.at(bank, victim + d)],
+            Duration::ZERO,
+        )
+    }
+
+    /// The Blockhammer worst-case pattern: two conflicting rows in one bank
+    /// (one round per ~100 ns unthrottled; throttled to the per-row quota).
+    pub fn row_conflict(space: &AddressSpace, bank: u32, first: u32) -> Self {
+        Hammer::new(
+            "row-conflict",
+            vec![space.at(bank, first), space.at(bank, first + 1)],
+            Duration::ZERO,
+        )
+    }
+
+    /// The rows this pattern hammers.
+    pub fn rows(&self) -> &[GlobalRowId] {
+        &self.rows
+    }
+}
+
+impl RequestGenerator for Hammer {
+    fn next_request(&mut self) -> MemoryRequest {
+        let row = self.rows[self.next];
+        self.next = (self.next + 1) % self.rows.len();
+        MemoryRequest { row, gap: self.gap }
+    }
+
+    fn label(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The worst-case denial-of-service pattern of section VI-C: in every bank,
+/// hammer fresh row pairs exactly to the migration threshold, then move on —
+/// maximizing the row-migration rate (one migration per bank per
+/// `A * tRC` = 22.5 us at `T_RH` = 1K).
+///
+/// Each bank alternates between two rows so that every access is a
+/// row-buffer conflict (a genuine activation); with an open-page policy,
+/// re-accessing a single row would only produce row-buffer hits.
+#[derive(Debug, Clone)]
+pub struct MigrationFlood {
+    space: AddressSpace,
+    banks: u32,
+    threshold: u64,
+    /// Per-bank (current row pair base, activations so far, toggle).
+    cursor: Vec<(u32, u64, bool)>,
+    next_bank: u32,
+    rows_per_bank_budget: u32,
+}
+
+impl MigrationFlood {
+    /// Creates the flood pattern for `banks` banks, advancing to a new row
+    /// pair after each row of the pair accrues `threshold` activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is zero.
+    pub fn new(space: &AddressSpace, banks: u32, threshold: u64) -> Self {
+        assert!(threshold > 0);
+        // Half the usable rows of one bank: pair partner lives in the upper
+        // half, the advancing base in the lower half.
+        let budget = (space.len() / space.geometry().total_banks() as u64 / 2) as u32;
+        MigrationFlood {
+            space: *space,
+            banks,
+            threshold,
+            cursor: vec![(0, 0, false); banks as usize],
+            next_bank: 0,
+            rows_per_bank_budget: budget.max(1),
+        }
+    }
+}
+
+impl RequestGenerator for MigrationFlood {
+    fn next_request(&mut self) -> MemoryRequest {
+        let bank = self.next_bank;
+        self.next_bank = (self.next_bank + 1) % self.banks;
+        let (base, acts, toggle) = &mut self.cursor[bank as usize];
+        let row = if *toggle {
+            // The conflict partner lives in the upper half of the budget.
+            *base + self.rows_per_bank_budget
+        } else {
+            *base
+        };
+        *toggle = !*toggle;
+        *acts += 1;
+        // Both rows of the pair reach `threshold` after 2 * threshold
+        // accesses; then move to a fresh pair.
+        if *acts >= 2 * self.threshold {
+            *acts = 0;
+            *base = (*base + 1) % self.rows_per_bank_budget;
+        }
+        MemoryRequest {
+            row: self.space.at(bank, row),
+            gap: Duration::ZERO,
+        }
+    }
+
+    fn label(&self) -> String {
+        "migration-flood".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_dram::DramGeometry;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(DramGeometry::tiny(), 0.9)
+    }
+
+    #[test]
+    fn double_sided_straddles_victim() {
+        let s = space();
+        let h = Hammer::double_sided(&s, 1, 100);
+        let g = s.geometry();
+        let rows: Vec<u32> = h.rows().iter().map(|&r| g.expand(r).unwrap().row).collect();
+        assert_eq!(rows, vec![99, 101]);
+    }
+
+    #[test]
+    fn half_double_hammers_distance_two() {
+        let s = space();
+        let h = Hammer::half_double(&s, 0, 50);
+        let g = s.geometry();
+        let rows: Vec<u32> = h.rows().iter().map(|&r| g.expand(r).unwrap().row).collect();
+        assert_eq!(rows, vec![48, 52]);
+    }
+
+    #[test]
+    fn hammer_alternates_rows() {
+        let s = space();
+        let mut h = Hammer::double_sided(&s, 0, 10);
+        let a = h.next_request().row;
+        let b = h.next_request().row;
+        let c = h.next_request().row;
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn many_sided_spacing() {
+        let s = space();
+        let h = Hammer::many_sided(&s, 0, 10, 4);
+        let g = s.geometry();
+        let rows: Vec<u32> = h.rows().iter().map(|&r| g.expand(r).unwrap().row).collect();
+        assert_eq!(rows, vec![10, 12, 14, 16]);
+    }
+
+    #[test]
+    fn migration_flood_alternates_then_advances() {
+        let s = space();
+        let mut f = MigrationFlood::new(&s, 1, 3);
+        let g = s.geometry();
+        let rows: Vec<u32> = (0..8)
+            .map(|_| g.expand(f.next_request().row).unwrap().row)
+            .collect();
+        // Pair (0, 0+budget) alternates for 2 * threshold = 6 accesses,
+        // then the pair advances to (1, 1+budget).
+        let hi = rows[1];
+        assert_ne!(rows[0], hi, "accesses must conflict in the bank");
+        assert_eq!(&rows[0..6], &[0, hi, 0, hi, 0, hi]);
+        assert_eq!(&rows[6..8], &[1, hi + 1]);
+    }
+
+    #[test]
+    fn migration_flood_spreads_across_banks() {
+        let s = space();
+        let mut f = MigrationFlood::new(&s, 4, 100);
+        let g = s.geometry();
+        let banks: std::collections::HashSet<u32> = (0..8)
+            .map(|_| g.expand(f.next_request().row).unwrap().bank.index())
+            .collect();
+        assert_eq!(banks.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn empty_hammer_rejected() {
+        Hammer::new("x", vec![], Duration::ZERO);
+    }
+}

@@ -1,0 +1,90 @@
+//! The 16 mixed workloads (4 random SPEC workloads per mix).
+
+use crate::spec::{SpecWorkload, TABLE2};
+use crate::{AddressSpace, HotColdGenerator};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One four-way mix: each core runs a different SPEC workload.
+#[derive(Debug, Clone)]
+pub struct MixWorkload {
+    /// Mix label, e.g. `mix03`.
+    pub name: String,
+    /// The four component workloads (one per core).
+    pub components: [SpecWorkload; 4],
+}
+
+impl MixWorkload {
+    /// Builds the generator for core `core`: one copy of the component
+    /// workload with a quarter of its Table II profile (its other three
+    /// copies do not run, matching the paper's mix construction).
+    pub fn generator(&self, space: &AddressSpace, core: u32, seed: u64) -> HotColdGenerator {
+        self.components[core as usize].generator(space, core, 4, seed)
+    }
+
+    /// Average MPKI of the mix's components.
+    pub fn mpki(&self) -> f64 {
+        self.components.iter().map(|w| w.mpki).sum::<f64>() / 4.0
+    }
+}
+
+/// The 16 deterministic mixes used throughout the evaluation (the paper
+/// draws 16 sets of four random SPEC2017 workloads; the seed fixes ours).
+pub fn mix_table() -> Vec<MixWorkload> {
+    let mut rng = StdRng::seed_from_u64(mix_seed());
+    (0..16)
+        .map(|i| {
+            let mut components = [TABLE2[0]; 4];
+            for c in &mut components {
+                *c = TABLE2[rng.gen_range(0..TABLE2.len())];
+            }
+            MixWorkload {
+                name: format!("mix{i:02}"),
+                components,
+            }
+        })
+        .collect()
+}
+
+const fn mix_seed() -> u64 {
+    0xa11_5eed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aqua_dram::DramGeometry;
+
+    #[test]
+    fn sixteen_mixes_are_deterministic() {
+        let a = mix_table();
+        let b = mix_table();
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            for (cx, cy) in x.components.iter().zip(&y.components) {
+                assert_eq!(cx.name, cy.name);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_generators_cover_all_cores() {
+        let space = AddressSpace::new(DramGeometry::paper_table1(), 0.98);
+        let mix = &mix_table()[0];
+        for core in 0..4 {
+            let g = mix.generator(&space, core, 5);
+            assert!(g.requests_per_epoch() > 0);
+        }
+    }
+
+    #[test]
+    fn mixes_sample_varied_workloads() {
+        let mixes = mix_table();
+        let distinct: std::collections::HashSet<&str> = mixes
+            .iter()
+            .flat_map(|m| m.components.iter().map(|c| c.name))
+            .collect();
+        assert!(distinct.len() >= 10, "only {} distinct", distinct.len());
+    }
+}

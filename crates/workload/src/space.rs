@@ -1,0 +1,152 @@
+//! OS-visible address space helper.
+
+use aqua_dram::{BankId, DramGeometry, GlobalRowId, RowAddr};
+use rand::Rng;
+
+/// The OS-visible portion of the module's rows.
+///
+/// AQUA reserves the top rows of each bank for the quarantine area and (in
+/// mapped mode) the in-DRAM tables; workloads must never address them. The
+/// address space exposes a dense index `0..len` that stripes across banks
+/// starting from row 0 — the low rows, farthest from the reserved region —
+/// so generator code never produces a reserved address.
+#[derive(Debug, Clone, Copy)]
+pub struct AddressSpace {
+    geometry: DramGeometry,
+    usable_rows_per_bank: u32,
+}
+
+impl AddressSpace {
+    /// Creates a space using the bottom `usable_fraction` of each bank
+    /// (e.g. `0.98` leaves the top 2% for AQUA's reserved regions).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < usable_fraction <= 1`.
+    pub fn new(geometry: DramGeometry, usable_fraction: f64) -> Self {
+        assert!(
+            usable_fraction > 0.0 && usable_fraction <= 1.0,
+            "usable fraction must be in (0, 1]"
+        );
+        AddressSpace {
+            geometry,
+            usable_rows_per_bank: ((geometry.rows_per_bank as f64 * usable_fraction) as u32).max(1),
+        }
+    }
+
+    /// Number of addressable rows.
+    pub fn len(&self) -> u64 {
+        self.geometry.total_banks() as u64 * self.usable_rows_per_bank as u64
+    }
+
+    /// Whether the space is empty (never true for valid geometries).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The module geometry.
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    /// Maps a dense index to a row id, striping across banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn nth(&self, index: u64) -> GlobalRowId {
+        assert!(index < self.len(), "address-space index out of range");
+        let banks = self.geometry.total_banks() as u64;
+        let addr = RowAddr {
+            bank: BankId::new((index % banks) as u32),
+            row: (index / banks) as u32,
+        };
+        self.geometry
+            .flatten(addr)
+            .expect("dense index maps inside geometry")
+    }
+
+    /// A row id at `(bank, row)` — for attack patterns that need physical
+    /// adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is outside the usable region.
+    pub fn at(&self, bank: u32, row: u32) -> GlobalRowId {
+        assert!(row < self.usable_rows_per_bank, "row in reserved region");
+        self.geometry
+            .flatten(RowAddr {
+                bank: BankId::new(bank),
+                row,
+            })
+            .expect("address within geometry")
+    }
+
+    /// Whether `row` is inside the usable (OS-visible) region.
+    pub fn contains(&self, row: GlobalRowId) -> bool {
+        match self.geometry.expand(row) {
+            Ok(addr) => addr.row < self.usable_rows_per_bank,
+            Err(_) => false,
+        }
+    }
+
+    /// A uniformly random usable row.
+    pub fn random<R: Rng>(&self, rng: &mut R) -> GlobalRowId {
+        self.nth(rng.gen_range(0..self.len()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nth_stays_in_usable_region() {
+        let s = AddressSpace::new(DramGeometry::tiny(), 0.5);
+        assert_eq!(s.len(), 4 * 512);
+        for i in [0, 1, 5, s.len() - 1] {
+            assert!(s.contains(s.nth(i)));
+        }
+    }
+
+    #[test]
+    fn nth_is_bank_striped() {
+        let s = AddressSpace::new(DramGeometry::tiny(), 1.0);
+        let g = DramGeometry::tiny();
+        let a0 = g.expand(s.nth(0)).unwrap();
+        let a1 = g.expand(s.nth(1)).unwrap();
+        assert_ne!(a0.bank, a1.bank);
+        assert_eq!(a0.row, a1.row);
+    }
+
+    #[test]
+    fn random_rows_are_usable() {
+        let s = AddressSpace::new(DramGeometry::tiny(), 0.9);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert!(s.contains(s.random(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn reserved_rows_are_excluded() {
+        let s = AddressSpace::new(DramGeometry::tiny(), 0.5);
+        let g = DramGeometry::tiny();
+        let reserved = g
+            .flatten(RowAddr {
+                bank: BankId::new(0),
+                row: 1000,
+            })
+            .unwrap();
+        assert!(!s.contains(reserved));
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved region")]
+    fn at_rejects_reserved_rows() {
+        let s = AddressSpace::new(DramGeometry::tiny(), 0.5);
+        s.at(0, 600);
+    }
+}

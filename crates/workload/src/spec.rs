@@ -1,0 +1,227 @@
+//! The 18 SPEC CPU2017 workload profiles of Table II.
+
+use crate::{AddressSpace, HotColdGenerator};
+use serde::{Deserialize, Serialize};
+
+/// One row of the paper's Table II: the per-64 ms activation profile of a
+/// SPEC CPU2017 rate workload on the 4-core baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpecWorkload {
+    /// Workload name.
+    pub name: &'static str,
+    /// System misses per kilo-instruction.
+    pub mpki: f64,
+    /// Rows with 166+ activations per epoch (includes the next two columns).
+    pub act_166: u32,
+    /// Rows with 500+ activations per epoch.
+    pub act_500: u32,
+    /// Rows with 1000+ activations per epoch.
+    pub act_1000: u32,
+}
+
+/// Table II of the paper, verbatim.
+pub const TABLE2: [SpecWorkload; 18] = [
+    SpecWorkload {
+        name: "lbm",
+        mpki: 20.9,
+        act_166: 6794,
+        act_500: 5437,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "blender",
+        mpki: 14.8,
+        act_166: 6085,
+        act_500: 3021,
+        act_1000: 572,
+    },
+    SpecWorkload {
+        name: "gcc",
+        mpki: 6.32,
+        act_166: 4850,
+        act_500: 1836,
+        act_1000: 111,
+    },
+    SpecWorkload {
+        name: "mcf",
+        mpki: 7.02,
+        act_166: 4819,
+        act_500: 835,
+        act_1000: 393,
+    },
+    SpecWorkload {
+        name: "cactuBSSN",
+        mpki: 2.57,
+        act_166: 2515,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "roms",
+        mpki: 4.37,
+        act_166: 1150,
+        act_500: 191,
+        act_1000: 11,
+    },
+    SpecWorkload {
+        name: "xz",
+        mpki: 0.41,
+        act_166: 655,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "perlbench",
+        mpki: 0.74,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "bwaves",
+        mpki: 0.21,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "namd",
+        mpki: 0.38,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "povray",
+        mpki: 0.01,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "wrf",
+        mpki: 0.02,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "deepsjeng",
+        mpki: 0.25,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "imagick",
+        mpki: 0.27,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "leela",
+        mpki: 0.03,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "nab",
+        mpki: 0.54,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "exchange2",
+        mpki: 0.01,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+    SpecWorkload {
+        name: "parest",
+        mpki: 0.1,
+        act_166: 0,
+        act_500: 0,
+        act_1000: 0,
+    },
+];
+
+/// Looks up a Table II workload by name.
+pub fn by_name(name: &str) -> Option<SpecWorkload> {
+    TABLE2.iter().copied().find(|w| w.name == name)
+}
+
+impl SpecWorkload {
+    /// System-wide memory requests per 64 ms epoch implied by the MPKI at
+    /// the nominal IPC of 1.0 on `cores` cores.
+    pub fn requests_per_epoch(&self, cores: u32) -> u64 {
+        let instr_per_epoch = crate::INSTRUCTIONS_PER_MS_PER_CORE * 64 * cores as u64;
+        (self.mpki * instr_per_epoch as f64 / 1000.0) as u64
+    }
+
+    /// Builds the calibrated generator for core `core` of `cores` (rate mode:
+    /// each core runs one copy with its share of the Table II row counts).
+    pub fn generator(
+        &self,
+        space: &AddressSpace,
+        core: u32,
+        cores: u32,
+        seed: u64,
+    ) -> HotColdGenerator {
+        HotColdGenerator::calibrated(self, space, core, cores, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_18_workloads() {
+        assert_eq!(TABLE2.len(), 18);
+        assert!(by_name("lbm").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn activation_columns_are_nested() {
+        // Rows with 1000+ activations necessarily have 500+ and 166+.
+        for w in TABLE2 {
+            assert!(w.act_166 >= w.act_500, "{}", w.name);
+            assert!(w.act_500 >= w.act_1000, "{}", w.name);
+        }
+    }
+
+    #[test]
+    fn average_mpki_close_to_paper() {
+        // The paper reports an average of 3.5 (over all 34 workloads, with
+        // rounding); the arithmetic mean of the 18 printed rows is 3.28.
+        let avg: f64 = TABLE2.iter().map(|w| w.mpki).sum::<f64>() / 18.0;
+        assert!((avg - 3.5).abs() < 0.3, "avg MPKI = {avg}");
+    }
+
+    #[test]
+    fn average_hot_rows_close_to_paper() {
+        // Paper's stated averages: 1665 / 694 / 57 (rounded, 34 workloads);
+        // the printed 18 rows average to 1493 / 629 / 60.
+        let a166: f64 = TABLE2.iter().map(|w| w.act_166 as f64).sum::<f64>() / 18.0;
+        let a500: f64 = TABLE2.iter().map(|w| w.act_500 as f64).sum::<f64>() / 18.0;
+        let a1k: f64 = TABLE2.iter().map(|w| w.act_1000 as f64).sum::<f64>() / 18.0;
+        assert!((a166 - 1665.0).abs() < 200.0, "{a166}");
+        assert!((a500 - 694.0).abs() < 100.0, "{a500}");
+        assert!((a1k - 57.0).abs() < 10.0, "{a1k}");
+    }
+
+    #[test]
+    fn request_rate_scales_with_cores() {
+        let lbm = by_name("lbm").unwrap();
+        let four = lbm.requests_per_epoch(4);
+        let two = lbm.requests_per_epoch(2);
+        assert!(four.abs_diff(2 * two) <= 2, "{four} vs 2x{two}");
+        // ~16M system requests per epoch for lbm on 4 cores.
+        assert!((15_000_000..17_000_000).contains(&four), "{four}");
+    }
+}

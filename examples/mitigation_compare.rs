@@ -1,0 +1,42 @@
+//! Compare all mitigation schemes on one four-way workload mix: normalized
+//! performance, migrations, and the security verdict, side by side.
+//!
+//! ```text
+//! cargo run --release --example mitigation_compare [workload]
+//! ```
+//!
+//! `workload` is any Table II name (`lbm`, `mcf`, ...) or `mixNN`
+//! (default `mix00`).
+
+use aqua_bench::{Harness, Scheme};
+
+fn main() {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "mix00".into());
+    let harness = Harness::new(1000);
+    let baseline = harness.run(Scheme::Baseline, &workload);
+    println!(
+        "workload {workload}: {} requests/epoch unmitigated\n",
+        baseline.requests_done / baseline.epochs
+    );
+    println!(
+        "{:<16} {:>10} {:>14} {:>12} {:>10}",
+        "scheme", "perf", "migrations/ep", "refreshes", "rows>T_RH"
+    );
+    for scheme in [
+        Scheme::AquaSram,
+        Scheme::AquaMapped,
+        Scheme::Rrs,
+        Scheme::VictimRefresh,
+        Scheme::Blockhammer,
+    ] {
+        let report = harness.run(scheme, &workload);
+        println!(
+            "{:<16} {:>10.3} {:>14.0} {:>12} {:>10}",
+            scheme.name(),
+            report.normalized_perf(&baseline),
+            report.migrations_per_epoch(),
+            report.mitigation.victim_refreshes,
+            report.oracle.rows_over_trh,
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: protect a 16 GB DDR4 system with AQUA and run one SPEC
+//! workload through the simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aqua::{AquaConfig, AquaEngine, StorageReport};
+use aqua_dram::mitigation::NoMitigation;
+use aqua_dram::BaselineConfig;
+use aqua_sim::{SimConfig, Simulation};
+use aqua_workload::{spec, AddressSpace, RequestGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Table I system: 4 cores, 16 GB DDR4-2400, 16 banks.
+    let base = BaselineConfig::paper_table1();
+
+    // AQUA at a Rowhammer threshold of 1K: quarantine after 500 activations,
+    // 23,053-row quarantine area (Eq. 3), SRAM mapping tables.
+    let aqua_cfg = AquaConfig::for_rowhammer_threshold(1000, &base);
+    println!(
+        "AQUA config: threshold {} acts, RQA {} rows ({:.1}% of DRAM)",
+        aqua_cfg.mitigation_threshold,
+        aqua_cfg.rqa_rows,
+        aqua_cfg.dram_overhead() * 100.0
+    );
+    let storage = StorageReport::for_config(&aqua_cfg);
+    println!(
+        "SRAM: {} KB mapping tables + {} KB copy buffer",
+        storage.mapping_sram_bytes / 1024,
+        storage.copy_buffer_bytes / 1024
+    );
+
+    // The lbm workload, calibrated to the paper's Table II profile.
+    let space = AddressSpace::new(base.geometry, 0.97);
+    let lbm = spec::by_name("lbm").expect("lbm is in Table II");
+    let gens = |seed| -> Vec<Box<dyn RequestGenerator>> {
+        (0..base.cores)
+            .map(|c| Box::new(lbm.generator(&space, c, base.cores, seed)) as _)
+            .collect()
+    };
+
+    // Run one 64 ms epoch with and without AQUA.
+    let sim_cfg = SimConfig::new(base).epochs(1).t_rh(1000);
+    let baseline = Simulation::new(sim_cfg, NoMitigation::new(base.geometry), gens(7)).run();
+    let mut sim = Simulation::new(sim_cfg, AquaEngine::new(aqua_cfg)?, gens(7));
+    let protected = sim.run();
+
+    println!(
+        "baseline: {} requests; with AQUA: {} requests (normalized {:.3})",
+        baseline.requests_done,
+        protected.requests_done,
+        protected.normalized_perf(&baseline)
+    );
+    println!(
+        "AQUA performed {} row migrations; max activations on any physical row: {} (< T_RH = 1000)",
+        protected.mitigation.row_migrations, protected.oracle.max_window_activations
+    );
+    assert_eq!(protected.oracle.rows_over_trh, 0);
+    sim.mitigation().check_consistency();
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Explore Eq. 1–3: how the required quarantine-area size responds to the
+//! migration threshold, the bank count, and the migration latency.
+//!
+//! ```text
+//! cargo run --release --example rqa_sizing
+//! ```
+
+use aqua::required_rqa_rows;
+use aqua_analysis::dos::aqua_worst_case_slowdown;
+use aqua_dram::{DdrTiming, DramGeometry};
+
+fn main() {
+    let timing = DdrTiming::ddr4_2400();
+    let geometry = DramGeometry::paper_table1();
+
+    println!("Eq. 3 across thresholds (Table III):");
+    println!(
+        "{:>10} {:>10} {:>9} {:>10} {:>12}",
+        "A", "rows", "MB", "overhead", "DoS slowdown"
+    );
+    for a in [1000u64, 500, 250, 125, 50, 10, 1] {
+        let rows = required_rqa_rows(&timing, &geometry, a);
+        println!(
+            "{:>10} {:>10} {:>9.0} {:>9.2}% {:>11.2}x",
+            a,
+            rows,
+            (rows * geometry.row_bytes as u64) as f64 / (1 << 20) as f64,
+            rows as f64 / geometry.total_rows() as f64 * 100.0,
+            aqua_worst_case_slowdown(&timing, &geometry, a)
+        );
+    }
+
+    println!("\nSensitivity to bank count (A = 500):");
+    for banks in [4u32, 8, 16, 32, 64] {
+        let g = DramGeometry {
+            banks_per_rank: banks,
+            ..geometry
+        };
+        let rows = required_rqa_rows(&timing, &g, 500);
+        println!(
+            "  {banks:>3} banks -> {rows:>7} rows ({:.2}% of DRAM)",
+            rows as f64 / g.total_rows() as f64 * 100.0
+        );
+    }
+    println!("\nMore banks let the attacker trigger more concurrent migrations,");
+    println!("but the quarantine area stays a small, bounded fraction of DRAM.");
+}

@@ -1,0 +1,63 @@
+//! End-to-end workload-calibration checks: driving the full Table I system
+//! with a calibrated generator reproduces that workload's Table II
+//! activation profile, as observed by the independent oracle.
+//!
+//! Only the cheaper workloads run here (the full 18-workload sweep is the
+//! `table2_workloads` bench binary).
+
+use aqua_bench::{Harness, Scheme};
+use aqua_workload::spec;
+
+fn check_workload(name: &str, tolerance: f64) {
+    let mut harness = Harness::new(1000);
+    harness.epochs = 1;
+    let w = spec::by_name(name).unwrap();
+    let report = harness.run(Scheme::Baseline, name);
+    let measured = [
+        report.oracle.avg_rows_166 as f64,
+        report.oracle.avg_rows_500 as f64,
+        report.oracle.avg_rows_1000 as f64,
+    ];
+    let expected = [w.act_166 as f64, w.act_500 as f64, w.act_1000 as f64];
+    for (i, (m, e)) in measured.iter().zip(&expected).enumerate() {
+        let slack = e * tolerance + 60.0; // band-edge sampling noise
+        assert!(
+            (m - e).abs() <= slack,
+            "{name}: band {i} measured {m} expected {e} (slack {slack})"
+        );
+    }
+}
+
+#[test]
+fn xz_profile_matches_table2() {
+    check_workload("xz", 0.15);
+}
+
+#[test]
+fn roms_profile_matches_table2() {
+    check_workload("roms", 0.15);
+}
+
+#[test]
+fn mcf_profile_matches_table2() {
+    check_workload("mcf", 0.15);
+}
+
+#[test]
+fn quiet_workload_has_no_hot_rows() {
+    let mut harness = Harness::new(1000);
+    harness.epochs = 1;
+    let report = harness.run(Scheme::Baseline, "povray");
+    assert_eq!(report.oracle.avg_rows_166, 0);
+    assert!(report.requests_done > 0);
+}
+
+#[test]
+fn aqua_leaves_quiet_workloads_untouched() {
+    let mut harness = Harness::new(1000);
+    harness.epochs = 1;
+    let base = harness.run(Scheme::Baseline, "povray");
+    let aqua = harness.run(Scheme::AquaSram, "povray");
+    assert_eq!(aqua.mitigation.row_migrations, 0);
+    assert!(aqua.normalized_perf(&base) > 0.999);
+}

@@ -1,0 +1,121 @@
+//! Cross-epoch behaviour: lazy draining, background draining, and the
+//! two-epoch security window, exercised end-to-end through the simulator.
+
+use aqua::{AquaConfig, AquaEngine};
+use aqua_dram::mitigation::Mitigation;
+use aqua_dram::{BaselineConfig, GlobalRowId, Time};
+
+const T_RH: u64 = 20;
+
+fn engine_with(rqa_rows: u64, drain: u32) -> AquaEngine {
+    let base = BaselineConfig::tiny();
+    let cfg = AquaConfig::for_rowhammer_threshold(T_RH, &base).with_rqa_rows(rqa_rows);
+    let cfg = AquaConfig {
+        tracker_entries_per_bank: 128,
+        fpt_entries: 256,
+        drain_per_refresh: drain,
+        ..cfg
+    };
+    AquaEngine::new(cfg).expect("valid config")
+}
+
+fn quarantine(engine: &mut AquaEngine, row: u64) {
+    let row = GlobalRowId::new(row);
+    for _ in 0..T_RH / 2 {
+        let t = engine.translate(row, Time::ZERO);
+        engine.on_activation(t.phys, Time::ZERO);
+    }
+}
+
+#[test]
+fn rows_return_home_when_their_slot_is_recycled() {
+    let mut engine = engine_with(4, 0);
+    for r in 0..4 {
+        quarantine(&mut engine, r * 7);
+    }
+    assert_eq!(engine.quarantined_rows(), 4);
+    engine.end_epoch();
+    // Four fresh installs recycle all four slots: each evicts one stale row.
+    for r in 10..14 {
+        quarantine(&mut engine, r * 7);
+    }
+    assert_eq!(engine.stats().evictions, 4);
+    assert_eq!(engine.quarantined_rows(), 4);
+    // The original rows translate to their home locations again.
+    for r in 0..4u64 {
+        let home = engine
+            .config()
+            .geometry
+            .expand(GlobalRowId::new(r * 7))
+            .unwrap();
+        assert_eq!(
+            engine.translate(GlobalRowId::new(r * 7), Time::ZERO).phys,
+            home
+        );
+    }
+    engine.check_consistency();
+}
+
+#[test]
+fn background_drain_clears_rqa_between_epochs() {
+    let mut engine = engine_with(16, 4);
+    for r in 0..8 {
+        quarantine(&mut engine, r * 5);
+    }
+    engine.end_epoch();
+    // Sixteen refresh ticks at 4 drains each sweep the whole RQA.
+    for _ in 0..16 {
+        engine.on_refresh_tick();
+    }
+    assert_eq!(engine.quarantined_rows(), 0);
+    assert_eq!(engine.stats().background_drains, 8);
+    // Subsequent installs find clean slots: no on-demand evictions.
+    quarantine(&mut engine, 99);
+    assert_eq!(engine.stats().evictions, 0);
+    engine.check_consistency();
+}
+
+#[test]
+fn background_drain_never_touches_current_epoch_rows() {
+    let mut engine = engine_with(8, 8);
+    quarantine(&mut engine, 3);
+    // Same epoch: the freshly quarantined row must stay quarantined.
+    engine.on_refresh_tick();
+    assert_eq!(engine.quarantined_rows(), 1);
+    assert_eq!(engine.stats().background_drains, 0);
+}
+
+#[test]
+fn requarantine_across_epochs_keeps_counts_bounded() {
+    // A row hammered across many epochs keeps moving within the RQA; the
+    // per-epoch tracker reset means each epoch re-earns its threshold.
+    let mut engine = engine_with(32, 0);
+    for _ in 0..5 {
+        quarantine(&mut engine, 42);
+        quarantine(&mut engine, 42);
+        engine.end_epoch();
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.installs, 1);
+    assert_eq!(stats.internal_moves, 9);
+    assert_eq!(stats.violations, 0);
+    engine.check_consistency();
+}
+
+#[test]
+fn tracker_state_does_not_leak_across_epochs() {
+    let mut engine = engine_with(16, 0);
+    let row = GlobalRowId::new(5);
+    // T_RH/2 - 1 activations: one short of quarantine.
+    for _ in 0..(T_RH / 2 - 1) {
+        let t = engine.translate(row, Time::ZERO);
+        engine.on_activation(t.phys, Time::ZERO);
+    }
+    engine.end_epoch();
+    for _ in 0..(T_RH / 2 - 1) {
+        let t = engine.translate(row, Time::ZERO);
+        engine.on_activation(t.phys, Time::ZERO);
+    }
+    assert_eq!(engine.stats().installs, 0);
+    // Yet the two-epoch total stayed below T_RH, so this is safe (P1).
+}

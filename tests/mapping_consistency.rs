@@ -1,0 +1,114 @@
+//! Property-based tests on the mapping structures: under arbitrary access
+//! sequences, the FPT/RPT stay mutually consistent inverse maps, AQUA's
+//! translation is injective over live rows, and the RRS RIT remains an
+//! involution.
+
+use aqua::{AquaConfig, AquaEngine, TableMode};
+use aqua_dram::mitigation::Mitigation;
+use aqua_dram::{BaselineConfig, GlobalRowId, Time};
+use aqua_rrs::{RrsConfig, RrsEngine};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+const T_RH: u64 = 20; // mitigate every 10 activations
+
+fn aqua_engine(mode: TableMode) -> AquaEngine {
+    let base = BaselineConfig::tiny();
+    let cfg = AquaConfig::for_rowhammer_threshold(T_RH, &base).with_rqa_rows(64);
+    let cfg = AquaConfig {
+        tracker_entries_per_bank: 128,
+        fpt_entries: 128,
+        table_mode: mode,
+        ..cfg
+    };
+    AquaEngine::new(cfg).expect("valid tiny config")
+}
+
+/// Drives the engine with an access sequence, mixing in epoch boundaries
+/// (`row == 255` acts as an epoch marker).
+fn drive(engine: &mut AquaEngine, accesses: &[(u8, u8)]) {
+    for &(row, repeat) in accesses {
+        if row == 255 {
+            engine.end_epoch();
+            continue;
+        }
+        let row = GlobalRowId::new(row as u64);
+        for _ in 0..repeat {
+            let t = engine.translate(row, Time::ZERO);
+            engine.on_activation(t.phys, Time::ZERO);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn aqua_sram_tables_stay_consistent(accesses in prop::collection::vec((0u8..=255, 1u8..30), 1..60)) {
+        let mut engine = aqua_engine(TableMode::Sram);
+        drive(&mut engine, &accesses);
+        engine.check_consistency();
+    }
+
+    #[test]
+    fn aqua_mapped_tables_stay_consistent(accesses in prop::collection::vec((0u8..=255, 1u8..30), 1..60)) {
+        let mut engine = aqua_engine(TableMode::Mapped { bloom_bits: 64, cache_entries: 32 });
+        drive(&mut engine, &accesses);
+        engine.check_consistency();
+    }
+
+    #[test]
+    fn aqua_translation_is_injective(accesses in prop::collection::vec((0u8..=255, 1u8..30), 1..60)) {
+        let mut engine = aqua_engine(TableMode::Sram);
+        drive(&mut engine, &accesses);
+        // Two distinct logical rows must never resolve to one physical row:
+        // that would alias data.
+        let mut seen: HashMap<_, GlobalRowId> = HashMap::new();
+        for r in 0..200u64 {
+            let row = GlobalRowId::new(r);
+            let phys = engine.translate(row, Time::ZERO).phys;
+            if let Some(prev) = seen.insert(phys, row) {
+                prop_assert!(false, "rows {prev} and {row} alias at {phys}");
+            }
+        }
+    }
+
+    #[test]
+    fn aqua_quarantined_rows_resolve_to_rqa(accesses in prop::collection::vec((0u8..40, 20u8..30), 1..40)) {
+        let mut engine = aqua_engine(TableMode::Sram);
+        drive(&mut engine, &accesses);
+        // Every row the engine reports quarantined must translate into the
+        // reserved quarantine region, and every other row must not.
+        let quarantined = engine.quarantined_rows();
+        let mut found = 0;
+        for r in 0..256u64 {
+            let row = GlobalRowId::new(r);
+            let phys = engine.translate(row, Time::ZERO).phys;
+            if engine.config().rqa_region_contains(phys) {
+                found += 1;
+            }
+        }
+        prop_assert_eq!(found, quarantined);
+    }
+
+    #[test]
+    fn rrs_translation_stays_an_involution(accesses in prop::collection::vec((0u8..=255, 1u8..30), 1..60)) {
+        let base = BaselineConfig::tiny();
+        let mut cfg = RrsConfig::for_rowhammer_threshold(60, &base); // swap at 10
+        cfg.tracker_entries_per_bank = 128;
+        cfg.rit_pairs = 64;
+        let mut engine = RrsEngine::new(cfg);
+        for &(row, repeat) in &accesses {
+            if row == 255 {
+                engine.end_epoch();
+                continue;
+            }
+            let row = GlobalRowId::new(row as u64);
+            for _ in 0..repeat {
+                let t = engine.translate(row, Time::ZERO);
+                engine.on_activation(t.phys, Time::ZERO);
+            }
+        }
+        engine.check_consistency((0..512).map(GlobalRowId::new));
+    }
+}
