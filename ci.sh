@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Local CI: formatting, lints, and the test suite in both telemetry modes.
+#
+# Usage: ./ci.sh
+#
+# Everything runs offline against the vendored dependency stubs; no network
+# access is required.
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "==> $*"
+    "$@"
+}
+
+run cargo fmt --all --check
+
+# Lint and test with telemetry enabled (the default feature set).
+run cargo clippy --offline --workspace --all-targets -- -D warnings
+run cargo test --offline --workspace -q
+
+# The whole workspace must also build and pass with telemetry compiled out.
+run cargo clippy --offline --workspace --all-targets --no-default-features -- -D warnings
+run cargo test --offline --workspace -q --no-default-features
+
+echo
+echo "ci.sh: all checks passed"

@@ -1,13 +1,14 @@
 //! The AQUA quarantine engine.
 
 use crate::{
-    AquaConfig, AquaError, ForwardPointerTable, MappedTables, QuarantineArea, ReversePointerTable,
-    RptEntry, RqaSlot, TableMode, TrackerKind,
+    AquaConfig, AquaError, ForwardPointerTable, LookupBreakdown, LookupOutcome, MappedTables,
+    QuarantineArea, ReversePointerTable, RptEntry, RqaSlot, TableMode, TrackerKind,
 };
 use aqua_dram::mitigation::{
     DataMovement, MigrationKind, Mitigation, MitigationAction, MitigationStats, Translation,
 };
 use aqua_dram::{Duration, GlobalRowId, RowAddr, Time};
+use aqua_telemetry::{Counter, EventKind, Telemetry};
 use aqua_tracker::{
     AggressorTracker, ExactTracker, HydraConfig, HydraTracker, MisraGriesTracker, TrackerConfig,
 };
@@ -17,22 +18,36 @@ use serde::{Deserialize, Serialize};
 /// 3 GHz, section IV-G).
 const SRAM_LOOKUP: Duration = Duration::from_ps(1_300);
 
-/// Cumulative AQUA event counts.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct AquaStats {
-    /// Rows installed into the RQA from their original location.
-    pub installs: u64,
-    /// Quarantined rows moved to a new RQA slot (still hot while quarantined).
-    pub internal_moves: u64,
-    /// Stale rows moved back to their original location (lazy drain).
-    pub evictions: u64,
-    /// Stale rows drained in the background (`drain_per_refresh > 0`).
-    pub background_drains: u64,
-    /// RQA slots reused within one epoch (security violations; zero when the
-    /// RQA is sized per Eq. 3).
-    pub violations: u64,
-    /// Mitigations signalled by the tracker.
-    pub mitigations: u64,
+aqua_telemetry::stat_struct! {
+    /// Cumulative AQUA event counts.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct AquaStats {
+        /// Rows installed into the RQA from their original location.
+        pub installs: u64,
+        /// Quarantined rows moved to a new RQA slot (still hot while quarantined).
+        pub internal_moves: u64,
+        /// Stale rows moved back to their original location (lazy drain).
+        pub evictions: u64,
+        /// Stale rows drained in the background (`drain_per_refresh > 0`).
+        pub background_drains: u64,
+        /// RQA slots reused within one epoch (security violations; zero when the
+        /// RQA is sized per Eq. 3).
+        pub violations: u64,
+        /// Mitigations signalled by the tracker.
+        pub mitigations: u64,
+    }
+}
+
+/// Registered telemetry counter handles (plain cells when the `telemetry`
+/// feature is off).
+#[derive(Debug, Clone, Default)]
+struct AquaCounters {
+    installs: Counter,
+    internal_moves: Counter,
+    evictions: Counter,
+    background_drains: Counter,
+    mitigations: Counter,
+    fpt_cache_misses: Counter,
 }
 
 impl AquaStats {
@@ -51,12 +66,12 @@ enum Backend {
 }
 
 impl Backend {
-    fn lookup_slot(&mut self, row: GlobalRowId) -> (Option<RqaSlot>, u32) {
+    fn lookup_slot(&mut self, row: GlobalRowId) -> (Option<RqaSlot>, u32, Option<LookupOutcome>) {
         match self {
-            Backend::Sram(fpt) => (fpt.lookup(row), 0),
+            Backend::Sram(fpt) => (fpt.lookup(row), 0, None),
             Backend::Mapped(m) => {
                 let l = m.lookup(row);
-                (l.slot, l.dram_reads)
+                (l.slot, l.dram_reads, Some(l.outcome))
             }
         }
     }
@@ -106,6 +121,11 @@ pub struct AquaEngine {
     /// Sweep position of the background drain (`drain_per_refresh > 0`).
     drain_cursor: u64,
     stats: AquaStats,
+    telemetry: Telemetry,
+    counters: AquaCounters,
+    /// Lookup breakdown at the previous epoch boundary (drives the
+    /// per-epoch FPT-cache hit-rate gauge).
+    epoch_breakdown: LookupBreakdown,
 }
 
 impl AquaEngine {
@@ -164,6 +184,9 @@ impl AquaEngine {
             drain_cursor: 0,
             config,
             stats: AquaStats::default(),
+            telemetry: Telemetry::disabled(),
+            counters: AquaCounters::default(),
+            epoch_breakdown: LookupBreakdown::default(),
         })
     }
 
@@ -227,7 +250,14 @@ impl AquaEngine {
     }
 
     /// Evicts the occupant of `slot` back to its original location, if any.
-    fn evict_slot(&mut self, slot: RqaSlot, actions: &mut Vec<MitigationAction>) {
+    /// Returns whether a row was actually moved out (the caller accounts it
+    /// as an on-demand eviction or a background drain).
+    fn evict_slot(
+        &mut self,
+        slot: RqaSlot,
+        now: Time,
+        actions: &mut Vec<MitigationAction>,
+    ) -> bool {
         if let Some(entry) = self.rpt.clear(slot.index()) {
             let writes = self.backend.unmap(entry.original);
             actions.push(MitigationAction::BlockChannel {
@@ -245,7 +275,16 @@ impl AquaEngine {
             if writes > 0 {
                 actions.push(MitigationAction::TableWrites { count: writes });
             }
-            self.stats.evictions += 1;
+            self.telemetry.record(
+                now.as_ps(),
+                EventKind::QuarantineOut {
+                    row: entry.original.index(),
+                    slot: slot.index(),
+                },
+            );
+            true
+        } else {
+            false
         }
     }
 
@@ -255,6 +294,7 @@ impl AquaEngine {
         &mut self,
         row: GlobalRowId,
         from_slot: Option<RqaSlot>,
+        now: Time,
         actions: &mut Vec<MitigationAction>,
     ) {
         let alloc = self.rqa.allocate();
@@ -263,7 +303,10 @@ impl AquaEngine {
         }
         // Lazy drain: the destination may hold a row quarantined in a past
         // epoch; move it home first (2.74 us total path, section IV-D).
-        self.evict_slot(alloc.slot, actions);
+        if self.evict_slot(alloc.slot, now, actions) {
+            self.stats.evictions += 1;
+            self.counters.evictions.inc();
+        }
         let from = match from_slot {
             Some(old) => self.config.rqa_slot_location(old.index()),
             None => self
@@ -300,9 +343,25 @@ impl AquaEngine {
         if let Some(old) = from_slot {
             self.rpt.clear(old.index());
             self.stats.internal_moves += 1;
+            self.counters.internal_moves.inc();
+            self.telemetry.record(
+                now.as_ps(),
+                EventKind::QuarantineOut {
+                    row: row.index(),
+                    slot: old.index(),
+                },
+            );
         } else {
             self.stats.installs += 1;
+            self.counters.installs.inc();
         }
+        self.telemetry.record(
+            now.as_ps(),
+            EventKind::QuarantineIn {
+                row: row.index(),
+                slot: alloc.slot.index(),
+            },
+        );
         self.rpt.set(
             alloc.slot.index(),
             RptEntry {
@@ -316,7 +375,7 @@ impl AquaEngine {
     /// sweep step (the paper's "periodically draining old entries"
     /// optimization that takes evictions off the critical path). Invoked via
     /// [`Mitigation::on_refresh_tick`] at every refresh command.
-    fn background_drain(&mut self) -> Vec<MitigationAction> {
+    fn background_drain(&mut self, now: Time) -> Vec<MitigationAction> {
         let n = self.config.drain_per_refresh;
         if n == 0 {
             return Vec::new();
@@ -329,11 +388,9 @@ impl AquaEngine {
             if self.rqa.allocated_this_epoch(slot) {
                 continue;
             }
-            let before = self.stats.evictions;
-            self.evict_slot(slot, &mut actions);
-            if self.stats.evictions > before {
-                self.stats.evictions -= 1;
+            if self.evict_slot(slot, now, &mut actions) {
                 self.stats.background_drains += 1;
+                self.counters.background_drains.inc();
             }
         }
         actions
@@ -361,8 +418,31 @@ impl Mitigation for AquaEngine {
         }
     }
 
-    fn translate(&mut self, row: GlobalRowId, _now: Time) -> Translation {
-        let (slot, dram_reads) = self.backend.lookup_slot(row);
+    fn translate(&mut self, row: GlobalRowId, now: Time) -> Translation {
+        let (slot, dram_reads, outcome) = self.backend.lookup_slot(row);
+        match outcome {
+            Some(LookupOutcome::SingletonSkip) => {
+                self.counters.fpt_cache_misses.inc();
+                self.telemetry.record(
+                    now.as_ps(),
+                    EventKind::FptCacheMiss {
+                        row: row.index(),
+                        singleton: true,
+                    },
+                );
+            }
+            Some(LookupOutcome::DramAccess) => {
+                self.counters.fpt_cache_misses.inc();
+                self.telemetry.record(
+                    now.as_ps(),
+                    EventKind::FptCacheMiss {
+                        row: row.index(),
+                        singleton: false,
+                    },
+                );
+            }
+            _ => {}
+        }
         let phys = match slot {
             Some(s) => self.config.rqa_slot_location(s.index()),
             None => self
@@ -380,7 +460,7 @@ impl Mitigation for AquaEngine {
                 .geometry
                 .flatten(addr)
                 .expect("table rows lie within geometry");
-            let (tslot, _) = self.backend.lookup_slot(gid);
+            let (tslot, _, _) = self.backend.lookup_slot(gid);
             Some(match tslot {
                 Some(s) => self.config.rqa_slot_location(s.index()),
                 None => addr,
@@ -396,17 +476,18 @@ impl Mitigation for AquaEngine {
         }
     }
 
-    fn on_activation(&mut self, phys: RowAddr, _now: Time) -> Vec<MitigationAction> {
+    fn on_activation(&mut self, phys: RowAddr, now: Time) -> Vec<MitigationAction> {
         if !self.tracker.on_activation(phys).mitigate() {
             return Vec::new();
         }
         self.stats.mitigations += 1;
+        self.counters.mitigations.inc();
         let mut actions = Vec::new();
         if let Some(slot) = self.config.rqa_slot_of(phys) {
             // A quarantined row is hot at its RQA location: move it within
             // the quarantine area (section IV-D internal migration).
             if let Some(entry) = self.rpt.get(slot) {
-                self.quarantine(entry.original, Some(RqaSlot::new(slot)), &mut actions);
+                self.quarantine(entry.original, Some(RqaSlot::new(slot)), now, &mut actions);
             }
             // An RQA location with no valid occupant cannot be addressed by
             // software; stale tracker state is ignored.
@@ -419,7 +500,7 @@ impl Mitigation for AquaEngine {
                 .geometry
                 .flatten(phys)
                 .expect("physical address within geometry");
-            self.quarantine(row, None, &mut actions);
+            self.quarantine(row, None, now, &mut actions);
         }
         actions
     }
@@ -427,10 +508,42 @@ impl Mitigation for AquaEngine {
     fn end_epoch(&mut self) {
         self.tracker.end_epoch();
         self.rqa.advance_epoch();
+        if let Backend::Mapped(m) = &self.backend {
+            self.epoch_breakdown = m.breakdown();
+        }
     }
 
-    fn on_refresh_tick(&mut self) -> Vec<MitigationAction> {
-        self.background_drain()
+    fn on_refresh_tick(&mut self, now: Time) -> Vec<MitigationAction> {
+        self.background_drain(now)
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.counters = AquaCounters {
+            installs: telemetry.counter("aqua.installs"),
+            internal_moves: telemetry.counter("aqua.internal_moves"),
+            evictions: telemetry.counter("aqua.evictions"),
+            background_drains: telemetry.counter("aqua.background_drains"),
+            mitigations: telemetry.counter("aqua.mitigations"),
+            fpt_cache_misses: telemetry.counter("aqua.fpt_cache_misses"),
+        };
+        self.telemetry = telemetry;
+    }
+
+    fn epoch_gauges(&self) -> Vec<(&'static str, f64)> {
+        let mut gauges = vec![(
+            "rqa_occupancy",
+            self.rpt.valid_count() as f64 / self.config.rqa_rows.max(1) as f64,
+        )];
+        if let Backend::Mapped(m) = &self.backend {
+            // Hit rate over the closing epoch, among lookups that consulted
+            // the FPT-Cache (i.e. were not filtered out by the bloom filter).
+            let d = m.breakdown().diff(&self.epoch_breakdown);
+            let consulted = d.cache_hit + d.singleton_skip + d.dram_access;
+            if consulted > 0 {
+                gauges.push(("fpt_cache_hit_rate", d.cache_hit as f64 / consulted as f64));
+            }
+        }
+        gauges
     }
 
     fn reserved_rows(&self) -> Vec<RowAddr> {
@@ -637,7 +750,7 @@ mod tests {
             hammer(&mut e, GlobalRowId::new(r * 3), 10);
         }
         e.end_epoch();
-        let actions = e.on_refresh_tick();
+        let actions = e.on_refresh_tick(Time::ZERO);
         assert!(!actions.is_empty());
         assert_eq!(e.stats().background_drains, 4);
         // Subsequent installs need no on-demand eviction.

@@ -32,17 +32,19 @@ pub enum LookupOutcome {
     DramAccess,
 }
 
-/// Counters per lookup outcome.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct LookupBreakdown {
-    /// Lookups resolved by a clear bloom bit.
-    pub bloom_clear: u64,
-    /// Lookups resolved by an FPT-Cache hit.
-    pub cache_hit: u64,
-    /// Lookups resolved by the singleton optimization.
-    pub singleton_skip: u64,
-    /// Lookups requiring a DRAM FPT read.
-    pub dram_access: u64,
+aqua_telemetry::stat_struct! {
+    /// Counters per lookup outcome.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct LookupBreakdown {
+        /// Lookups resolved by a clear bloom bit.
+        pub bloom_clear: u64,
+        /// Lookups resolved by an FPT-Cache hit.
+        pub cache_hit: u64,
+        /// Lookups resolved by the singleton optimization.
+        pub singleton_skip: u64,
+        /// Lookups requiring a DRAM FPT read.
+        pub dram_access: u64,
+    }
 }
 
 impl LookupBreakdown {

@@ -2,6 +2,7 @@
 
 use aqua_dram::mitigation::{Mitigation, MitigationAction, MitigationStats, Translation};
 use aqua_dram::{DramGeometry, Duration, GlobalRowId, RowAddr, Time};
+use aqua_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -58,6 +59,7 @@ pub struct Blockhammer {
     /// quota holds even when several requests are in flight concurrently.
     next_allowed: HashMap<RowAddr, Time>,
     stats: MitigationStats,
+    telemetry: Telemetry,
 }
 
 impl Blockhammer {
@@ -69,6 +71,7 @@ impl Blockhammer {
             counts: HashMap::new(),
             next_allowed: HashMap::new(),
             stats: MitigationStats::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -111,6 +114,17 @@ impl Mitigation for Blockhammer {
         if delay > Duration::ZERO {
             self.stats.throttled += 1;
             self.stats.mitigations_triggered += 1;
+            self.telemetry.record(
+                now.as_ps(),
+                EventKind::ThrottleStall {
+                    row: self
+                        .geometry
+                        .flatten(phys)
+                        .map(|g| g.index())
+                        .unwrap_or(u64::MAX),
+                    delay_ps: delay.as_ps(),
+                },
+            );
             vec![MitigationAction::Throttle { delay }]
         } else {
             Vec::new()
@@ -120,6 +134,10 @@ impl Mitigation for Blockhammer {
     fn end_epoch(&mut self) {
         self.counts.clear();
         self.next_allowed.clear();
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     fn mitigation_stats(&self) -> MitigationStats {
@@ -152,7 +170,7 @@ mod tests {
         let mut now = Time::ZERO;
         for _ in 0..256 {
             assert!(e.on_activation(addr(1), now).is_empty());
-            now = now + Duration::from_ns(45);
+            now += Duration::from_ns(45);
         }
         assert_eq!(e.mitigation_stats().throttled, 0);
     }
@@ -163,7 +181,7 @@ mod tests {
         let mut now = Time::ZERO;
         for _ in 0..257 {
             e.on_activation(addr(1), now);
-            now = now + Duration::from_ns(45);
+            now += Duration::from_ns(45);
         }
         let actions = e.on_activation(addr(1), now);
         match actions.as_slice() {
@@ -228,7 +246,7 @@ mod tests {
         let mut now = Time::ZERO;
         for _ in 0..300 {
             e.on_activation(addr(1), now);
-            now = now + Duration::from_ns(45);
+            now += Duration::from_ns(45);
         }
         e.end_epoch();
         assert_eq!(e.count(addr(1)), 0);

@@ -2,6 +2,7 @@
 
 use aqua_dram::mitigation::{Mitigation, MitigationAction, MitigationStats, Translation};
 use aqua_dram::{DramGeometry, GlobalRowId, RowAddr, Time};
+use aqua_telemetry::{Counter, Telemetry};
 use aqua_tracker::{AggressorTracker, MisraGriesTracker, TrackerConfig};
 use serde::{Deserialize, Serialize};
 
@@ -56,6 +57,7 @@ pub struct VictimRefresh {
     geometry: DramGeometry,
     tracker: MisraGriesTracker,
     stats: MitigationStats,
+    refresh_counter: Counter,
 }
 
 impl VictimRefresh {
@@ -68,6 +70,7 @@ impl VictimRefresh {
             geometry,
             tracker: MisraGriesTracker::new(tracker_cfg, geometry.total_banks()),
             stats: MitigationStats::default(),
+            refresh_counter: Counter::default(),
         }
     }
 
@@ -113,11 +116,16 @@ impl Mitigation for VictimRefresh {
         self.stats.mitigations_triggered += 1;
         let victims = self.victims_of(phys);
         self.stats.victim_refreshes += victims.len() as u64;
+        self.refresh_counter.add(victims.len() as u64);
         vec![MitigationAction::RefreshRows(victims)]
     }
 
     fn end_epoch(&mut self) {
         self.tracker.end_epoch();
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.refresh_counter = telemetry.counter("victim_refresh.rows_refreshed");
     }
 
     fn mitigation_stats(&self) -> MitigationStats {

@@ -45,7 +45,7 @@ fn main() {
         }
         rows.push(vec![
             name.to_string(),
-            f2(gmean(perfs)),
+            f2(gmean(perfs).expect("positive perfs")),
             format!("{:.0}", migrations / runs as f64),
             format!("{} KB", sram_bits / 8 / 1024),
             over_trh.to_string(),

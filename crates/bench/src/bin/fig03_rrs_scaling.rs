@@ -23,7 +23,7 @@ fn main() {
             per_wl[i].push(f2(p));
             eprintln!("t_rh={t_rh} {workload}: {p:.3}");
         }
-        means.push(f2(gmean(perfs)));
+        means.push(f2(gmean(perfs).expect("positive perfs")));
     }
     per_wl.push(means);
     print_table(

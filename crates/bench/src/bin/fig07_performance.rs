@@ -25,8 +25,8 @@ fn main() {
     }
     rows.push(vec![
         "gmean".into(),
-        f2(gmean(aqua_perf.iter().copied())),
-        f2(gmean(rrs_perf.iter().copied())),
+        f2(gmean(aqua_perf.iter().copied()).expect("positive perfs")),
+        f2(gmean(rrs_perf.iter().copied()).expect("positive perfs")),
     ]);
     print_table(
         "Figure 7: normalized performance at T_RH=1K (paper gmean: AQUA 0.982, RRS 0.802)",

@@ -25,8 +25,8 @@ fn main() {
     }
     rows.push(vec![
         "gmean".into(),
-        f2(gmean(sram_perf)),
-        f2(gmean(mapped_perf)),
+        f2(gmean(sram_perf).expect("positive perfs")),
+        f2(gmean(mapped_perf).expect("positive perfs")),
     ]);
     print_table(
         "Figure 9: AQUA SRAM vs memory-mapped tables (paper gmean: 0.982 vs 0.979)",

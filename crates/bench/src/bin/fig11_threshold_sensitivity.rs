@@ -21,7 +21,10 @@ fn threshold_sweep() {
             perfs.push(aqua.normalized_perf(&base));
             eprintln!("t_rh={t_rh} {workload}: {:.3}", perfs.last().unwrap());
         }
-        rows.push(vec![t_rh.to_string(), f2(gmean(perfs))]);
+        rows.push(vec![
+            t_rh.to_string(),
+            f2(gmean(perfs).expect("positive perfs")),
+        ]);
     }
     print_table(
         "Figure 11: AQUA (mapped) vs T_RH (paper gmean: 0.998 @2K, 0.979 @1K, 0.932 @500)",
@@ -56,7 +59,7 @@ fn structure_sweep() {
         }
         rows.push(vec![
             format!("bloom {bloom_kb} KB / cache {cache_kb} KB"),
-            f2(gmean(perfs)),
+            f2(gmean(perfs).expect("positive perfs")),
         ]);
         eprintln!("bloom {bloom_kb} KB cache {cache_kb} KB done");
     }

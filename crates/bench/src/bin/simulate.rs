@@ -2,6 +2,8 @@
 //!
 //! ```text
 //! simulate [--scheme NAME] [--workload NAME] [--trh N] [--epochs N]
+//!          [--trace-out FILE] [--timeseries-out FILE] [--histograms FILE]
+//!          [--trace-activates] [--trace-capacity N]
 //! ```
 //!
 //! - `--scheme`: baseline | aqua-sram | aqua-mapped | rrs | victim-refresh |
@@ -9,11 +11,27 @@
 //! - `--workload`: any Table II name or `mixNN` (default mcf)
 //! - `--trh`: Rowhammer threshold (default 1000)
 //! - `--epochs`: 64 ms epochs to simulate (default 2)
+//! - `--trace-out`: write the event trace as a Chrome-loadable JSON file
+//!   (open in `chrome://tracing` or Perfetto)
+//! - `--timeseries-out`: write the per-epoch time series as JSONL (one
+//!   record per epoch: migrations, RQA occupancy, FPT-cache hit rate, ...)
+//! - `--histograms`: write the latency histograms (memory access, migration
+//!   stall, table lookup) as JSONL
+//! - `--trace-activates`: include per-access `Activate` events in the trace
+//!   (high volume; off by default)
+//! - `--trace-capacity`: ring-buffer size of the event trace (default 65536;
+//!   oldest events are dropped first)
 //!
 //! Prints the full run report, including the security-oracle verdict and the
-//! shadow-memory integrity check.
+//! shadow-memory integrity check. Telemetry flags require the default
+//! `telemetry` cargo feature; without it the output files are empty shells.
+
+use std::fs::File;
+use std::io::BufWriter;
 
 use aqua_bench::{Harness, Scheme};
+use aqua_telemetry::export::{write_chrome_trace, write_epochs_jsonl, write_histogram_jsonl};
+use aqua_telemetry::{Telemetry, TelemetryConfig};
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -21,6 +39,13 @@ fn arg(name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
 }
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// The histogram names `Simulation::attach_telemetry` registers.
+const HISTOGRAMS: [&str; 3] = ["mem.access_ps", "migration.stall_ps", "table.lookup_ps"];
 
 fn main() {
     let scheme = match arg("--scheme").as_deref().unwrap_or("aqua-sram") {
@@ -42,16 +67,41 @@ fn main() {
         harness.epochs = e;
     }
 
+    let trace_out = arg("--trace-out");
+    let timeseries_out = arg("--timeseries-out");
+    let histograms_out = arg("--histograms");
+    let want_telemetry =
+        trace_out.is_some() || timeseries_out.is_some() || histograms_out.is_some();
+    let telemetry = if want_telemetry {
+        let mut cfg = TelemetryConfig {
+            trace_activates: flag("--trace-activates"),
+            ..TelemetryConfig::default()
+        };
+        if let Some(cap) = arg("--trace-capacity").and_then(|v| v.parse().ok()) {
+            cfg.trace_capacity = cap;
+        }
+        let hub = Telemetry::new(cfg);
+        if !hub.is_enabled() {
+            eprintln!(
+                "warning: built without the `telemetry` feature; \
+                 trace/timeseries/histogram outputs will be empty"
+            );
+        }
+        Some(hub)
+    } else {
+        None
+    };
+
     println!(
         "running {} on {workload} at T_RH={t_rh} for {} epochs...",
         scheme.name(),
         harness.epochs
     );
     let baseline = harness.run(Scheme::Baseline, &workload);
-    let report = if scheme == Scheme::Baseline {
+    let report = if scheme == Scheme::Baseline && telemetry.is_none() {
         baseline.clone()
     } else {
-        harness.run(scheme, &workload)
+        harness.run_instrumented(scheme, &workload, telemetry.as_ref())
     };
 
     println!("\nworkload             : {}", report.workload);
@@ -81,4 +131,44 @@ fn main() {
     println!("rows flippable       : {}", report.oracle.rows_flippable);
     println!("scheme violations    : {}", report.mitigation.violations);
     println!("integrity violations : {}", report.integrity_violations);
+
+    let Some(hub) = telemetry else { return };
+
+    if let Some(summary) = &report.telemetry {
+        println!("\n-- telemetry --");
+        println!(
+            "events               : {} recorded, {} dropped (ring full)",
+            summary.events_recorded, summary.events_dropped
+        );
+        for (name, h) in &summary.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            println!(
+                "{name:<21}: n={} p50={:.0} p95={:.0} p99={:.0} max={} (ps)",
+                h.count, h.p50, h.p95, h.p99, h.max
+            );
+        }
+    }
+
+    if let Some(path) = trace_out {
+        let events = hub.trace_events();
+        let mut w = BufWriter::new(File::create(&path).expect("create --trace-out file"));
+        write_chrome_trace(&mut w, events.iter()).expect("write Chrome trace");
+        println!("wrote {} trace events to {path}", events.len());
+    }
+    if let Some(path) = timeseries_out {
+        let series = hub.epochs();
+        let mut w = BufWriter::new(File::create(&path).expect("create --timeseries-out file"));
+        write_epochs_jsonl(&mut w, &series).expect("write epoch time series");
+        println!("wrote {} epoch records to {path}", series.len());
+    }
+    if let Some(path) = histograms_out {
+        let mut w = BufWriter::new(File::create(&path).expect("create --histograms file"));
+        for name in HISTOGRAMS {
+            let data = hub.histogram(name).snapshot();
+            write_histogram_jsonl(&mut w, name, &data).expect("write histogram");
+        }
+        println!("wrote {} histograms to {path}", HISTOGRAMS.len());
+    }
 }

@@ -75,8 +75,14 @@ fn main() {
     let rows = vec![
         vec![
             "slowdown (gmean)".into(),
-            format!("{:.1}%", (1.0 - gmean(vr_perf)) * 100.0),
-            format!("{:.1}%", (1.0 - gmean(aqua_perf)) * 100.0),
+            format!(
+                "{:.1}%",
+                (1.0 - gmean(vr_perf).expect("positive perfs")) * 100.0
+            ),
+            format!(
+                "{:.1}%",
+                (1.0 - gmean(aqua_perf).expect("positive perfs")) * 100.0
+            ),
         ],
         vec![
             "mitigates classic Rowhammer".into(),

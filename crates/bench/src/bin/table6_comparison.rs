@@ -37,7 +37,7 @@ fn main() {
     }
     let avg: std::collections::HashMap<&str, f64> = perfs
         .into_iter()
-        .map(|(k, v)| (k, (1.0 - gmean(v)) * 100.0))
+        .map(|(k, v)| (k, (1.0 - gmean(v).expect("positive perfs")) * 100.0))
         .collect();
 
     let fmt_sram = |bytes: Option<u64>| match bytes {

@@ -22,6 +22,7 @@ use aqua_dram::mitigation::{Mitigation, NoMitigation};
 use aqua_dram::BaselineConfig;
 use aqua_rrs::{RrsConfig, RrsEngine};
 use aqua_sim::{RunReport, SimConfig, Simulation};
+use aqua_telemetry::Telemetry;
 use aqua_workload::{mix_table, spec, AddressSpace, RequestGenerator};
 
 /// The mitigation schemes the harness can run.
@@ -136,37 +137,69 @@ impl Harness {
         AquaConfig::for_rowhammer_threshold(self.t_rh, &self.base)
     }
 
-    fn run_with<M: Mitigation>(&self, mitigation: M, workload: &str) -> RunReport {
-        let mut report =
-            Simulation::new(self.sim_config(), mitigation, self.generators(workload)).run();
+    fn run_with<M: Mitigation>(
+        &self,
+        mitigation: M,
+        workload: &str,
+        telemetry: Option<&Telemetry>,
+    ) -> RunReport {
+        let mut sim = Simulation::new(self.sim_config(), mitigation, self.generators(workload));
+        if let Some(hub) = telemetry {
+            sim.attach_telemetry(hub.clone());
+        }
+        let mut report = sim.run();
         report.workload = workload.to_string();
         report
     }
 
     /// Runs one `(scheme, workload)` pair and returns its report.
     pub fn run(&self, scheme: Scheme, workload: &str) -> RunReport {
+        self.run_instrumented(scheme, workload, None)
+    }
+
+    /// Runs one `(scheme, workload)` pair with an optional telemetry hub
+    /// attached to the whole stack (simulator, channel, and mitigation).
+    ///
+    /// The hub keeps its event trace, histograms, and per-epoch time-series
+    /// after the run, so callers can export them (`simulate --trace-out`).
+    pub fn run_instrumented(
+        &self,
+        scheme: Scheme,
+        workload: &str,
+        telemetry: Option<&Telemetry>,
+    ) -> RunReport {
         match scheme {
-            Scheme::Baseline => self.run_with(NoMitigation::new(self.base.geometry), workload),
+            Scheme::Baseline => {
+                self.run_with(NoMitigation::new(self.base.geometry), workload, telemetry)
+            }
             Scheme::AquaSram => {
                 let engine = AquaEngine::new(self.aqua_config()).expect("valid AQUA config");
-                self.run_with(engine, workload)
+                self.run_with(engine, workload, telemetry)
             }
             Scheme::AquaMapped => {
                 let engine = AquaEngine::new(self.aqua_config().with_mapped_tables())
                     .expect("valid AQUA config");
-                self.run_with(engine, workload)
+                self.run_with(engine, workload, telemetry)
             }
             Scheme::Rrs => {
                 let cfg = RrsConfig::for_rowhammer_threshold(self.t_rh, &self.base);
-                self.run_with(RrsEngine::new(cfg), workload)
+                self.run_with(RrsEngine::new(cfg), workload, telemetry)
             }
             Scheme::VictimRefresh => {
                 let cfg = VictimRefreshConfig::for_rowhammer_threshold(self.t_rh);
-                self.run_with(VictimRefresh::new(cfg, self.base.geometry), workload)
+                self.run_with(
+                    VictimRefresh::new(cfg, self.base.geometry),
+                    workload,
+                    telemetry,
+                )
             }
             Scheme::Blockhammer => {
                 let cfg = BlockhammerConfig::for_rowhammer_threshold(self.t_rh);
-                self.run_with(Blockhammer::new(cfg, self.base.geometry), workload)
+                self.run_with(
+                    Blockhammer::new(cfg, self.base.geometry),
+                    workload,
+                    telemetry,
+                )
             }
         }
     }

@@ -51,7 +51,7 @@ mod timing;
 
 pub use address::{BankId, GlobalRowId, RowAddr};
 pub use bank::{AccessResult, Bank, PagePolicy};
-pub use channel::Channel;
+pub use channel::{Channel, ChannelStats};
 pub use config::BaselineConfig;
 pub use error::{AddressError, DramError};
 pub use geometry::DramGeometry;

@@ -123,20 +123,22 @@ impl Translation {
     }
 }
 
-/// Per-scheme migration statistics reported to the experiment harness.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct MitigationStats {
-    /// Total row transfers (each 1.37 us). An RRS swap counts 2; an AQUA
-    /// install counts 1 (plus 1 more if it required an eviction).
-    pub row_migrations: u64,
-    /// Mitigations triggered by the tracker.
-    pub mitigations_triggered: u64,
-    /// Victim-refresh rows issued.
-    pub victim_refreshes: u64,
-    /// Requests throttled (Blockhammer).
-    pub throttled: u64,
-    /// Security violations detected (e.g. RQA slot reuse within an epoch).
-    pub violations: u64,
+aqua_telemetry::stat_struct! {
+    /// Per-scheme migration statistics reported to the experiment harness.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct MitigationStats {
+        /// Total row transfers (each 1.37 us). An RRS swap counts 2; an AQUA
+        /// install counts 1 (plus 1 more if it required an eviction).
+        pub row_migrations: u64,
+        /// Mitigations triggered by the tracker.
+        pub mitigations_triggered: u64,
+        /// Victim-refresh rows issued.
+        pub victim_refreshes: u64,
+        /// Requests throttled (Blockhammer).
+        pub throttled: u64,
+        /// Security violations detected (e.g. RQA slot reuse within an epoch).
+        pub violations: u64,
+    }
 }
 
 /// A Rowhammer mitigation scheme, as seen by the memory controller.
@@ -156,8 +158,22 @@ pub trait Mitigation {
 
     /// Called at every refresh command (`tREFI`); schemes may piggyback
     /// background work (AQUA's optional stale-entry draining). The returned
-    /// actions are applied at the tick time.
-    fn on_refresh_tick(&mut self) -> Vec<MitigationAction> {
+    /// actions are applied at the tick time `now`.
+    fn on_refresh_tick(&mut self, now: Time) -> Vec<MitigationAction> {
+        let _ = now;
+        Vec::new()
+    }
+
+    /// Hands the scheme a telemetry hub so it can register its counters and
+    /// emit trace events. The default keeps schemes telemetry-free.
+    fn attach_telemetry(&mut self, telemetry: aqua_telemetry::Telemetry) {
+        let _ = telemetry;
+    }
+
+    /// Scheme-specific gauges sampled at each epoch boundary (before
+    /// [`Mitigation::end_epoch`] resets per-epoch state), e.g. AQUA's RQA
+    /// occupancy or its FPT-cache hit rate over the closing epoch.
+    fn epoch_gauges(&self) -> Vec<(&'static str, f64)> {
         Vec::new()
     }
 

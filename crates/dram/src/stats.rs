@@ -1,44 +1,23 @@
 //! Command-count statistics used by the power model and experiment reports.
 
 use serde::{Deserialize, Serialize};
-use std::ops::AddAssign;
 
-/// Counts of DRAM commands issued, per bank or aggregated module-wide.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct CommandStats {
-    /// Row activations (ACT commands).
-    pub activations: u64,
-    /// Column reads (includes writes for this model's purposes).
-    pub reads: u64,
-    /// Precharge commands.
-    pub precharges: u64,
-    /// Periodic refresh commands applied to this bank.
-    pub refreshes: u64,
-    /// Mitigative victim-refresh row activations.
-    pub victim_refreshes: u64,
-    /// Whole-row streaming transfers (row-migration halves).
-    pub streamed_rows: u64,
-}
-
-impl AddAssign for CommandStats {
-    fn add_assign(&mut self, rhs: CommandStats) {
-        self.activations += rhs.activations;
-        self.reads += rhs.reads;
-        self.precharges += rhs.precharges;
-        self.refreshes += rhs.refreshes;
-        self.victim_refreshes += rhs.victim_refreshes;
-        self.streamed_rows += rhs.streamed_rows;
-    }
-}
-
-impl CommandStats {
-    /// Sums a collection of per-bank stats into a module-wide total.
-    pub fn aggregate<'a, I: IntoIterator<Item = &'a CommandStats>>(iter: I) -> CommandStats {
-        let mut total = CommandStats::default();
-        for s in iter {
-            total += *s;
-        }
-        total
+aqua_telemetry::stat_struct! {
+    /// Counts of DRAM commands issued, per bank or aggregated module-wide.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct CommandStats {
+        /// Row activations (ACT commands).
+        pub activations: u64,
+        /// Column reads (includes writes for this model's purposes).
+        pub reads: u64,
+        /// Precharge commands.
+        pub precharges: u64,
+        /// Periodic refresh commands applied to this bank.
+        pub refreshes: u64,
+        /// Mitigative victim-refresh row activations.
+        pub victim_refreshes: u64,
+        /// Whole-row streaming transfers (row-migration halves).
+        pub streamed_rows: u64,
     }
 }
 

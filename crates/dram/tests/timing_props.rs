@@ -17,7 +17,7 @@ proptest! {
         let mut now = Time::ZERO;
         let mut last_act: Option<Time> = None;
         for (row, advance_ns) in accesses {
-            now = now + Duration::from_ns(advance_ns);
+            now += Duration::from_ns(advance_ns);
             let r = bank.access(row, now);
             prop_assert!(r.data_ready >= now, "time travel");
             prop_assert!(r.latency >= timing.hit_latency());

@@ -5,6 +5,7 @@ use aqua_dram::mitigation::{
     DataMovement, MigrationKind, Mitigation, MitigationAction, MitigationStats, Translation,
 };
 use aqua_dram::{Duration, GlobalRowId, RowAddr, Time};
+use aqua_telemetry::{Counter, EventKind, Telemetry};
 use aqua_tracker::{AggressorTracker, MisraGriesTracker, TrackerConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -13,20 +14,31 @@ use serde::{Deserialize, Serialize};
 /// SRAM RIT lookup latency (3–4 cycles, same as AQUA's tables).
 const SRAM_LOOKUP: Duration = Duration::from_ps(1_300);
 
-/// Cumulative RRS event counts.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct RrsStats {
-    /// First-time swaps (2 row migrations each).
-    pub swaps: u64,
-    /// Re-swaps of already swapped pairs (4 row migrations each,
-    /// section IV-F).
-    pub reswaps: u64,
-    /// Capacity-driven unswaps of stale pairs (2 row migrations each).
-    pub unswaps: u64,
-    /// Mitigations signalled by the tracker.
-    pub mitigations: u64,
-    /// Forced unswaps of same-epoch pairs (RIT capacity violations).
-    pub violations: u64,
+aqua_telemetry::stat_struct! {
+    /// Cumulative RRS event counts.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct RrsStats {
+        /// First-time swaps (2 row migrations each).
+        pub swaps: u64,
+        /// Re-swaps of already swapped pairs (4 row migrations each,
+        /// section IV-F).
+        pub reswaps: u64,
+        /// Capacity-driven unswaps of stale pairs (2 row migrations each).
+        pub unswaps: u64,
+        /// Mitigations signalled by the tracker.
+        pub mitigations: u64,
+        /// Forced unswaps of same-epoch pairs (RIT capacity violations).
+        pub violations: u64,
+    }
+}
+
+/// Registered telemetry counter handles.
+#[derive(Debug, Clone, Default)]
+struct RrsCounters {
+    swaps: Counter,
+    reswaps: Counter,
+    unswaps: Counter,
+    mitigations: Counter,
 }
 
 impl RrsStats {
@@ -49,6 +61,8 @@ pub struct RrsEngine {
     /// data-movement record).
     last_unswapped: Option<(GlobalRowId, GlobalRowId)>,
     stats: RrsStats,
+    telemetry: Telemetry,
+    counters: RrsCounters,
 }
 
 impl RrsEngine {
@@ -65,6 +79,8 @@ impl RrsEngine {
             last_unswapped: None,
             config,
             stats: RrsStats::default(),
+            telemetry: Telemetry::disabled(),
+            counters: RrsCounters::default(),
         }
     }
 
@@ -109,7 +125,7 @@ impl RrsEngine {
     }
 
     /// Frees RIT capacity if needed, unswapping stale pairs first.
-    fn make_room(&mut self, actions: &mut Vec<MitigationAction>) {
+    fn make_room(&mut self, now: Time, actions: &mut Vec<MitigationAction>) {
         while self.rit.pairs() + 2 > self.rit.pair_capacity() {
             if let Some(pair) = self.rit.evict_stale_pair(self.epoch) {
                 self.last_unswapped = Some(pair);
@@ -124,6 +140,16 @@ impl RrsEngine {
                 self.last_unswapped = Some(pair);
                 self.stats.unswaps += 1;
                 self.stats.violations += 1;
+            }
+            self.counters.unswaps.inc();
+            if let Some((a, b)) = self.last_unswapped {
+                self.telemetry.record(
+                    now.as_ps(),
+                    EventKind::Unswap {
+                        row_a: a.index(),
+                        row_b: b.index(),
+                    },
+                );
             }
             // Unswapping restores both rows: two migrations.
             for i in 0..2 {
@@ -189,11 +215,12 @@ impl Mitigation for RrsEngine {
         }
     }
 
-    fn on_activation(&mut self, phys: RowAddr, _now: Time) -> Vec<MitigationAction> {
+    fn on_activation(&mut self, phys: RowAddr, now: Time) -> Vec<MitigationAction> {
         if !self.tracker.on_activation(phys).mitigate() {
             return Vec::new();
         }
         self.stats.mitigations += 1;
+        self.counters.mitigations.inc();
         let mut actions = Vec::new();
         let phys_id = self
             .config
@@ -209,11 +236,32 @@ impl Mitigation for RrsEngine {
             self.rit
                 .remove_pair(phys_id)
                 .expect("swapped row must have a pair");
-            self.make_room(&mut actions);
+            self.make_room(now, &mut actions);
             let a = self.random_unswapped(&[logical, phys_id]);
             self.rit.insert_pair(logical, a, self.epoch);
             let b = self.random_unswapped(&[logical, phys_id]);
             self.rit.insert_pair(phys_id, b, self.epoch);
+            self.telemetry.record(
+                now.as_ps(),
+                EventKind::Unswap {
+                    row_a: logical.index(),
+                    row_b: phys_id.index(),
+                },
+            );
+            self.telemetry.record(
+                now.as_ps(),
+                EventKind::Swap {
+                    row_a: logical.index(),
+                    row_b: a.index(),
+                },
+            );
+            self.telemetry.record(
+                now.as_ps(),
+                EventKind::Swap {
+                    row_a: phys_id.index(),
+                    row_b: b.index(),
+                },
+            );
             let movements = [
                 self.swap_movement(Some((logical, phys_id))), // restore <X, Y>
                 self.swap_movement(Some((logical, a))),       // form <X, A>
@@ -228,11 +276,19 @@ impl Mitigation for RrsEngine {
                 });
             }
             self.stats.reswaps += 1;
+            self.counters.reswaps.inc();
         } else {
             // First swap of an unswapped row: two row migrations.
-            self.make_room(&mut actions);
+            self.make_room(now, &mut actions);
             let dest = self.random_unswapped(&[phys_id]);
             self.rit.insert_pair(phys_id, dest, self.epoch);
+            self.telemetry.record(
+                now.as_ps(),
+                EventKind::Swap {
+                    row_a: phys_id.index(),
+                    row_b: dest.index(),
+                },
+            );
             let movements = [
                 self.swap_movement(Some((phys_id, dest))),
                 DataMovement::None,
@@ -245,6 +301,7 @@ impl Mitigation for RrsEngine {
                 });
             }
             self.stats.swaps += 1;
+            self.counters.swaps.inc();
         }
         actions
     }
@@ -252,6 +309,23 @@ impl Mitigation for RrsEngine {
     fn end_epoch(&mut self) {
         self.tracker.end_epoch();
         self.epoch += 1;
+    }
+
+    fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.counters = RrsCounters {
+            swaps: telemetry.counter("rrs.swaps"),
+            reswaps: telemetry.counter("rrs.reswaps"),
+            unswaps: telemetry.counter("rrs.unswaps"),
+            mitigations: telemetry.counter("rrs.mitigations"),
+        };
+        self.telemetry = telemetry;
+    }
+
+    fn epoch_gauges(&self) -> Vec<(&'static str, f64)> {
+        vec![(
+            "rit_fill",
+            self.rit.pairs() as f64 / self.rit.pair_capacity().max(1) as f64,
+        )]
     }
 
     fn mitigation_stats(&self) -> MitigationStats {

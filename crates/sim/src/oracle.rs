@@ -77,8 +77,10 @@ impl ActivationOracle {
         row.bank.index() as usize * self.rows_per_bank as usize + row.row as usize
     }
 
-    /// Records one activation of physical row `row`.
-    pub fn record(&mut self, row: RowAddr) {
+    /// Records one activation of physical row `row`. Returns `true` when
+    /// this activation first pushed the row's two-epoch window count over
+    /// `T_RH` (used to trace `ThresholdCrossed` events).
+    pub fn record(&mut self, row: RowAddr) -> bool {
         let i = self.index(row);
         self.curr[i] += 1;
         self.summary.total_activations += 1;
@@ -86,11 +88,14 @@ impl ActivationOracle {
         if window > self.summary.max_window_activations {
             self.summary.max_window_activations = window;
         }
+        let mut crossed = false;
         if window > self.t_rh && !self.flagged[i] {
             self.flagged[i] = true;
             self.summary.rows_over_trh += 1;
+            crossed = true;
         }
         self.disturb_neighbours(row, i);
+        crossed
     }
 
     /// Records a mitigative refresh of `row`: the refresh is itself a row

@@ -3,6 +3,7 @@
 use crate::OracleSummary;
 use aqua_dram::mitigation::MitigationStats;
 use aqua_dram::Duration;
+use aqua_telemetry::TelemetrySummary;
 use serde::{Deserialize, Serialize};
 
 /// Everything measured in one simulation run.
@@ -31,6 +32,9 @@ pub struct RunReport {
     /// Shadow-memory integrity violations (a translation resolved to a
     /// physical row not holding the requested data; must be zero).
     pub integrity_violations: u64,
+    /// End-of-run telemetry snapshot (`None` when no telemetry hub was
+    /// attached or the `telemetry` feature is disabled).
+    pub telemetry: Option<TelemetrySummary>,
 }
 
 impl RunReport {
@@ -57,21 +61,23 @@ impl RunReport {
 
 /// Geometric mean of normalized-performance values (the paper's `Gmean`).
 ///
-/// # Panics
-///
-/// Panics if any value is non-positive.
-pub fn gmean(values: impl IntoIterator<Item = f64>) -> f64 {
+/// Returns `None` if any value is non-positive (the logarithm is undefined
+/// there, and a zero-request run would otherwise poison a whole figure);
+/// an empty input yields `Some(1.0)` (the neutral element).
+pub fn gmean(values: impl IntoIterator<Item = f64>) -> Option<f64> {
     let mut log_sum = 0.0;
     let mut n = 0usize;
     for v in values {
-        assert!(v > 0.0, "gmean requires positive values");
+        if v <= 0.0 || !v.is_finite() {
+            return None;
+        }
         log_sum += v.ln();
         n += 1;
     }
     if n == 0 {
-        1.0
+        Some(1.0)
     } else {
-        (log_sum / n as f64).exp()
+        Some((log_sum / n as f64).exp())
     }
 }
 
@@ -112,8 +118,15 @@ mod tests {
 
     #[test]
     fn gmean_basics() {
-        assert!((gmean([1.0, 1.0]) - 1.0).abs() < 1e-12);
-        assert!((gmean([0.5, 2.0]) - 1.0).abs() < 1e-12);
-        assert!((gmean(std::iter::empty()) - 1.0).abs() < 1e-12);
+        assert!((gmean([1.0, 1.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((gmean([0.5, 2.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((gmean(std::iter::empty()).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmean_rejects_non_positive_values() {
+        assert_eq!(gmean([1.0, 0.0]), None);
+        assert_eq!(gmean([-2.0]), None);
+        assert_eq!(gmean([1.0, f64::NAN]), None);
     }
 }

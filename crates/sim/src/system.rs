@@ -1,8 +1,9 @@
 //! The system simulator: cores + channel + banks + mitigation + oracle.
 
 use crate::{ActivationOracle, CoreState, RunReport, ShadowMemory};
-use aqua_dram::mitigation::{Mitigation, MitigationAction};
-use aqua_dram::{Bank, BaselineConfig, Channel, Duration, RefreshScheduler, Time};
+use aqua_dram::mitigation::{Mitigation, MitigationAction, MitigationStats};
+use aqua_dram::{Bank, BaselineConfig, Channel, ChannelStats, Duration, RefreshScheduler, Time};
+use aqua_telemetry::{Counter, EpochRecord, EventKind, Histogram, Telemetry};
 use aqua_workload::RequestGenerator;
 
 /// Simulation parameters.
@@ -39,6 +40,14 @@ impl SimConfig {
     }
 }
 
+/// Counters sampled at the previous epoch boundary, for per-epoch deltas.
+#[derive(Debug, Default, Clone, Copy)]
+struct EpochBaseline {
+    requests: u64,
+    mitigation: MitigationStats,
+    channel: ChannelStats,
+}
+
 /// One simulation run binding a mitigation scheme to a set of core streams.
 pub struct Simulation<M: Mitigation> {
     cfg: SimConfig,
@@ -50,6 +59,14 @@ pub struct Simulation<M: Mitigation> {
     shadow: ShadowMemory,
     cores: Vec<CoreState>,
     burst: Duration,
+    telemetry: Telemetry,
+    /// Per-access memory latency (request issue to data completion), ps.
+    access_hist: Histogram,
+    /// Channel-blocking stall of each row migration, ps.
+    migration_hist: Histogram,
+    /// Mapping-table lookup latency on the access critical path, ps.
+    lookup_hist: Histogram,
+    activations: Counter,
 }
 
 impl<M: Mitigation> Simulation<M> {
@@ -76,6 +93,7 @@ impl<M: Mitigation> Simulation<M> {
         for row in mitigation.reserved_rows() {
             shadow.vacate(row);
         }
+        let detached = Telemetry::disabled();
         Simulation {
             banks: (0..cfg.base.geometry.total_banks())
                 .map(|_| Bank::with_policy(cfg.base.timing, cfg.base.page_policy))
@@ -88,7 +106,29 @@ impl<M: Mitigation> Simulation<M> {
             cores,
             burst: cfg.base.timing.t_ccd_s,
             cfg,
+            telemetry: detached.clone(),
+            access_hist: detached.histogram("mem.access_ps"),
+            migration_hist: detached.histogram("migration.stall_ps"),
+            lookup_hist: detached.histogram("table.lookup_ps"),
+            activations: detached.counter("sim.activations"),
         }
+    }
+
+    /// Attaches a telemetry hub: registers the simulator's histograms and
+    /// counters and forwards the hub to the mitigation scheme so every layer
+    /// records into the same registry.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.access_hist = telemetry.histogram("mem.access_ps");
+        self.migration_hist = telemetry.histogram("migration.stall_ps");
+        self.lookup_hist = telemetry.histogram("table.lookup_ps");
+        self.activations = telemetry.counter("sim.activations");
+        self.mitigation.attach_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
+    /// The attached telemetry hub (disabled if none was attached).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// The mitigation scheme (for scheme-specific statistics after a run).
@@ -113,6 +153,7 @@ impl<M: Mitigation> Simulation<M> {
                     duration, movement, ..
                 } => {
                     self.channel.reserve_migration(at, duration);
+                    self.migration_hist.record(duration.as_ps());
                     self.shadow.apply(movement);
                 }
                 MitigationAction::RefreshRows(rows) => {
@@ -137,11 +178,40 @@ impl<M: Mitigation> Simulation<M> {
         completion
     }
 
+    /// Records an activation with the oracle and trace (the oracle reports
+    /// first-time threshold crossings, which become trace events).
+    fn record_activation(&mut self, phys: aqua_dram::RowAddr, at: Time) {
+        self.activations.inc();
+        self.telemetry.record(
+            at.as_ps(),
+            EventKind::Activate {
+                bank: phys.bank.index() as u64,
+                row: phys.row as u64,
+            },
+        );
+        if self.oracle.record(phys) {
+            self.telemetry.record(
+                at.as_ps(),
+                EventKind::ThresholdCrossed {
+                    row: self
+                        .cfg
+                        .base
+                        .geometry
+                        .flatten(phys)
+                        .map(|g| g.index())
+                        .unwrap_or(u64::MAX),
+                    count: self.oracle.window_count(phys),
+                },
+            );
+        }
+    }
+
     /// Serves one request from core `ci` issued at `t0`; returns completion.
     fn serve(&mut self, ci: usize, t0: Time) {
         let req = self.cores[ci].pending();
         let tr = self.mitigation.translate(req.row, t0);
-        let mut t = self.refresh.next_available(t0 + tr.lookup_latency);
+        let lookup_start = self.refresh.next_available(t0 + tr.lookup_latency);
+        let mut t = lookup_start;
 
         // Extra in-DRAM mapping-table read on the critical path.
         if let Some(trow) = tr.table_row {
@@ -151,12 +221,16 @@ impl<M: Mitigation> Simulation<M> {
                 .channel
                 .reserve_table_access(res.data_ready, self.burst);
             if res.activated {
-                self.oracle.record(trow);
+                self.record_activation(trow, res.data_ready);
                 let actions = self.mitigation.on_activation(trow, res.data_ready);
                 self.apply_actions(actions, res.data_ready, res.data_ready);
             }
             t = slot + self.burst;
         }
+        // Table-lookup latency: the scheme's SRAM lookup plus any in-DRAM
+        // table walk that just happened on the critical path.
+        self.lookup_hist
+            .record(tr.lookup_latency.as_ps() + t.saturating_since(lookup_start).as_ps());
 
         let phys = tr.phys;
         // End-to-end integrity: the translation must resolve to the physical
@@ -167,11 +241,52 @@ impl<M: Mitigation> Simulation<M> {
         let slot = self.channel.reserve_burst(res.data_ready, self.burst);
         let mut completion = slot + self.burst;
         if res.activated {
-            self.oracle.record(phys);
+            self.record_activation(phys, completion);
             let actions = self.mitigation.on_activation(phys, completion);
             completion = self.apply_actions(actions, completion, completion);
         }
+        self.access_hist
+            .record(completion.saturating_since(t0).as_ps());
         self.cores[ci].commit(t0, completion);
+    }
+
+    /// Samples one epoch record (deltas against `prev`) into the time series
+    /// and advances the baseline. Runs *before* the scheme's `end_epoch` so
+    /// gauges see the closing epoch's state.
+    fn sample_epoch(&mut self, epoch: u64, end: Time, prev: &mut EpochBaseline) {
+        self.telemetry
+            .record(end.as_ps(), EventKind::EpochRollover { epoch });
+        let requests: u64 = self.cores.iter().map(|c| c.issued()).sum();
+        let mitigation = self.mitigation.mitigation_stats();
+        let channel = self.channel.stats();
+        let d_mit = mitigation.diff(&prev.mitigation);
+        let epoch_ps = self.cfg.base.epoch.as_ps().max(1) as f64;
+        let frac = |busy: Duration, before: Duration| {
+            busy.saturating_sub(before).as_ps() as f64 / epoch_ps
+        };
+        self.telemetry.push_epoch(EpochRecord {
+            epoch,
+            end_ps: end.as_ps(),
+            requests_done: requests - prev.requests,
+            migrations: d_mit.row_migrations,
+            mitigations_triggered: d_mit.mitigations_triggered,
+            victim_refreshes: d_mit.victim_refreshes,
+            throttled: d_mit.throttled,
+            data_busy_frac: frac(channel.data_busy, prev.channel.data_busy),
+            migration_busy_frac: frac(channel.migration_busy, prev.channel.migration_busy),
+            table_busy_frac: frac(channel.table_busy, prev.channel.table_busy),
+            gauges: self
+                .mitigation
+                .epoch_gauges()
+                .into_iter()
+                .map(|(name, v)| (name.to_string(), v))
+                .collect(),
+        });
+        *prev = EpochBaseline {
+            requests,
+            mitigation,
+            channel,
+        };
     }
 
     /// Runs for `cfg.epochs` refresh windows and reports the results.
@@ -181,6 +296,8 @@ impl<M: Mitigation> Simulation<M> {
         let t_refi = self.cfg.base.timing.t_refi;
         let mut next_epoch = Time::ZERO + epoch_len;
         let mut next_tick = Time::ZERO + t_refi;
+        let mut epoch_idx: u64 = 0;
+        let mut baseline = EpochBaseline::default();
         loop {
             let (ci, t) = self
                 .cores
@@ -193,24 +310,28 @@ impl<M: Mitigation> Simulation<M> {
                 break;
             }
             while t >= next_tick {
-                let actions = self.mitigation.on_refresh_tick();
+                let actions = self.mitigation.on_refresh_tick(next_tick);
                 if !actions.is_empty() {
                     self.apply_actions(actions, next_tick, next_tick);
                 }
                 next_tick += t_refi;
             }
             while t >= next_epoch {
+                self.sample_epoch(epoch_idx, next_epoch, &mut baseline);
                 self.mitigation.end_epoch();
                 self.oracle.end_epoch();
                 next_epoch += epoch_len;
+                epoch_idx += 1;
             }
             self.serve(ci, t);
         }
         // Close out remaining epoch boundaries.
         while next_epoch <= end {
+            self.sample_epoch(epoch_idx, next_epoch, &mut baseline);
             self.mitigation.end_epoch();
             self.oracle.end_epoch();
             next_epoch += epoch_len;
+            epoch_idx += 1;
         }
         let stats = self.channel.stats();
         RunReport {
@@ -225,6 +346,7 @@ impl<M: Mitigation> Simulation<M> {
             mitigation: self.mitigation.mitigation_stats(),
             oracle: self.oracle.summary(),
             integrity_violations: self.shadow.violations(),
+            telemetry: self.telemetry.summary(),
         }
     }
 }

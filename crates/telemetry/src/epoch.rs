@@ -1,0 +1,106 @@
+//! Per-epoch time-series recording.
+
+/// One sample of simulator state, taken at an epoch boundary.
+///
+/// Fixed fields cover what every mitigation scheme reports; scheme-specific
+/// values (RQA occupancy, FPT-cache hit rate, RIT fill, ...) ride in
+/// `gauges` as name/value pairs supplied by the mitigation itself.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochRecord {
+    /// Zero-based epoch index.
+    pub epoch: u64,
+    /// Simulator time at the epoch boundary, picoseconds.
+    pub end_ps: u64,
+    /// Requests completed during this epoch.
+    pub requests_done: u64,
+    /// Row migrations performed during this epoch.
+    pub migrations: u64,
+    /// Mitigation triggers (tracker hits) during this epoch.
+    pub mitigations_triggered: u64,
+    /// Victim-row refreshes issued during this epoch.
+    pub victim_refreshes: u64,
+    /// Requests throttled during this epoch.
+    pub throttled: u64,
+    /// Fraction of the epoch the channel spent moving demand data.
+    pub data_busy_frac: f64,
+    /// Fraction of the epoch the channel spent on migrations.
+    pub migration_busy_frac: f64,
+    /// Fraction of the epoch the channel spent on table accesses.
+    pub table_busy_frac: f64,
+    /// Scheme-specific gauges (e.g. `rqa_occupancy`, `fpt_cache_hit_rate`).
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl EpochRecord {
+    /// Looks up a scheme-specific gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+}
+
+/// An append-only series of [`EpochRecord`]s.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochSeries {
+    records: Vec<EpochRecord>,
+}
+
+impl EpochSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one epoch sample.
+    pub fn push(&mut self, record: EpochRecord) {
+        self.records.push(record);
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether no epochs were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The recorded epochs, oldest first.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// Sums a fixed counter field across all epochs via `f`.
+    pub fn total<F: Fn(&EpochRecord) -> u64>(&self, f: F) -> u64 {
+        self.records.iter().map(f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauges_resolve_by_name() {
+        let rec = EpochRecord {
+            epoch: 1,
+            gauges: vec![("rqa_occupancy".into(), 0.25)],
+            ..Default::default()
+        };
+        assert_eq!(rec.gauge("rqa_occupancy"), Some(0.25));
+        assert_eq!(rec.gauge("missing"), None);
+    }
+
+    #[test]
+    fn totals_sum_across_epochs() {
+        let mut s = EpochSeries::new();
+        for migrations in [2u64, 3, 5] {
+            s.push(EpochRecord {
+                migrations,
+                ..Default::default()
+            });
+        }
+        assert_eq!(s.total(|r| r.migrations), 10);
+        assert_eq!(s.len(), 3);
+    }
+}

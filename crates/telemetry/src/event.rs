@@ -1,0 +1,177 @@
+//! Typed simulator events for the bounded ring trace.
+
+use crate::json;
+
+/// One trace entry: a typed event stamped with simulator time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Simulator timestamp in picoseconds.
+    pub ts_ps: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The typed events the simulator layers emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A row activation reached the DRAM model (high volume; traced only
+    /// when activation tracing is switched on).
+    Activate {
+        /// Flat bank index.
+        bank: u64,
+        /// Row within the bank.
+        row: u64,
+    },
+    /// AQUA moved an aggressor row into a quarantine slot.
+    QuarantineIn {
+        /// Original (functional) row address.
+        row: u64,
+        /// Destination RQA slot.
+        slot: u64,
+    },
+    /// AQUA drained or evicted a row out of the quarantine area.
+    QuarantineOut {
+        /// Original (functional) row address.
+        row: u64,
+        /// Vacated RQA slot.
+        slot: u64,
+    },
+    /// RRS swapped two rows.
+    Swap {
+        /// Aggressor row.
+        row_a: u64,
+        /// Randomly selected partner row.
+        row_b: u64,
+    },
+    /// RRS undid a previous swap.
+    Unswap {
+        /// Aggressor row.
+        row_a: u64,
+        /// Partner row being restored.
+        row_b: u64,
+    },
+    /// The FPT cache missed and fell back to a DRAM table walk.
+    FptCacheMiss {
+        /// Looked-up row.
+        row: u64,
+        /// Whether the singleton optimization resolved the miss without a
+        /// DRAM access.
+        singleton: bool,
+    },
+    /// A mitigation epoch ended.
+    EpochRollover {
+        /// Zero-based index of the epoch that just finished.
+        epoch: u64,
+    },
+    /// Blockhammer-style throttling stalled a request.
+    ThrottleStall {
+        /// Row whose activation was delayed.
+        row: u64,
+        /// Imposed delay in picoseconds.
+        delay_ps: u64,
+    },
+    /// A row's activation count first exceeded the Rowhammer threshold.
+    ThresholdCrossed {
+        /// The aggressor row.
+        row: u64,
+        /// Activation count at the crossing.
+        count: u64,
+    },
+}
+
+impl EventKind {
+    /// Stable name used in exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Activate { .. } => "Activate",
+            EventKind::QuarantineIn { .. } => "QuarantineIn",
+            EventKind::QuarantineOut { .. } => "QuarantineOut",
+            EventKind::Swap { .. } => "Swap",
+            EventKind::Unswap { .. } => "Unswap",
+            EventKind::FptCacheMiss { .. } => "FptCacheMiss",
+            EventKind::EpochRollover { .. } => "EpochRollover",
+            EventKind::ThrottleStall { .. } => "ThrottleStall",
+            EventKind::ThresholdCrossed { .. } => "ThresholdCrossed",
+        }
+    }
+
+    /// The event payload as a JSON object string (used by both exporters).
+    pub fn args_json(&self) -> String {
+        let mut out = String::from("{");
+        let put = |out: &mut String, key: &str, val: String| {
+            if out.len() > 1 {
+                out.push(',');
+            }
+            json::push_str(out, key);
+            out.push(':');
+            out.push_str(&val);
+        };
+        match *self {
+            EventKind::Activate { bank, row } => {
+                put(&mut out, "bank", bank.to_string());
+                put(&mut out, "row", row.to_string());
+            }
+            EventKind::QuarantineIn { row, slot } | EventKind::QuarantineOut { row, slot } => {
+                put(&mut out, "row", row.to_string());
+                put(&mut out, "slot", slot.to_string());
+            }
+            EventKind::Swap { row_a, row_b } | EventKind::Unswap { row_a, row_b } => {
+                put(&mut out, "row_a", row_a.to_string());
+                put(&mut out, "row_b", row_b.to_string());
+            }
+            EventKind::FptCacheMiss { row, singleton } => {
+                put(&mut out, "row", row.to_string());
+                put(&mut out, "singleton", singleton.to_string());
+            }
+            EventKind::EpochRollover { epoch } => {
+                put(&mut out, "epoch", epoch.to_string());
+            }
+            EventKind::ThrottleStall { row, delay_ps } => {
+                put(&mut out, "row", row.to_string());
+                put(&mut out, "delay_ps", delay_ps.to_string());
+            }
+            EventKind::ThresholdCrossed { row, count } => {
+                put(&mut out, "row", row.to_string());
+                put(&mut out, "count", count.to_string());
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_are_valid_json_objects() {
+        let kinds = [
+            EventKind::Activate { bank: 3, row: 9 },
+            EventKind::QuarantineIn { row: 1, slot: 2 },
+            EventKind::Swap { row_a: 5, row_b: 6 },
+            EventKind::FptCacheMiss {
+                row: 7,
+                singleton: true,
+            },
+            EventKind::EpochRollover { epoch: 4 },
+            EventKind::ThrottleStall {
+                row: 8,
+                delay_ps: 100,
+            },
+            EventKind::ThresholdCrossed {
+                row: 2,
+                count: 5000,
+            },
+        ];
+        for k in kinds {
+            let s = k.args_json();
+            assert!(s.starts_with('{') && s.ends_with('}'), "{s}");
+            assert!(!k.name().is_empty());
+        }
+        assert_eq!(
+            EventKind::QuarantineIn { row: 1, slot: 2 }.args_json(),
+            r#"{"row":1,"slot":2}"#
+        );
+    }
+}

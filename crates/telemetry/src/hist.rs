@@ -1,0 +1,241 @@
+//! Log-bucketed latency histograms.
+//!
+//! Bucket `0` holds the value `0`; bucket `i >= 1` holds the half-open
+//! power-of-two band `[2^(i-1), 2^i - 1]`. 65 buckets cover the full `u64`
+//! range, so recording never saturates. Percentiles interpolate linearly
+//! inside the resolved bucket, which bounds the relative error by the
+//! bucket width (a factor of two).
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKET_COUNT: usize = 65;
+
+/// A power-of-two-bucketed histogram of `u64` samples (latencies in ps).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramData {
+    buckets: [u64; BUCKET_COUNT],
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl Default for HistogramData {
+    fn default() -> Self {
+        HistogramData {
+            buckets: [0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+}
+
+/// Compact summary of a histogram, embeddable in reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean sample value.
+    pub mean: f64,
+    /// Median (linear interpolation within the bucket).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Largest recorded sample (exact, not bucketed).
+    pub max: u64,
+}
+
+impl HistogramData {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket holding `value`.
+    pub fn bucket_index(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// Inclusive `(low, high)` value range of bucket `index`.
+    pub fn bucket_bounds(index: usize) -> (u64, u64) {
+        match index {
+            0 => (0, 0),
+            64 => (1u64 << 63, u64::MAX),
+            i => (1u64 << (i - 1), (1u64 << i) - 1),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.max = self.max.max(value);
+        self.min = self.min.min(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest recorded sample, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest recorded sample, or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean of all recorded samples, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Raw bucket counts, index 0 first.
+    pub fn buckets(&self) -> &[u64; BUCKET_COUNT] {
+        &self.buckets
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), or 0 if empty.
+    ///
+    /// Resolves the bucket containing the rank `ceil(q * count)` sample and
+    /// interpolates linearly inside it; the result is clamped to the exact
+    /// observed `[min, max]` so tails never exceed real samples.
+    pub fn percentile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = (rank - seen) as f64 / n as f64;
+                let v = lo as f64 + frac * (hi - lo) as f64;
+                return v.clamp(self.min as f64, self.max as f64);
+            }
+            seen += n;
+        }
+        self.max as f64
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramData) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Condenses the histogram into count/mean/p50/p95/p99/max.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            mean: self.mean(),
+            p50: self.percentile(0.50),
+            p95: self.percentile(0.95),
+            p99: self.percentile(0.99),
+            max: self.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_matches_bounds() {
+        assert_eq!(HistogramData::bucket_index(0), 0);
+        assert_eq!(HistogramData::bucket_index(1), 1);
+        assert_eq!(HistogramData::bucket_index(2), 2);
+        assert_eq!(HistogramData::bucket_index(3), 2);
+        assert_eq!(HistogramData::bucket_index(4), 3);
+        assert_eq!(HistogramData::bucket_index(u64::MAX), 64);
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = HistogramData::bucket_bounds(i);
+            assert_eq!(HistogramData::bucket_index(lo), i);
+            assert_eq!(HistogramData::bucket_index(hi), i);
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = HistogramData::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.99), 0.0);
+    }
+
+    #[test]
+    fn single_value_percentiles_are_exact() {
+        let mut h = HistogramData::new();
+        h.record(1300);
+        let s = h.summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.max, 1300);
+        // One sample: every percentile is clamped to the observed range.
+        assert_eq!(s.p50, 1300.0);
+        assert_eq!(s.p99, 1300.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = HistogramData::new();
+        for v in [10u64, 20, 40, 80, 500, 1000, 5000, 100_000] {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5);
+        let p95 = h.percentile(0.95);
+        let p99 = h.percentile(0.99);
+        assert!(p50 <= p95 && p95 <= p99);
+        assert!(p99 <= h.max() as f64);
+    }
+
+    #[test]
+    fn merge_equals_recording_everything() {
+        let mut a = HistogramData::new();
+        let mut b = HistogramData::new();
+        let mut both = HistogramData::new();
+        for v in [1u64, 7, 7, 120] {
+            a.record(v);
+            both.record(v);
+        }
+        for v in [0u64, 999, 65_536] {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+    }
+}

@@ -1,0 +1,492 @@
+//! The shared telemetry hub and its metric handles.
+//!
+//! [`Telemetry`] is the cheap-to-clone handle every simulator layer holds.
+//! With the `enabled` cargo feature the handles feed shared atomics, the
+//! bounded ring trace, histograms, and the epoch series. With the feature
+//! off, [`Telemetry`] is a zero-sized type: [`Counter`] / [`Gauge`] degrade
+//! to plain local cells (a bare `u64` increment on the hot path) and every
+//! trace/histogram/epoch call compiles to nothing.
+
+use crate::epoch::{EpochRecord, EpochSeries};
+use crate::event::EventKind;
+use crate::summary::TelemetrySummary;
+
+#[cfg(feature = "enabled")]
+use crate::event::Event;
+#[cfg(feature = "enabled")]
+use crate::hist::HistogramData;
+#[cfg(feature = "enabled")]
+use crate::ring::RingBuffer;
+#[cfg(feature = "enabled")]
+use std::collections::BTreeMap;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, Mutex};
+
+/// Construction-time options for a telemetry hub.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// Maximum events retained by the ring trace (oldest dropped first).
+    pub trace_capacity: usize,
+    /// Whether high-volume `Activate` events enter the trace at all.
+    pub trace_activates: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            trace_capacity: 65_536,
+            trace_activates: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Feature ON: shared hub.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+struct Inner {
+    cfg: TelemetryConfig,
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Arc<Mutex<HistogramData>>>>,
+    trace: Mutex<RingBuffer<Event>>,
+    epochs: Mutex<EpochSeries>,
+}
+
+/// Cheap-to-clone handle to the telemetry hub (or to nothing, when
+/// constructed via [`Telemetry::disabled`] or with the feature off).
+#[cfg(feature = "enabled")]
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+#[cfg(feature = "enabled")]
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl Telemetry {
+    /// Creates an active hub.
+    pub fn new(cfg: TelemetryConfig) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                cfg,
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+                trace: Mutex::new(RingBuffer::new(cfg.trace_capacity)),
+                epochs: Mutex::new(EpochSeries::new()),
+            })),
+        }
+    }
+
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle feeds a live hub.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Registers (or re-fetches) a named counter.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        Counter(self.inner.as_ref().map(|i| {
+            Arc::clone(
+                i.counters
+                    .lock()
+                    .unwrap()
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+            )
+        }))
+    }
+
+    /// Registers (or re-fetches) a named gauge.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        Gauge(self.inner.as_ref().map(|i| {
+            Arc::clone(
+                i.gauges
+                    .lock()
+                    .unwrap()
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+            )
+        }))
+    }
+
+    /// Registers (or re-fetches) a named histogram.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        Histogram(self.inner.as_ref().map(|i| {
+            Arc::clone(
+                i.histograms
+                    .lock()
+                    .unwrap()
+                    .entry(name)
+                    .or_insert_with(|| Arc::new(Mutex::new(HistogramData::new()))),
+            )
+        }))
+    }
+
+    /// Pushes a typed event into the ring trace.
+    ///
+    /// `Activate` events are filtered out unless
+    /// [`TelemetryConfig::trace_activates`] was set.
+    pub fn record(&self, ts_ps: u64, kind: EventKind) {
+        if let Some(i) = &self.inner {
+            if matches!(kind, EventKind::Activate { .. }) && !i.cfg.trace_activates {
+                return;
+            }
+            i.trace.lock().unwrap().push(Event { ts_ps, kind });
+        }
+    }
+
+    /// Appends one epoch sample to the time series.
+    pub fn push_epoch(&self, record: EpochRecord) {
+        if let Some(i) = &self.inner {
+            i.epochs.lock().unwrap().push(record);
+        }
+    }
+
+    /// Clones the recorded epoch series (empty when disabled).
+    pub fn epochs(&self) -> EpochSeries {
+        self.inner
+            .as_ref()
+            .map(|i| i.epochs.lock().unwrap().clone())
+            .unwrap_or_default()
+    }
+
+    /// Clones the retained trace events, oldest first (empty when disabled).
+    pub fn trace_events(&self) -> Vec<Event> {
+        self.inner
+            .as_ref()
+            .map(|i| i.trace.lock().unwrap().iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Condenses everything recorded so far (None when disabled).
+    pub fn summary(&self) -> Option<TelemetrySummary> {
+        let i = self.inner.as_ref()?;
+        let counters = i
+            .counters
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.to_string(), c.load(Ordering::Relaxed)))
+            .collect();
+        let gauges = i
+            .gauges
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| (n.to_string(), f64::from_bits(g.load(Ordering::Relaxed))))
+            .collect();
+        let histograms = i
+            .histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.to_string(), h.lock().unwrap().summary()))
+            .collect();
+        let trace = i.trace.lock().unwrap();
+        Some(TelemetrySummary {
+            counters,
+            gauges,
+            histograms,
+            events_recorded: trace.offered(),
+            events_dropped: trace.dropped(),
+            epochs_recorded: i.epochs.lock().unwrap().len() as u64,
+        })
+    }
+}
+
+/// Monotone counter handle (shared atomic when live).
+#[cfg(feature = "enabled")]
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+#[cfg(feature = "enabled")]
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for detached handles).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map(|c| c.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+}
+
+/// Last-value gauge handle (shared atomic `f64` bits when live).
+#[cfg(feature = "enabled")]
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+#[cfg(feature = "enabled")]
+impl Gauge {
+    /// Overwrites the gauge value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for detached handles).
+    pub fn get(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map(|g| f64::from_bits(g.load(Ordering::Relaxed)))
+            .unwrap_or(0.0)
+    }
+}
+
+/// Histogram recording handle (shared when live).
+#[cfg(feature = "enabled")]
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Option<Arc<Mutex<HistogramData>>>);
+
+#[cfg(feature = "enabled")]
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.lock().unwrap().record(v);
+        }
+    }
+
+    /// Snapshot of the underlying data (empty for detached handles).
+    pub fn snapshot(&self) -> crate::hist::HistogramData {
+        self.0
+            .as_ref()
+            .map(|h| h.lock().unwrap().clone())
+            .unwrap_or_default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Feature OFF: zero-cost stand-ins with the same API.
+// ---------------------------------------------------------------------------
+
+/// Zero-sized stand-in for the telemetry hub (feature `enabled` off).
+#[cfg(not(feature = "enabled"))]
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry;
+
+#[cfg(not(feature = "enabled"))]
+impl Telemetry {
+    /// Accepts the config and discards it.
+    pub fn new(_cfg: TelemetryConfig) -> Self {
+        Telemetry
+    }
+
+    /// Same as [`Telemetry::new`] in this mode: records nothing.
+    pub fn disabled() -> Self {
+        Telemetry
+    }
+
+    /// Always `false` in this mode.
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Returns a plain local counter cell.
+    pub fn counter(&self, _name: &'static str) -> Counter {
+        Counter::default()
+    }
+
+    /// Returns a plain local gauge cell.
+    pub fn gauge(&self, _name: &'static str) -> Gauge {
+        Gauge::default()
+    }
+
+    /// Returns a no-op histogram handle.
+    pub fn histogram(&self, _name: &'static str) -> Histogram {
+        Histogram
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn record(&self, _ts_ps: u64, _kind: EventKind) {}
+
+    /// No-op.
+    #[inline]
+    pub fn push_epoch(&self, _record: EpochRecord) {}
+
+    /// Always empty in this mode.
+    pub fn epochs(&self) -> EpochSeries {
+        EpochSeries::new()
+    }
+
+    /// Always empty in this mode.
+    pub fn trace_events(&self) -> Vec<crate::event::Event> {
+        Vec::new()
+    }
+
+    /// Always `None` in this mode.
+    pub fn summary(&self) -> Option<TelemetrySummary> {
+        None
+    }
+}
+
+/// Plain local counter cell: a bare `u64` increment (feature off).
+#[cfg(not(feature = "enabled"))]
+#[derive(Clone, Debug, Default)]
+pub struct Counter(std::cell::Cell<u64>);
+
+#[cfg(not(feature = "enabled"))]
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.set(self.0.get().wrapping_add(1));
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Current (handle-local) value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Plain local gauge cell (feature off).
+#[cfg(not(feature = "enabled"))]
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(std::cell::Cell<f64>);
+
+#[cfg(not(feature = "enabled"))]
+impl Gauge {
+    /// Overwrites the (handle-local) value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.set(v);
+    }
+
+    /// Current (handle-local) value.
+    pub fn get(&self) -> f64 {
+        self.0.get()
+    }
+}
+
+/// No-op histogram handle (feature off).
+#[cfg(not(feature = "enabled"))]
+#[derive(Clone, Debug, Default)]
+pub struct Histogram;
+
+#[cfg(not(feature = "enabled"))]
+impl Histogram {
+    /// No-op.
+    #[inline]
+    pub fn record(&self, _v: u64) {}
+
+    /// Always empty in this mode.
+    pub fn snapshot(&self) -> crate::hist::HistogramData {
+        crate::hist::HistogramData::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn counters_count_in_both_modes() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let c = t.counter("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn gauges_hold_last_value() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let g = t.gauge("g");
+        g.set(0.5);
+        g.set(0.75);
+        assert_eq!(g.get(), 0.75);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn named_handles_share_state() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let a = t.counter("shared");
+        let b = t.counter("shared");
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        let s = t.summary().unwrap();
+        assert_eq!(s.counter("shared"), Some(2));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn activates_are_filtered_by_default() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        t.record(10, EventKind::Activate { bank: 0, row: 1 });
+        t.record(20, EventKind::EpochRollover { epoch: 0 });
+        assert_eq!(t.trace_events().len(), 1);
+
+        let t2 = Telemetry::new(TelemetryConfig {
+            trace_activates: true,
+            ..Default::default()
+        });
+        t2.record(10, EventKind::Activate { bank: 0, row: 1 });
+        assert_eq!(t2.trace_events().len(), 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn disabled_handle_records_nothing() {
+        let t = Telemetry::disabled();
+        t.record(1, EventKind::EpochRollover { epoch: 0 });
+        assert!(t.summary().is_none());
+        assert!(t.trace_events().is_empty());
+        let c = t.counter("x");
+        c.inc();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_build_is_inert() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        assert!(!t.is_enabled());
+        t.record(1, EventKind::EpochRollover { epoch: 0 });
+        assert!(t.summary().is_none());
+        let h = t.histogram("h");
+        h.record(10);
+        assert_eq!(h.snapshot().count(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Tiny hand-rolled JSON emission helpers (the workspace carries no real
+//! serialization dependency — see `vendor/README.md`).
+
+/// Appends `s` as a quoted, escaped JSON string.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Formats a float as a JSON number (`null` for non-finite values).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        // Trim to a stable short form; full precision is irrelevant for
+        // telemetry consumers and bloats the files.
+        let s = format!("{v:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        if s.is_empty() || s == "-" {
+            "0".into()
+        } else {
+            s.to_string()
+        }
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        let mut out = String::new();
+        push_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn numbers_are_trimmed() {
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(2.0), "2");
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(f64::NAN), "null");
+    }
+}

@@ -1,0 +1,42 @@
+//! Unified telemetry for the AQUA simulator workspace.
+//!
+//! One crate provides every observability primitive the simulator layers
+//! share:
+//!
+//! * [`Counter`] / [`Gauge`] handles backed by a named registry inside
+//!   [`Telemetry`]. With the `enabled` feature they are shared atomics; with
+//!   it off they degrade to plain thread-local cells, so instrumented hot
+//!   paths still compile to a bare `u64` increment.
+//! * [`HistogramData`] — log-bucketed (power-of-two) latency histograms with
+//!   p50/p95/p99/max summaries, plus the [`Histogram`] recording handle.
+//! * [`RingBuffer`] + [`EventKind`] — a bounded event trace of typed
+//!   simulator events (activations, quarantine moves, swaps, cache misses,
+//!   epoch rollovers, throttle stalls, threshold crossings).
+//! * [`EpochSeries`] — a per-epoch time-series recorder (migrations, RQA
+//!   occupancy, FPT-cache hit rate, channel busy fractions, ...).
+//! * [`export`] — JSONL and Chrome `about:tracing` writers for all of the
+//!   above, hand-rolled so no serialization dependency is required.
+//! * [`stat_struct!`] — the declarative macro behind the workspace's plain
+//!   `u64` stats structs (`Default + AddAssign + aggregate + diff` and
+//!   field iteration from a single field list).
+//!
+//! The raw data structures ([`HistogramData`], [`RingBuffer`],
+//! [`EpochSeries`]) are compiled unconditionally so they stay property-
+//! testable in both feature modes; only the shared-hub plumbing is gated.
+
+pub mod epoch;
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod hub;
+mod json;
+pub mod ring;
+mod stats;
+pub mod summary;
+
+pub use epoch::{EpochRecord, EpochSeries};
+pub use event::{Event, EventKind};
+pub use hist::{HistogramData, HistogramSummary};
+pub use hub::{Counter, Gauge, Histogram, Telemetry, TelemetryConfig};
+pub use ring::RingBuffer;
+pub use summary::TelemetrySummary;

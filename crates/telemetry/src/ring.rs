@@ -1,0 +1,113 @@
+//! Bounded ring buffer that drops the oldest entries on overflow.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO that keeps the most recent `capacity` entries.
+///
+/// Pushing onto a full buffer evicts the oldest entry and bumps the
+/// `dropped` counter; a capacity of zero drops everything immediately. The
+/// buffer never allocates beyond its capacity.
+#[derive(Debug, Clone)]
+pub struct RingBuffer<T> {
+    buf: VecDeque<T>,
+    capacity: usize,
+    offered: u64,
+    dropped: u64,
+}
+
+impl<T> RingBuffer<T> {
+    /// Creates a buffer that retains at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        RingBuffer {
+            buf: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+            offered: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `value`, evicting the oldest entry if the buffer is full.
+    pub fn push(&mut self, value: T) {
+        self.offered += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(value);
+    }
+
+    /// Number of entries currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no entries are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of retained entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total entries ever pushed (retained + dropped).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Entries evicted or rejected because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates the retained entries, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf.iter()
+    }
+
+    /// Consumes the buffer, yielding retained entries oldest first.
+    pub fn into_vec(self) -> Vec<T> {
+        self.buf.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_everything_under_capacity() {
+        let mut rb = RingBuffer::new(4);
+        rb.push(1);
+        rb.push(2);
+        assert_eq!(rb.len(), 2);
+        assert_eq!(rb.dropped(), 0);
+        assert_eq!(rb.iter().copied().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut rb = RingBuffer::new(3);
+        for v in 0..5 {
+            rb.push(v);
+        }
+        assert_eq!(rb.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(rb.dropped(), 2);
+        assert_eq!(rb.offered(), 5);
+    }
+
+    #[test]
+    fn zero_capacity_drops_all() {
+        let mut rb = RingBuffer::new(0);
+        rb.push(7);
+        rb.push(8);
+        assert!(rb.is_empty());
+        assert_eq!(rb.dropped(), 2);
+        assert_eq!(rb.offered(), 2);
+    }
+}

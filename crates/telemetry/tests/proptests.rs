@@ -1,0 +1,129 @@
+//! Property-based tests on the telemetry data structures.
+//!
+//! These run in both feature modes: `HistogramData` and `RingBuffer` are
+//! compiled unconditionally, so `cargo test --no-default-features` exercises
+//! the same properties.
+
+use aqua_telemetry::hist::BUCKET_COUNT;
+use aqua_telemetry::{HistogramData, RingBuffer};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every value lands in a bucket whose inclusive bounds contain it.
+    #[test]
+    fn bucket_bounds_contain_their_values(v in any::<u64>()) {
+        let i = HistogramData::bucket_index(v);
+        let (lo, hi) = HistogramData::bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{v} outside bucket {i} = [{lo}, {hi}]");
+    }
+
+    /// Percentiles stay inside the rank sample's bucket (the factor-of-two
+    /// interpolation guarantee) and inside the observed `[min, max]` range.
+    #[test]
+    fn percentiles_interpolate_within_the_rank_bucket(
+        samples in prop::collection::vec(0u64..1_000_000_000, 1..200),
+        q_mil in 1u64..=1000,
+    ) {
+        let mut h = HistogramData::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        let q = q_mil as f64 / 1000.0;
+        let p = h.percentile(q);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let exact = sorted[rank - 1];
+        let (lo, hi) = HistogramData::bucket_bounds(HistogramData::bucket_index(exact));
+        prop_assert!(
+            p >= lo as f64 && p <= hi as f64,
+            "p({q}) = {p} outside bucket [{lo}, {hi}] of exact rank sample {exact}"
+        );
+        prop_assert!(p >= sorted[0] as f64 && p <= *sorted.last().unwrap() as f64);
+    }
+
+    /// Quantiles are monotone in `q`.
+    #[test]
+    fn percentiles_are_monotone_in_q(
+        samples in prop::collection::vec(any::<u64>(), 1..100),
+    ) {
+        let mut h = HistogramData::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        let qs = [0.0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0];
+        for w in qs.windows(2) {
+            prop_assert!(h.percentile(w[0]) <= h.percentile(w[1]));
+        }
+    }
+
+    /// Merging two histograms is identical to recording every sample into
+    /// one, including counts, sum, min/max, and all bucket contents.
+    #[test]
+    fn merge_equals_recording_everything(
+        a_samples in prop::collection::vec(any::<u64>(), 0..100),
+        b_samples in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let mut a = HistogramData::new();
+        let mut b = HistogramData::new();
+        let mut both = HistogramData::new();
+        for &s in &a_samples {
+            a.record(s);
+            both.record(s);
+        }
+        for &s in &b_samples {
+            b.record(s);
+            both.record(s);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &both);
+        prop_assert_eq!(a.count(), (a_samples.len() + b_samples.len()) as u64);
+        prop_assert_eq!(a.summary(), both.summary());
+    }
+
+    /// A full ring retains exactly the newest `capacity` entries, in push
+    /// order, and accounts for every overflow in `dropped()`.
+    #[test]
+    fn ring_wraparound_drops_oldest_first(
+        values in prop::collection::vec(any::<u32>(), 0..200),
+        capacity in 1usize..16,
+    ) {
+        let mut rb = RingBuffer::new(capacity);
+        for &v in &values {
+            rb.push(v);
+        }
+        let kept = values.len().min(capacity);
+        let expected: Vec<u32> = values[values.len() - kept..].to_vec();
+        prop_assert_eq!(rb.iter().copied().collect::<Vec<_>>(), expected);
+        prop_assert_eq!(rb.len(), kept);
+        prop_assert_eq!(rb.offered(), values.len() as u64);
+        prop_assert_eq!(rb.dropped(), (values.len() - kept) as u64);
+    }
+
+    /// A capacity-0 ring rejects everything but still counts offers.
+    #[test]
+    fn ring_capacity_zero_drops_everything(n in 0u64..100) {
+        let mut rb = RingBuffer::new(0);
+        for v in 0..n {
+            rb.push(v);
+        }
+        prop_assert!(rb.is_empty());
+        prop_assert_eq!(rb.offered(), n);
+        prop_assert_eq!(rb.dropped(), n);
+    }
+}
+
+/// The 65 buckets tile the full `u64` range with no gaps or overlaps.
+#[test]
+fn buckets_tile_u64_contiguously() {
+    assert_eq!(HistogramData::bucket_bounds(0), (0, 0));
+    for i in 0..BUCKET_COUNT - 1 {
+        let (_, hi) = HistogramData::bucket_bounds(i);
+        let (next_lo, _) = HistogramData::bucket_bounds(i + 1);
+        assert_eq!(hi + 1, next_lo, "gap between buckets {i} and {}", i + 1);
+    }
+    assert_eq!(HistogramData::bucket_bounds(BUCKET_COUNT - 1).1, u64::MAX);
+}

@@ -102,19 +102,21 @@ impl TrackerDecision {
     }
 }
 
-/// Cumulative tracker statistics.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct TrackerStats {
-    /// Activations observed.
-    pub activations: u64,
-    /// Mitigations signalled.
-    pub mitigations: u64,
-    /// Entry replacements (Misra-Gries evictions / Hydra spills).
-    pub replacements: u64,
-    /// Extra DRAM accesses incurred by the tracker itself (Hydra).
-    pub dram_accesses: u64,
-    /// Epochs completed.
-    pub epochs: u64,
+aqua_telemetry::stat_struct! {
+    /// Cumulative tracker statistics.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct TrackerStats {
+        /// Activations observed.
+        pub activations: u64,
+        /// Mitigations signalled.
+        pub mitigations: u64,
+        /// Entry replacements (Misra-Gries evictions / Hydra spills).
+        pub replacements: u64,
+        /// Extra DRAM accesses incurred by the tracker itself (Hydra).
+        pub dram_accesses: u64,
+        /// Epochs completed.
+        pub epochs: u64,
+    }
 }
 
 /// Common interface of all aggressor-row trackers.

@@ -36,11 +36,13 @@ fn run_attack<M: Mitigation>(base: BaselineConfig, engine: M, pattern: Hammer) -
     )
 }
 
+type PatternList = Vec<(&'static str, Box<dyn Fn() -> Hammer>)>;
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let base = BaselineConfig::paper_table1();
     let space = AddressSpace::new(base.geometry, 0.97);
 
-    let patterns: Vec<(&str, Box<dyn Fn() -> Hammer>)> = vec![
+    let patterns: PatternList = vec![
         (
             "double-sided",
             Box::new(move || Hammer::double_sided(&space, 0, VICTIM)),

@@ -65,7 +65,7 @@ fn background_drain_clears_rqa_between_epochs() {
     engine.end_epoch();
     // Sixteen refresh ticks at 4 drains each sweep the whole RQA.
     for _ in 0..16 {
-        engine.on_refresh_tick();
+        engine.on_refresh_tick(Time::ZERO);
     }
     assert_eq!(engine.quarantined_rows(), 0);
     assert_eq!(engine.stats().background_drains, 8);
@@ -80,7 +80,7 @@ fn background_drain_never_touches_current_epoch_rows() {
     let mut engine = engine_with(8, 8);
     quarantine(&mut engine, 3);
     // Same epoch: the freshly quarantined row must stay quarantined.
-    engine.on_refresh_tick();
+    engine.on_refresh_tick(Time::ZERO);
     assert_eq!(engine.quarantined_rows(), 1);
     assert_eq!(engine.stats().background_drains, 0);
 }

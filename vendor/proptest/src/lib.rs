@@ -1,0 +1,313 @@
+//! Minimal property-testing shim with the subset of the `proptest` API this
+//! workspace uses: the [`proptest!`] macro, integer-range / tuple /
+//! `collection::vec` / `collection::hash_set` / [`any`] strategies,
+//! [`ProptestConfig::with_cases`], and `prop_assert!` / `prop_assert_eq!`.
+//!
+//! Cases are generated from a deterministic per-test stream (seeded from the
+//! test name and case index), so failures are reproducible across runs.
+//! There is no shrinking: a failing case panics with the generated inputs
+//! visible in the assertion message.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::Rng;
+
+/// The RNG handed to strategies while generating one test case.
+pub type TestRng = StdRng;
+
+/// Creates the deterministic RNG for `(test name, case index)`.
+pub fn test_rng(name: &str, case: u64) -> TestRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// Run-time configuration of a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128) - (self.start as u128);
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                self.start + draw
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as u128) - (lo as u128) + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                lo + draw
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy generating any value of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The `any::<T>()` strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+        use rand::Rng;
+        use std::collections::HashSet;
+        use std::hash::Hash;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with lengths drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates `Vec`s of `element` values with a length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.gen_range(self.size.clone());
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Strategy for `HashSet`s with target sizes drawn from a range.
+        #[derive(Debug, Clone)]
+        pub struct HashSetStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Generates `HashSet`s of `element` values with a size in `size`
+        /// (best effort: duplicate draws are retried a bounded number of
+        /// times, so heavily collided strategies may yield smaller sets).
+        pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            HashSetStrategy { element, size }
+        }
+
+        impl<S> Strategy for HashSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Eq + Hash,
+        {
+            type Value = HashSet<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let target = rng.gen_range(self.size.clone());
+                let mut set = HashSet::new();
+                let mut attempts = 0;
+                while set.len() < target && attempts < target * 10 + 100 {
+                    set.insert(self.element.generate(rng));
+                    attempts += 1;
+                }
+                set
+            }
+        }
+    }
+}
+
+/// Everything a `proptest!` block needs in scope.
+pub mod prelude {
+    pub use crate::{any, prop, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn p(x in 0u64..10) {...} }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])*
+         fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::test_rng(stringify!($name), __case as u64);
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!`: plain `assert!` (no shrinking in this shim).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, y in 0u8..=255) {
+            prop_assert!((3..17).contains(&x));
+            let _ = y; // full u8 range: nothing to check beyond type
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u32..5, 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn hash_sets_are_deduplicated(s in prop::collection::hash_set(any::<u64>(), 1..50)) {
+            prop_assert!(!s.is_empty());
+        }
+
+        #[test]
+        fn tuples_compose(p in (0u64..10, any::<bool>())) {
+            prop_assert!(p.0 < 10);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..8)
+            .map(|c| crate::Strategy::generate(&(0u64..1000), &mut crate::test_rng("t", c)))
+            .collect();
+        let b: Vec<u64> = (0..8)
+            .map(|c| crate::Strategy::generate(&(0u64..1000), &mut crate::test_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,8 @@
+//! Compile-compatibility shim for `serde`.
+//!
+//! Re-exports the no-op derive macros so existing
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` sites compile
+//! unchanged. Nothing in this workspace serializes through serde; see
+//! `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};

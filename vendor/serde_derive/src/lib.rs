@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace marks many types `#[derive(Serialize, Deserialize)]` for
+//! forward compatibility, but never serializes through serde (report output
+//! is hand-rolled JSON in `aqua-telemetry`). These derives accept the same
+//! syntax as the real `serde_derive`, including `#[serde(...)]` helper
+//! attributes, and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
