@@ -25,5 +25,19 @@ run cargo test --offline --workspace -q
 run cargo clippy --offline --workspace --all-targets --no-default-features -- -D warnings
 run cargo test --offline --workspace -q --no-default-features
 
+# Parallel-runner determinism smoke test: one figure binary on a two-workload
+# subset, serial vs two workers, must emit byte-identical CSVs.
+smoke() {
+    local jobs="$1" out="$2"
+    echo
+    echo "==> smoke: fig06_migrations with AQUA_BENCH_JOBS=$jobs"
+    AQUA_BENCH_WORKLOADS=povray,xz AQUA_BENCH_EPOCHS=1 AQUA_BENCH_JOBS="$jobs" \
+        cargo run --offline -q -p aqua-bench --bin fig06_migrations >/dev/null
+    cp target/experiments/fig06_migrations.csv "$out"
+}
+smoke 1 target/experiments/fig06_smoke_serial.csv
+smoke 2 target/experiments/fig06_smoke_parallel.csv
+run diff target/experiments/fig06_smoke_serial.csv target/experiments/fig06_smoke_parallel.csv
+
 echo
 echo "ci.sh: all checks passed"

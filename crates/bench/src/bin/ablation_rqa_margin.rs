@@ -12,7 +12,7 @@
 
 use aqua::{AquaConfig, AquaEngine};
 use aqua_bench::output::{f2, print_table, write_csv};
-use aqua_bench::Harness;
+use aqua_bench::{pool, Harness};
 use aqua_sim::{SimConfig, Simulation};
 use aqua_workload::attack::MigrationFlood;
 use aqua_workload::RequestGenerator;
@@ -39,17 +39,23 @@ fn main() {
     let full = harness.aqua_config();
 
     println!("RQA sizing margin under the worst-case migration flood:");
-    let mut rows = Vec::new();
-    for pct in [100u64, 75, 50, 25, 10] {
+    let sizes = [100u64, 75, 50, 25, 10];
+    let floods = pool::run_indexed(harness.jobs, &sizes, |_, &pct| {
         let cfg = full.with_rqa_rows((full.rqa_rows * pct / 100).max(16));
-        let (migrations, violations, _) = run_flood(&harness, cfg);
+        let out = run_flood(&harness, cfg);
+        eprintln!("{pct}% done");
+        (cfg.rqa_rows, out)
+    });
+    let mut rows = Vec::new();
+    for (&pct, outcome) in sizes.iter().zip(floods) {
+        let (rqa_rows, (migrations, violations, _)) =
+            outcome.unwrap_or_else(|e| panic!("{pct}% flood failed: {e}"));
         rows.push(vec![
             format!("{pct}% of Eq.3"),
-            cfg.rqa_rows.to_string(),
+            rqa_rows.to_string(),
             migrations.to_string(),
             violations.to_string(),
         ]);
-        eprintln!("{pct}% done");
     }
     print_table(
         "RQA margin ablation (violations must be zero only at full size)",
@@ -63,17 +69,22 @@ fn main() {
     );
 
     println!("\nBackground-drain ablation (evictions left on the critical path):");
+    let drains = [0u32, 1, 4, 16];
+    let drained = pool::run_indexed(harness.jobs, &drains, |_, &drain| {
+        let out = run_flood(&harness, full.with_drain_per_refresh(drain));
+        eprintln!("drain {drain} done");
+        out
+    });
     let mut rows = Vec::new();
-    for drain in [0u32, 1, 4, 16] {
-        let cfg = full.with_drain_per_refresh(drain);
-        let (migrations, _, evictions) = run_flood(&harness, cfg);
+    for (&drain, outcome) in drains.iter().zip(drained) {
+        let (migrations, _, evictions) =
+            outcome.unwrap_or_else(|e| panic!("drain {drain} flood failed: {e}"));
         rows.push(vec![
             drain.to_string(),
             migrations.to_string(),
             evictions.to_string(),
             f2(evictions as f64 / migrations.max(1) as f64),
         ]);
-        eprintln!("drain {drain} done");
     }
     print_table(
         "Background draining (section IV-D: takes evictions off the critical path)",

@@ -8,11 +8,15 @@
 
 use aqua::{AquaEngine, TrackerKind};
 use aqua_bench::output::{f2, print_table, write_csv};
-use aqua_bench::{Harness, Scheme};
-use aqua_sim::{gmean, SimConfig, Simulation};
+use aqua_bench::{pool, Harness, Scheme};
+use aqua_sim::gmean;
 
 fn main() {
     let harness = Harness::new(1000);
+    let workloads = harness.workloads();
+    // One shared set of baseline runs; only the tracker varies per sweep.
+    let bases = harness.run_matrix(&[Scheme::Baseline], &workloads);
+    bases.expect_complete();
     let trackers = [
         ("misra-gries", TrackerKind::MisraGries),
         ("hydra", TrackerKind::Hydra),
@@ -21,26 +25,31 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for (name, kind) in trackers {
+        let outcomes = pool::run_indexed(harness.jobs, &workloads, |_, workload| {
+            let mut cfg = harness.aqua_config();
+            cfg.tracker = kind;
+            let engine = AquaEngine::new(cfg).expect("valid config");
+            let (report, engine) = harness.run_engine(engine, workload, None);
+            let perf = report.normalized_perf(bases.get(Scheme::Baseline, workload));
+            (
+                perf,
+                report.migrations_per_epoch(),
+                report.oracle.rows_over_trh,
+                engine.tracker_sram_bits(),
+            )
+        });
         let mut perfs = Vec::new();
         let mut migrations = 0.0;
         let mut over_trh = 0u64;
         let mut sram_bits = 0u64;
         let mut runs = 0u32;
-        for workload in harness.workloads() {
-            let base = harness.run(Scheme::Baseline, &workload);
-            let mut cfg = harness.aqua_config();
-            cfg.tracker = kind;
-            let engine = AquaEngine::new(cfg).expect("valid config");
-            let sim_cfg = SimConfig::new(harness.base)
-                .epochs(harness.epochs)
-                .t_rh(harness.t_rh);
-            let mut sim = Simulation::new(sim_cfg, engine, harness.generators(&workload));
-            let mut report = sim.run();
-            report.workload = workload.clone();
-            perfs.push(report.normalized_perf(&base));
-            migrations += report.migrations_per_epoch();
-            over_trh += report.oracle.rows_over_trh;
-            sram_bits = sim.mitigation().tracker_sram_bits();
+        for (workload, outcome) in workloads.iter().zip(outcomes) {
+            let (perf, migs, over, bits) =
+                outcome.unwrap_or_else(|e| panic!("{name}/{workload} failed: {e}"));
+            perfs.push(perf);
+            migrations += migs;
+            over_trh += over;
+            sram_bits = bits;
             runs += 1;
         }
         rows.push(vec![

@@ -12,7 +12,7 @@ use aqua_analysis::dos::{
 };
 use aqua_baselines::{Blockhammer, BlockhammerConfig};
 use aqua_bench::output::{f2, print_table, write_csv};
-use aqua_bench::Harness;
+use aqua_bench::{pool, Harness};
 use aqua_dram::mitigation::{Mitigation, NoMitigation};
 use aqua_dram::{DdrTiming, DramGeometry};
 use aqua_rrs::{RrsConfig, RrsEngine};
@@ -43,80 +43,92 @@ fn main() {
     let harness = Harness::new(1000);
     let timing = DdrTiming::ddr4_2400();
     let geometry = DramGeometry::paper_table1();
-
-    // AQUA under the migration flood.
-    let baseline = run(
-        &harness,
-        NoMitigation::new(harness.base.geometry),
-        flood_gens(&harness, 500),
-    );
-    let aqua = run(
-        &harness,
-        AquaEngine::new(harness.aqua_config()).expect("valid config"),
-        flood_gens(&harness, 500),
-    );
-    let aqua_measured = baseline.requests_done as f64 / aqua.requests_done as f64;
-    eprintln!(
-        "aqua flood done ({} migrations)",
-        aqua.mitigation.row_migrations
-    );
-
-    // RRS under the same flood at its lower threshold.
-    let rrs_baseline = run(
-        &harness,
-        NoMitigation::new(harness.base.geometry),
-        flood_gens(&harness, 166),
-    );
-    let rrs = run(
-        &harness,
-        RrsEngine::new(RrsConfig::for_rowhammer_threshold(1000, &harness.base)),
-        flood_gens(&harness, 166),
-    );
-    let rrs_measured = rrs_baseline.requests_done as f64 / rrs.requests_done as f64;
-    eprintln!(
-        "rrs flood done ({} migrations)",
-        rrs.mitigation.row_migrations
-    );
-
-    // Blockhammer under the row-conflict pattern.
     let space = harness.space();
     let conflict = || {
         (0..harness.base.cores)
             .map(|c| Box::new(Hammer::row_conflict(&space, c, 5000)) as Box<dyn RequestGenerator>)
             .collect::<Vec<_>>()
     };
-    let bh_baseline = run(
-        &harness,
-        NoMitigation::new(harness.base.geometry),
-        conflict(),
-    );
-    let bh = run(
-        &harness,
-        Blockhammer::new(
-            BlockhammerConfig::for_rowhammer_threshold(1000),
-            harness.base.geometry,
-        ),
-        conflict(),
-    );
-    let bh_measured = bh_baseline.requests_done as f64 / bh.requests_done as f64;
-    eprintln!("blockhammer conflict done");
+
+    // Each attacked scheme and its matching unmitigated baseline is an
+    // independent simulation; fan all six out on the worker pool.
+    let cells = [
+        "aqua-base",
+        "aqua",
+        "rrs-base",
+        "rrs",
+        "blockhammer-base",
+        "blockhammer",
+    ];
+    let reports = pool::run_indexed(harness.jobs, &cells, |_, &tag| {
+        let report = match tag {
+            "aqua-base" => run(
+                &harness,
+                NoMitigation::new(harness.base.geometry),
+                flood_gens(&harness, 500),
+            ),
+            "aqua" => run(
+                &harness,
+                AquaEngine::new(harness.aqua_config()).expect("valid config"),
+                flood_gens(&harness, 500),
+            ),
+            "rrs-base" => run(
+                &harness,
+                NoMitigation::new(harness.base.geometry),
+                flood_gens(&harness, 166),
+            ),
+            "rrs" => run(
+                &harness,
+                RrsEngine::new(RrsConfig::for_rowhammer_threshold(1000, &harness.base)),
+                flood_gens(&harness, 166),
+            ),
+            "blockhammer-base" => run(
+                &harness,
+                NoMitigation::new(harness.base.geometry),
+                conflict(),
+            ),
+            "blockhammer" => run(
+                &harness,
+                Blockhammer::new(
+                    BlockhammerConfig::for_rowhammer_threshold(1000),
+                    harness.base.geometry,
+                ),
+                conflict(),
+            ),
+            _ => unreachable!(),
+        };
+        eprintln!(
+            "{tag} done ({} migrations)",
+            report.mitigation.row_migrations
+        );
+        report
+    });
+    let report = |tag: &str| {
+        let i = cells.iter().position(|&t| t == tag).unwrap();
+        reports[i]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{tag} failed: {e}"))
+    };
+    let measured = |tag: &str| {
+        report(&format!("{tag}-base")).requests_done as f64 / report(tag).requests_done as f64
+    };
 
     let rows = vec![
         vec![
             "aqua".into(),
-            f2(aqua_measured),
+            f2(measured("aqua")),
             f2(aqua_worst_case_slowdown(&timing, &geometry, 500)),
             "2.95x".into(),
         ],
         vec![
             "rrs".into(),
-            f2(rrs_measured),
+            f2(measured("rrs")),
             f2(rrs_worst_case_slowdown(&timing, &geometry, 166)),
             "11x".into(),
         ],
         vec![
             "blockhammer".into(),
-            f2(bh_measured),
+            f2(measured("blockhammer")),
             f2(blockhammer_worst_case_slowdown(&timing, 500, 100)),
             "1280x".into(),
         ],

@@ -14,14 +14,14 @@ fn main() {
     let mut means = vec!["gmean".to_string()];
     for &t_rh in &thresholds {
         let harness = Harness::new(t_rh);
+        let results = harness.run_matrix(&[Scheme::Baseline, Scheme::Rrs], &workloads);
+        results.expect_complete();
         let mut perfs = Vec::new();
         for (i, workload) in workloads.iter().enumerate() {
-            let base = harness.run(Scheme::Baseline, workload);
-            let rrs = harness.run(Scheme::Rrs, workload);
-            let p = rrs.normalized_perf(&base);
+            let base = results.get(Scheme::Baseline, workload);
+            let p = results.get(Scheme::Rrs, workload).normalized_perf(base);
             perfs.push(p);
             per_wl[i].push(f2(p));
-            eprintln!("t_rh={t_rh} {workload}: {p:.3}");
         }
         means.push(f2(gmean(perfs).expect("positive perfs")));
     }

@@ -8,15 +8,17 @@ use aqua_bench::{Harness, Scheme};
 
 fn main() {
     let harness = Harness::new(1000);
+    let workloads = harness.workloads();
+    let results = harness.run_matrix(&[Scheme::AquaSram, Scheme::Rrs], &workloads);
+    results.expect_complete();
     let mut rows = Vec::new();
     let mut aqua_total = 0.0;
     let mut rrs_total = 0.0;
-    let workloads = harness.workloads();
     for workload in &workloads {
-        let aqua = harness.run(Scheme::AquaSram, workload);
-        let rrs = harness.run(Scheme::Rrs, workload);
-        let a = aqua.migrations_per_epoch();
-        let r = rrs.migrations_per_epoch();
+        let a = results
+            .get(Scheme::AquaSram, workload)
+            .migrations_per_epoch();
+        let r = results.get(Scheme::Rrs, workload).migrations_per_epoch();
         aqua_total += a;
         rrs_total += r;
         rows.push(vec![
@@ -25,7 +27,6 @@ fn main() {
             f2(r),
             if a > 0.0 { f2(r / a) } else { "-".into() },
         ]);
-        eprintln!("{workload}: aqua {a:.0} rrs {r:.0}");
     }
     let n = workloads.len() as f64;
     let (a_avg, r_avg) = (aqua_total / n, rrs_total / n);

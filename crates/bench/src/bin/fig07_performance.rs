@@ -9,19 +9,24 @@ use aqua_sim::gmean;
 
 fn main() {
     let harness = Harness::new(1000);
+    let workloads = harness.workloads();
+    let results = harness.run_matrix(
+        &[Scheme::Baseline, Scheme::AquaSram, Scheme::Rrs],
+        &workloads,
+    );
+    results.expect_complete();
     let mut rows = Vec::new();
     let mut aqua_perf = Vec::new();
     let mut rrs_perf = Vec::new();
-    for workload in harness.workloads() {
-        let base = harness.run(Scheme::Baseline, &workload);
-        let aqua = harness.run(Scheme::AquaSram, &workload);
-        let rrs = harness.run(Scheme::Rrs, &workload);
-        let a = aqua.normalized_perf(&base);
-        let r = rrs.normalized_perf(&base);
+    for workload in &workloads {
+        let base = results.get(Scheme::Baseline, workload);
+        let a = results
+            .get(Scheme::AquaSram, workload)
+            .normalized_perf(base);
+        let r = results.get(Scheme::Rrs, workload).normalized_perf(base);
         aqua_perf.push(a);
         rrs_perf.push(r);
         rows.push(vec![workload.clone(), f2(a), f2(r)]);
-        eprintln!("{workload}: aqua {a:.3} rrs {r:.3}");
     }
     rows.push(vec![
         "gmean".into(),

@@ -10,18 +10,25 @@ use aqua_sim::gmean;
 
 fn main() {
     let harness = Harness::new(1000);
+    let workloads = harness.workloads();
+    let results = harness.run_matrix(
+        &[Scheme::Baseline, Scheme::AquaSram, Scheme::AquaMapped],
+        &workloads,
+    );
+    results.expect_complete();
     let mut rows = Vec::new();
     let (mut sram_perf, mut mapped_perf) = (Vec::new(), Vec::new());
-    for workload in harness.workloads() {
-        let base = harness.run(Scheme::Baseline, &workload);
-        let sram = harness.run(Scheme::AquaSram, &workload);
-        let mapped = harness.run(Scheme::AquaMapped, &workload);
-        let s = sram.normalized_perf(&base);
-        let m = mapped.normalized_perf(&base);
+    for workload in &workloads {
+        let base = results.get(Scheme::Baseline, workload);
+        let s = results
+            .get(Scheme::AquaSram, workload)
+            .normalized_perf(base);
+        let m = results
+            .get(Scheme::AquaMapped, workload)
+            .normalized_perf(base);
         sram_perf.push(s);
         mapped_perf.push(m);
         rows.push(vec![workload.clone(), f2(s), f2(m)]);
-        eprintln!("{workload}: sram {s:.3} mapped {m:.3}");
     }
     rows.push(vec![
         "gmean".into(),

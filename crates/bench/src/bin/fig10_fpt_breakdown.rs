@@ -5,15 +5,21 @@
 //! access.
 
 use aqua_bench::output::{pct, print_table, write_csv};
-use aqua_bench::Harness;
+use aqua_bench::{pool, Harness};
 
 fn main() {
     let harness = Harness::new(1000);
+    let workloads = harness.workloads();
+    let total = workloads.len();
+    let breakdowns = pool::run_indexed(harness.jobs, &workloads, |i, workload| {
+        let (_, breakdown) = harness.run_aqua_mapped_detailed(workload, None);
+        eprintln!("[{}/{total}] {workload} done", i + 1);
+        breakdown
+    });
     let mut rows = Vec::new();
     let mut sums = [0.0f64; 4];
-    let workloads = harness.workloads();
-    for workload in &workloads {
-        let (_, breakdown) = harness.run_aqua_mapped_detailed(workload);
+    for (workload, breakdown) in workloads.iter().zip(breakdowns) {
+        let breakdown = breakdown.unwrap_or_else(|e| panic!("{workload} failed: {e}"));
         let f = breakdown.fractions();
         for (s, v) in sums.iter_mut().zip(f) {
             *s += v;
@@ -25,13 +31,8 @@ fn main() {
             pct(f[2]),
             pct(f[3]),
         ]);
-        eprintln!(
-            "{workload}: bloom {:.1}% cache {:.1}%",
-            f[0] * 100.0,
-            f[1] * 100.0
-        );
     }
-    let n = workloads.len() as f64;
+    let n = total as f64;
     rows.push(vec![
         "average".into(),
         pct(sums[0] / n),

@@ -7,20 +7,24 @@
 
 use aqua::TableMode;
 use aqua_bench::output::{f2, print_table, write_csv};
-use aqua_bench::{Harness, Scheme};
-use aqua_sim::{gmean, Simulation};
+use aqua_bench::{pool, Harness, Scheme};
+use aqua_sim::gmean;
 
 fn threshold_sweep() {
     let mut rows = Vec::new();
     for t_rh in [2000u64, 1000, 500] {
         let harness = Harness::new(t_rh);
-        let mut perfs = Vec::new();
-        for workload in harness.workloads() {
-            let base = harness.run(Scheme::Baseline, &workload);
-            let aqua = harness.run(Scheme::AquaMapped, &workload);
-            perfs.push(aqua.normalized_perf(&base));
-            eprintln!("t_rh={t_rh} {workload}: {:.3}", perfs.last().unwrap());
-        }
+        let workloads = harness.workloads();
+        let results = harness.run_matrix(&[Scheme::Baseline, Scheme::AquaMapped], &workloads);
+        results.expect_complete();
+        let perfs: Vec<f64> = workloads
+            .iter()
+            .map(|w| {
+                results
+                    .get(Scheme::AquaMapped, w)
+                    .normalized_perf(results.get(Scheme::Baseline, w))
+            })
+            .collect();
         rows.push(vec![
             t_rh.to_string(),
             f2(gmean(perfs).expect("positive perfs")),
@@ -35,28 +39,30 @@ fn threshold_sweep() {
 }
 
 fn structure_sweep() {
+    let harness = Harness::new(1000);
+    let workloads = harness.workloads();
+    // One shared set of baseline runs; only the AQUA structure sizing varies.
+    let bases = harness.run_matrix(&[Scheme::Baseline], &workloads);
+    bases.expect_complete();
     let mut rows = Vec::new();
     for (bloom_kb, cache_kb) in [(8u32, 16u32), (16, 16), (32, 16), (16, 8), (16, 32)] {
-        let harness = Harness::new(1000);
-        let mut perfs = Vec::new();
-        for workload in harness.workloads() {
-            let base = harness.run(Scheme::Baseline, &workload);
-            let cfg = harness.aqua_config();
-            let cfg = aqua::AquaConfig {
-                table_mode: TableMode::Mapped {
-                    bloom_bits: bloom_kb as usize * 1024 * 8,
-                    cache_entries: cache_kb as usize * 1024 / 4, // 4 B/entry
-                },
-                ..cfg
-            };
+        let cfg = aqua::AquaConfig {
+            table_mode: TableMode::Mapped {
+                bloom_bits: bloom_kb as usize * 1024 * 8,
+                cache_entries: cache_kb as usize * 1024 / 4, // 4 B/entry
+            },
+            ..harness.aqua_config()
+        };
+        let outcomes = pool::run_indexed(harness.jobs, &workloads, |_, workload| {
             let engine = aqua::AquaEngine::new(cfg).expect("valid config");
-            let sim_cfg = aqua_sim::SimConfig::new(harness.base)
-                .epochs(harness.epochs)
-                .t_rh(harness.t_rh);
-            let mut report = Simulation::new(sim_cfg, engine, harness.generators(&workload)).run();
-            report.workload = workload.clone();
-            perfs.push(report.normalized_perf(&base));
-        }
+            let (report, _) = harness.run_engine(engine, workload, None);
+            report.normalized_perf(bases.get(Scheme::Baseline, workload))
+        });
+        let perfs: Vec<f64> = workloads
+            .iter()
+            .zip(outcomes)
+            .map(|(w, o)| o.unwrap_or_else(|e| panic!("{w} failed: {e}")))
+            .collect();
         rows.push(vec![
             format!("bloom {bloom_kb} KB / cache {cache_kb} KB"),
             f2(gmean(perfs).expect("positive perfs")),

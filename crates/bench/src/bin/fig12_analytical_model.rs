@@ -25,27 +25,28 @@ fn main() {
 
     // Cross-check against measured migrations on a few hot workloads.
     let harness = Harness::new(1000);
+    let workloads: Vec<String> = ["mcf", "blender", "gcc"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let results = harness.run_matrix(&[Scheme::AquaSram, Scheme::Rrs], &workloads);
+    results.expect_complete();
     let mut check = Vec::new();
-    for workload in ["mcf", "blender", "gcc"] {
-        let aqua = harness.run(Scheme::AquaSram, workload);
-        let rrs = harness.run(Scheme::Rrs, workload);
-        let a = aqua.migrations_per_epoch();
-        let r = rrs.migrations_per_epoch();
+    for workload in &workloads {
+        let a = results
+            .get(Scheme::AquaSram, workload)
+            .migrations_per_epoch();
+        let r = results.get(Scheme::Rrs, workload).migrations_per_epoch();
         if a > 0.0 && r / a > 6.0 {
             let f = implied_f(r / a);
             check.push(vec![
-                workload.to_string(),
+                workload.clone(),
                 f2(r / a),
                 f2(f),
                 f2(rrs_over_aqua_ratio(f)),
             ]);
         } else if a > 0.0 {
-            check.push(vec![
-                workload.to_string(),
-                f2(r / a),
-                "-".into(),
-                "-".into(),
-            ]);
+            check.push(vec![workload.clone(), f2(r / a), "-".into(), "-".into()]);
         }
         eprintln!(
             "{workload}: measured ratio {:.1}",

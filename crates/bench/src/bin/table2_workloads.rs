@@ -11,9 +11,12 @@ use aqua_workload::spec::TABLE2;
 
 fn main() {
     let harness = Harness::new(1000);
+    let workloads: Vec<String> = TABLE2.iter().map(|w| w.name.to_string()).collect();
+    let results = harness.run_matrix(&[Scheme::Baseline], &workloads);
+    results.expect_complete();
     let mut rows = Vec::new();
     for w in TABLE2 {
-        let report = harness.run(Scheme::Baseline, w.name);
+        let report = results.get(Scheme::Baseline, w.name);
         rows.push(vec![
             w.name.to_string(),
             format!("{:.2}", w.mpki),
@@ -21,7 +24,6 @@ fn main() {
             format!("{}/{}", report.oracle.avg_rows_500, w.act_500),
             format!("{}/{}", report.oracle.avg_rows_1000, w.act_1000),
         ]);
-        eprintln!("{} done", w.name);
     }
     print_table(
         "Table II: measured/paper rows per activation band (64 ms epochs)",

@@ -9,7 +9,7 @@
 use aqua::AquaEngine;
 use aqua_baselines::{VictimRefresh, VictimRefreshConfig};
 use aqua_bench::output::{print_table, write_csv};
-use aqua_bench::{Harness, Scheme};
+use aqua_bench::{pool, Harness, Scheme};
 use aqua_dram::mitigation::Mitigation;
 use aqua_dram::{BankId, RowAddr};
 use aqua_sim::{gmean, SimConfig, Simulation};
@@ -48,28 +48,50 @@ fn main() {
     let classic = || Hammer::double_sided(&space, 0, VICTIM_ROW);
     let half_double = || Hammer::half_double(&space, 0, VICTIM_ROW);
 
-    let vr_classic = attack_outcome(&harness, vr(), classic());
-    let vr_hd = attack_outcome(&harness, vr(), half_double());
-    let aqua_classic = attack_outcome(&harness, aqua(), classic());
-    let aqua_hd = attack_outcome(&harness, aqua(), half_double());
-    eprintln!("attack outcomes computed");
+    // The four attack cells are independent simulations; fan them out on the
+    // same pool the workload matrix uses.
+    let attacks = ["vr-classic", "vr-hd", "aqua-classic", "aqua-hd"];
+    let outcomes = pool::run_indexed(harness.jobs, &attacks, |_, &tag| {
+        let flipped = match tag {
+            "vr-classic" => attack_outcome(&harness, vr(), classic()),
+            "vr-hd" => attack_outcome(&harness, vr(), half_double()),
+            "aqua-classic" => attack_outcome(&harness, aqua(), classic()),
+            "aqua-hd" => attack_outcome(&harness, aqua(), half_double()),
+            _ => unreachable!(),
+        };
+        eprintln!("attack {tag} done");
+        flipped
+    });
+    let outcome = |tag: &str| {
+        let i = attacks.iter().position(|&t| t == tag).unwrap();
+        *outcomes[i]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("attack {tag} failed: {e}"))
+    };
+    let (vr_classic, vr_hd) = (outcome("vr-classic"), outcome("vr-hd"));
+    let (aqua_classic, aqua_hd) = (outcome("aqua-classic"), outcome("aqua-hd"));
 
     // Average slowdown over the workloads (victim refresh < 0.2% in paper).
+    let workloads = harness.workloads();
+    let results = harness.run_matrix(
+        &[Scheme::Baseline, Scheme::VictimRefresh, Scheme::AquaSram],
+        &workloads,
+    );
+    results.expect_complete();
     let mut vr_perf = Vec::new();
     let mut aqua_perf = Vec::new();
-    for workload in harness.workloads() {
-        let base = harness.run(Scheme::Baseline, &workload);
+    for workload in &workloads {
+        let base = results.get(Scheme::Baseline, workload);
         vr_perf.push(
-            harness
-                .run(Scheme::VictimRefresh, &workload)
-                .normalized_perf(&base),
+            results
+                .get(Scheme::VictimRefresh, workload)
+                .normalized_perf(base),
         );
         aqua_perf.push(
-            harness
-                .run(Scheme::AquaSram, &workload)
-                .normalized_perf(&base),
+            results
+                .get(Scheme::AquaSram, workload)
+                .normalized_perf(base),
         );
-        eprintln!("{workload} done");
     }
     let defended = |flipped: bool| if flipped { "NO (bit flip)" } else { "yes" }.to_string();
     let rows = vec![

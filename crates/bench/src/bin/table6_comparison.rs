@@ -24,16 +24,26 @@ fn main() {
 
     // Average slowdowns from simulation (one shared baseline per workload).
     let schemes = [Scheme::Blockhammer, Scheme::Rrs, Scheme::AquaMapped];
+    let workloads = harness.workloads();
+    let results = harness.run_matrix(
+        &[
+            Scheme::Baseline,
+            Scheme::Blockhammer,
+            Scheme::Rrs,
+            Scheme::AquaMapped,
+        ],
+        &workloads,
+    );
+    results.expect_complete();
     let mut perfs: std::collections::HashMap<&str, Vec<f64>> = Default::default();
-    for workload in harness.workloads() {
-        let base = harness.run(Scheme::Baseline, &workload);
+    for workload in &workloads {
+        let base = results.get(Scheme::Baseline, workload);
         for scheme in schemes {
             perfs
                 .entry(scheme.name())
                 .or_default()
-                .push(harness.run(scheme, &workload).normalized_perf(&base));
+                .push(results.get(scheme, workload).normalized_perf(base));
         }
-        eprintln!("{workload} swept");
     }
     let avg: std::collections::HashMap<&str, f64> = perfs
         .into_iter()

@@ -5,16 +5,33 @@
 //! paper-vs-measured comparison to stdout, and writes a CSV into
 //! `target/experiments/`.
 //!
+//! Simulations in a figure are independent of each other (each owns its
+//! cores, banks, engine, and RNG state), so the harness fans the scheme ×
+//! workload matrix out across a bounded worker pool ([`Harness::run_matrix`]
+//! / [`pool::run_indexed`]). Results are index-tagged and telemetry is
+//! merged in job order after the pool drains, so a parallel run is
+//! **byte-identical** to a serial one — `AQUA_BENCH_JOBS=1` recovers the
+//! strictly serial behaviour on the caller's thread.
+//!
 //! Environment knobs (all optional):
 //!
 //! - `AQUA_BENCH_EPOCHS`: simulated 64 ms epochs per run (default 2).
 //! - `AQUA_BENCH_WORKLOADS`: comma-separated subset of workload names
-//!   (default: all 18 SPEC + 16 mixes).
+//!   (default: all 18 SPEC + 16 mixes). Names are validated eagerly;
+//!   empty entries (e.g. a trailing comma) are ignored.
+//! - `AQUA_BENCH_JOBS`: worker threads for the experiment matrix
+//!   (default: all available cores; `1` = serial).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod matrix;
 pub mod output;
+pub mod pool;
+
+pub use matrix::{MatrixCell, MatrixResults};
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use aqua::{AquaConfig, AquaEngine};
 use aqua_baselines::{Blockhammer, BlockhammerConfig, VictimRefresh, VictimRefreshConfig};
@@ -67,20 +84,54 @@ pub struct Harness {
     pub epochs: u64,
     /// Workload seed.
     pub seed: u64,
+    /// Worker threads for [`Harness::run_matrix`] (1 = strictly serial).
+    pub jobs: usize,
+}
+
+/// Parses an integer environment value, warning — instead of silently
+/// falling back — when a value is present but unparsable.
+fn env_parse<T>(name: &str, raw: Option<&str>, default: T) -> T
+where
+    T: std::str::FromStr + std::fmt::Display + Copy,
+{
+    let Some(raw) = raw else { return default };
+    match raw.trim().parse() {
+        Ok(v) => v,
+        Err(_) => {
+            eprintln!("warning: ignoring unparsable {name}={raw:?}; using default {default}");
+            default
+        }
+    }
+}
+
+/// Worker count used when `AQUA_BENCH_JOBS` is unset: all available cores.
+fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 impl Harness {
-    /// Creates the default harness at `t_rh`, honouring `AQUA_BENCH_EPOCHS`.
+    /// Creates the default harness at `t_rh`, honouring `AQUA_BENCH_EPOCHS`
+    /// and `AQUA_BENCH_JOBS`.
     pub fn new(t_rh: u64) -> Self {
-        let epochs = std::env::var("AQUA_BENCH_EPOCHS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(2);
+        let epochs = env_parse(
+            "AQUA_BENCH_EPOCHS",
+            std::env::var("AQUA_BENCH_EPOCHS").ok().as_deref(),
+            2,
+        );
+        let jobs = env_parse(
+            "AQUA_BENCH_JOBS",
+            std::env::var("AQUA_BENCH_JOBS").ok().as_deref(),
+            default_jobs(),
+        )
+        .max(1);
         Harness {
             base: BaselineConfig::paper_table1(),
             t_rh,
             epochs,
             seed: 42,
+            jobs,
         }
     }
 
@@ -89,17 +140,59 @@ impl Harness {
         AddressSpace::new(self.base.geometry, 0.97)
     }
 
-    /// All 34 workload names (18 SPEC + 16 mixes), honouring
-    /// `AQUA_BENCH_WORKLOADS`.
-    pub fn workloads(&self) -> Vec<String> {
-        if let Ok(list) = std::env::var("AQUA_BENCH_WORKLOADS") {
-            return list.split(',').map(|s| s.trim().to_string()).collect();
-        }
+    /// All 34 known workload names (18 SPEC + 16 mixes), unfiltered.
+    pub fn known_workloads() -> Vec<String> {
         spec::TABLE2
             .iter()
             .map(|w| w.name.to_string())
             .chain(mix_table().iter().map(|m| m.name.clone()))
             .collect()
+    }
+
+    /// The workloads to run: all 34 names, or the validated subset selected
+    /// by `AQUA_BENCH_WORKLOADS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the selection names an unknown workload; the message lists
+    /// every valid name.
+    pub fn workloads(&self) -> Vec<String> {
+        match Self::select_workloads(std::env::var("AQUA_BENCH_WORKLOADS").ok().as_deref()) {
+            Ok(list) => list,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// Resolves an `AQUA_BENCH_WORKLOADS`-style selection (`None` = unset).
+    ///
+    /// Empty entries — a bare empty string, doubled or trailing commas —
+    /// are filtered out rather than becoming a bogus `""` workload, and
+    /// every surviving name is validated eagerly so a typo fails here with
+    /// the full list of valid names instead of panicking mid-figure.
+    fn select_workloads(raw: Option<&str>) -> Result<Vec<String>, String> {
+        let known = Self::known_workloads();
+        let Some(raw) = raw else { return Ok(known) };
+        let picked: Vec<String> = raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect();
+        if picked.is_empty() {
+            eprintln!(
+                "warning: AQUA_BENCH_WORKLOADS={raw:?} selects nothing; \
+                 running all {} workloads",
+                known.len()
+            );
+            return Ok(known);
+        }
+        if let Some(bad) = picked.iter().find(|w| !known.contains(w)) {
+            return Err(format!(
+                "unknown workload {bad:?} in AQUA_BENCH_WORKLOADS; valid names: {}",
+                known.join(", ")
+            ));
+        }
+        Ok(picked)
     }
 
     /// Builds the four per-core generators for a workload name (a SPEC name
@@ -123,7 +216,10 @@ impl Harness {
                 .map(|c| Box::new(m.generator(&space, c, self.seed)) as Box<dyn RequestGenerator>)
                 .collect();
         }
-        panic!("unknown workload {workload}");
+        panic!(
+            "unknown workload {workload}; valid names: {}",
+            Self::known_workloads().join(", ")
+        );
     }
 
     fn sim_config(&self) -> SimConfig {
@@ -137,19 +233,34 @@ impl Harness {
         AquaConfig::for_rowhammer_threshold(self.t_rh, &self.base)
     }
 
-    fn run_with<M: Mitigation>(
+    /// Runs an arbitrary mitigation engine on `workload` and returns both
+    /// the report and the engine, for callers that need scheme-specific
+    /// statistics (tracker SRAM bits, lookup breakdowns, ...) after the run.
+    ///
+    /// This is the single simulation path every other runner goes through,
+    /// so an attached telemetry hub always reaches the whole stack.
+    pub fn run_engine<M: Mitigation>(
         &self,
         mitigation: M,
         workload: &str,
         telemetry: Option<&Telemetry>,
-    ) -> RunReport {
+    ) -> (RunReport, M) {
         let mut sim = Simulation::new(self.sim_config(), mitigation, self.generators(workload));
         if let Some(hub) = telemetry {
             sim.attach_telemetry(hub.clone());
         }
         let mut report = sim.run();
         report.workload = workload.to_string();
-        report
+        (report, sim.into_mitigation())
+    }
+
+    fn run_with<M: Mitigation>(
+        &self,
+        mitigation: M,
+        workload: &str,
+        telemetry: Option<&Telemetry>,
+    ) -> RunReport {
+        self.run_engine(mitigation, workload, telemetry).0
     }
 
     /// Runs one `(scheme, workload)` pair and returns its report.
@@ -204,16 +315,84 @@ impl Harness {
         }
     }
 
+    /// Runs the full `schemes` × `workloads` matrix on the worker pool
+    /// (`self.jobs` workers) and returns every cell in deterministic
+    /// workload-major input order.
+    ///
+    /// Each job is index-tagged, so scheduling order never changes the
+    /// result; a job that panics becomes a failed cell (see
+    /// [`MatrixResults::expect_complete`]) instead of aborting the figure.
+    pub fn run_matrix(&self, schemes: &[Scheme], workloads: &[String]) -> MatrixResults {
+        self.run_matrix_instrumented(schemes, workloads, None)
+    }
+
+    /// [`Harness::run_matrix`] with an optional telemetry hub.
+    ///
+    /// Every job records into its own [`Telemetry::fork`] of `telemetry`;
+    /// after the pool drains, the forks are merged back with
+    /// [`Telemetry::merge_from`] in job-index order, so the aggregate
+    /// counters, histograms, and epoch series are identical whether the
+    /// matrix ran on one worker or sixteen.
+    pub fn run_matrix_instrumented(
+        &self,
+        schemes: &[Scheme],
+        workloads: &[String],
+        telemetry: Option<&Telemetry>,
+    ) -> MatrixResults {
+        let jobs: Vec<(Scheme, &String)> = workloads
+            .iter()
+            .flat_map(|w| schemes.iter().map(move |&s| (s, w)))
+            .collect();
+        let total = jobs.len();
+        let done = AtomicUsize::new(0);
+        let outcomes = pool::run_indexed(self.jobs, &jobs, |_, &(scheme, workload)| {
+            let hub = telemetry.map(Telemetry::fork);
+            let report = self.run_instrumented(scheme, workload, hub.as_ref());
+            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+            eprintln!("[{finished}/{total}] {}/{workload} done", scheme.name());
+            (report, hub)
+        });
+        let cells = jobs
+            .into_iter()
+            .zip(outcomes)
+            .map(|((scheme, workload), outcome)| {
+                let outcome = match outcome {
+                    Ok((report, hub)) => {
+                        if let (Some(parent), Some(job_hub)) = (telemetry, hub) {
+                            parent.merge_from(&job_hub);
+                        }
+                        Ok(report)
+                    }
+                    Err(msg) => {
+                        eprintln!("[matrix] {}/{workload} FAILED: {msg}", scheme.name());
+                        Err(msg)
+                    }
+                };
+                MatrixCell {
+                    scheme,
+                    workload: workload.clone(),
+                    outcome,
+                }
+            })
+            .collect();
+        MatrixResults::new(cells)
+    }
+
     /// Runs an AQUA-mapped simulation and returns both the report and the
     /// engine-specific statistics (Figure 10's lookup breakdown).
-    pub fn run_aqua_mapped_detailed(&self, workload: &str) -> (RunReport, aqua::LookupBreakdown) {
+    ///
+    /// Goes through the common [`Harness::run_engine`] path, so a telemetry
+    /// hub — previously impossible to attach here — instruments these runs
+    /// like any other.
+    pub fn run_aqua_mapped_detailed(
+        &self,
+        workload: &str,
+        telemetry: Option<&Telemetry>,
+    ) -> (RunReport, aqua::LookupBreakdown) {
         let engine =
             AquaEngine::new(self.aqua_config().with_mapped_tables()).expect("valid AQUA config");
-        let mut sim = Simulation::new(self.sim_config(), engine, self.generators(workload));
-        let mut report = sim.run();
-        report.workload = workload.to_string();
-        let breakdown = sim
-            .mitigation()
+        let (report, engine) = self.run_engine(engine, workload, telemetry);
+        let breakdown = engine
             .lookup_breakdown()
             .expect("mapped engine reports a breakdown");
         (report, breakdown)
@@ -230,6 +409,18 @@ mod tests {
             t_rh: 1000,
             epochs: 1,
             seed: 1,
+            jobs: 1,
+        }
+    }
+
+    /// A harness small enough to run whole simulations in a unit test.
+    fn sim_harness(jobs: usize) -> Harness {
+        Harness {
+            base: BaselineConfig::tiny(),
+            t_rh: 1000,
+            epochs: 2,
+            seed: 1,
+            jobs,
         }
     }
 
@@ -269,5 +460,106 @@ mod tests {
         .map(|s| s.name())
         .collect();
         assert_eq!(names.len(), 6);
+    }
+
+    // -- env-var parsing (regression tests for the silent-fallback bugs) --
+
+    #[test]
+    fn env_parse_accepts_valid_and_warns_on_garbage() {
+        assert_eq!(env_parse("X", None, 2u64), 2);
+        assert_eq!(env_parse("X", Some("7"), 2u64), 7);
+        assert_eq!(env_parse("X", Some(" 7 "), 2u64), 7);
+        // Unparsable values fall back to the default (with a warning on
+        // stderr) instead of being silently swallowed.
+        assert_eq!(env_parse("X", Some("abc"), 2u64), 2);
+        assert_eq!(env_parse("X", Some(""), 2u64), 2);
+        assert_eq!(env_parse("X", Some("7.5"), 4usize), 4);
+    }
+
+    #[test]
+    fn workload_selection_filters_empties_and_validates_eagerly() {
+        // Unset: the full list.
+        assert_eq!(Harness::select_workloads(None).unwrap().len(), 34);
+        // Empty entries (trailing comma, doubled comma, whitespace) vanish.
+        assert_eq!(
+            Harness::select_workloads(Some("povray,,mcf,")).unwrap(),
+            vec!["povray".to_string(), "mcf".to_string()]
+        );
+        assert_eq!(
+            Harness::select_workloads(Some(" lbm , mix03 ")).unwrap(),
+            vec!["lbm".to_string(), "mix03".to_string()]
+        );
+        // An all-empty selection falls back to the full list.
+        assert_eq!(Harness::select_workloads(Some("")).unwrap().len(), 34);
+        assert_eq!(Harness::select_workloads(Some(",,")).unwrap().len(), 34);
+        // Unknown names fail eagerly and the error lists the valid names.
+        let err = Harness::select_workloads(Some("povray,nope")).unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+        assert!(err.contains("valid names"), "{err}");
+        assert!(err.contains("povray") && err.contains("mix15"), "{err}");
+    }
+
+    // -- parallel runner ----------------------------------------------------
+
+    fn small_matrix(jobs: usize, telemetry: Option<&Telemetry>) -> MatrixResults {
+        // Schemes whose configs are geometry-agnostic (AQUA's paper-scale
+        // table sizing does not fit BaselineConfig::tiny).
+        let schemes = [Scheme::Baseline, Scheme::VictimRefresh, Scheme::Blockhammer];
+        let workloads = vec!["povray".to_string(), "namd".to_string()];
+        sim_harness(jobs).run_matrix_instrumented(&schemes, &workloads, telemetry)
+    }
+
+    #[test]
+    fn parallel_matrix_is_identical_to_serial() {
+        let serial = small_matrix(1, None);
+        let parallel = small_matrix(4, None);
+        assert_eq!(serial.failures().count(), 0);
+        assert_eq!(serial, parallel);
+        // Cells come back workload-major regardless of scheduling.
+        let order: Vec<(&str, &str)> = parallel
+            .cells()
+            .iter()
+            .map(|c| (c.scheme.name(), c.workload.as_str()))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                ("baseline", "povray"),
+                ("victim-refresh", "povray"),
+                ("blockhammer", "povray"),
+                ("baseline", "namd"),
+                ("victim-refresh", "namd"),
+                ("blockhammer", "namd"),
+            ]
+        );
+    }
+
+    #[test]
+    fn merged_telemetry_is_scheduling_independent() {
+        let hub_serial = Telemetry::new(Default::default());
+        let hub_parallel = Telemetry::new(Default::default());
+        small_matrix(1, Some(&hub_serial));
+        small_matrix(4, Some(&hub_parallel));
+        if hub_serial.is_enabled() {
+            assert_eq!(hub_serial.summary(), hub_parallel.summary());
+            assert_eq!(hub_serial.epochs(), hub_parallel.epochs());
+            assert!(hub_serial.summary().unwrap().counter("sim.activations") > Some(0));
+        }
+    }
+
+    #[test]
+    fn a_panicking_cell_fails_alone() {
+        let schemes = [Scheme::Baseline];
+        // Bypasses workloads()'s eager validation on purpose: the unknown
+        // name panics inside the job, which must surface as a failed cell
+        // while the valid cell still completes.
+        let workloads = vec!["povray".to_string(), "not-a-workload".to_string()];
+        let results = sim_harness(2).run_matrix(&schemes, &workloads);
+        assert!(results.try_get(Scheme::Baseline, "povray").is_ok());
+        let err = results
+            .try_get(Scheme::Baseline, "not-a-workload")
+            .unwrap_err();
+        assert!(err.contains("unknown workload"), "{err}");
+        assert_eq!(results.failures().count(), 1);
     }
 }

@@ -1,0 +1,139 @@
+//! The deterministic scheme × workload experiment matrix.
+
+use crate::Scheme;
+use aqua_sim::RunReport;
+
+/// One `(scheme, workload)` cell of an experiment matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixCell {
+    /// The scheme this cell ran.
+    pub scheme: Scheme,
+    /// The workload this cell ran.
+    pub workload: String,
+    /// The run report, or the panic message of a job that failed.
+    pub outcome: Result<RunReport, String>,
+}
+
+/// Results of [`crate::Harness::run_matrix`], in deterministic input order:
+/// workload-major, i.e. every scheme of workload 0, then workload 1, and so
+/// on — independent of how the worker pool scheduled the jobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixResults {
+    cells: Vec<MatrixCell>,
+}
+
+impl MatrixResults {
+    pub(crate) fn new(cells: Vec<MatrixCell>) -> Self {
+        MatrixResults { cells }
+    }
+
+    /// All cells, in input (workload-major) order.
+    pub fn cells(&self) -> &[MatrixCell] {
+        &self.cells
+    }
+
+    /// The report of one cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was never part of the matrix or its job failed
+    /// (the panic message names the cell and relays the job's own message).
+    pub fn get(&self, scheme: Scheme, workload: &str) -> &RunReport {
+        match self.try_get(scheme, workload) {
+            Ok(report) => report,
+            Err(msg) => panic!("{msg}"),
+        }
+    }
+
+    /// The report of one cell, or a description of why it is unavailable.
+    pub fn try_get(&self, scheme: Scheme, workload: &str) -> Result<&RunReport, String> {
+        let cell = self
+            .cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.workload == workload)
+            .ok_or_else(|| format!("no matrix cell for {} / {workload}", scheme.name()))?;
+        cell.outcome
+            .as_ref()
+            .map_err(|e| format!("matrix cell {} / {workload} failed: {e}", scheme.name()))
+    }
+
+    /// The cells whose jobs failed (panicked), if any.
+    pub fn failures(&self) -> impl Iterator<Item = &MatrixCell> {
+        self.cells.iter().filter(|c| c.outcome.is_err())
+    }
+
+    /// The successful reports, in input order.
+    pub fn reports(&self) -> impl Iterator<Item = &RunReport> {
+        self.cells.iter().filter_map(|c| c.outcome.as_ref().ok())
+    }
+
+    /// Panics if any cell failed, listing every failed cell. Figure binaries
+    /// call this right after the matrix so one bad cell does not silently
+    /// produce a partial CSV.
+    pub fn expect_complete(&self) -> &Self {
+        let failed: Vec<String> = self
+            .failures()
+            .map(|c| format!("{} / {}: {}", c.scheme.name(), c.workload, flat(c)))
+            .collect();
+        assert!(
+            failed.is_empty(),
+            "{} matrix cell(s) failed:\n  {}",
+            failed.len(),
+            failed.join("\n  ")
+        );
+        self
+    }
+}
+
+fn flat(cell: &MatrixCell) -> &str {
+    match &cell.outcome {
+        Err(e) => e.as_str(),
+        Ok(_) => "",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn results() -> MatrixResults {
+        MatrixResults::new(vec![
+            MatrixCell {
+                scheme: Scheme::Baseline,
+                workload: "lbm".into(),
+                outcome: Ok(RunReport {
+                    workload: "lbm".into(),
+                    requests_done: 7,
+                    ..Default::default()
+                }),
+            },
+            MatrixCell {
+                scheme: Scheme::Rrs,
+                workload: "lbm".into(),
+                outcome: Err("boom".into()),
+            },
+        ])
+    }
+
+    #[test]
+    fn get_resolves_successful_cells() {
+        assert_eq!(results().get(Scheme::Baseline, "lbm").requests_done, 7);
+    }
+
+    #[test]
+    fn failed_and_missing_cells_report_why() {
+        let r = results();
+        let err = r.try_get(Scheme::Rrs, "lbm").unwrap_err();
+        assert!(err.contains("boom"), "{err}");
+        let err = r.try_get(Scheme::Rrs, "mcf").unwrap_err();
+        assert!(err.contains("no matrix cell"), "{err}");
+        assert_eq!(r.failures().count(), 1);
+        assert_eq!(r.reports().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix cell(s) failed")]
+    fn expect_complete_panics_on_failures() {
+        results().expect_complete();
+    }
+}

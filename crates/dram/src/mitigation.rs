@@ -142,7 +142,13 @@ aqua_telemetry::stat_struct! {
 }
 
 /// A Rowhammer mitigation scheme, as seen by the memory controller.
-pub trait Mitigation {
+///
+/// `Send` is a supertrait so a whole `Simulation<M>` can be handed to a
+/// worker thread: the bench harness fans the scheme × workload experiment
+/// matrix out across a thread pool, constructing and running one engine per
+/// job. Schemes hold only owned state (tables, RNGs, telemetry handles), so
+/// the bound costs implementors nothing.
+pub trait Mitigation: Send {
     /// Short scheme name for reports (e.g. `"aqua-sram"`).
     fn name(&self) -> &'static str;
 

@@ -7,7 +7,10 @@ use aqua_telemetry::TelemetrySummary;
 use serde::{Deserialize, Serialize};
 
 /// Everything measured in one simulation run.
-#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field, which is how the bench harness asserts
+/// that parallel and serial matrix runs produce identical results.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunReport {
     /// Mitigation scheme name.
     pub scheme: String,

@@ -136,6 +136,13 @@ impl<M: Mitigation> Simulation<M> {
         &self.mitigation
     }
 
+    /// Consumes the simulation and returns the mitigation engine, for
+    /// callers that need scheme-specific statistics (e.g. the Figure 10
+    /// lookup breakdown) without keeping the whole simulator alive.
+    pub fn into_mitigation(self) -> M {
+        self.mitigation
+    }
+
     /// The security oracle.
     pub fn oracle(&self) -> &ActivationOracle {
         &self.oracle
@@ -383,6 +390,18 @@ mod tests {
     }
 
     #[test]
+    fn simulations_are_send() {
+        // The bench worker pool runs whole simulations on worker threads;
+        // this must hold for every mitigation engine (Mitigation: Send).
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation<NoMitigation>>();
+        assert_send::<Simulation<AquaEngine>>();
+        assert_send::<Simulation<aqua_rrs::RrsEngine>>();
+        assert_send::<Simulation<aqua_baselines::VictimRefresh>>();
+        assert_send::<Simulation<aqua_baselines::Blockhammer>>();
+    }
+
+    #[test]
     fn double_sided_attack_flips_without_mitigation() {
         let gen = Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
         let mut sim = Simulation::new(sim_config(1000), NoMitigation::new(base().geometry), [gen]);
@@ -478,8 +497,14 @@ mod tests {
     fn quiet_stream_sees_no_mitigations() {
         use aqua_workload::HotColdGenerator;
         let s = space();
-        let gen =
-            Box::new(HotColdGenerator::uniform(&s, 0, 512, 20_000, 3)) as Box<dyn RequestGenerator>;
+        let gen = Box::new(HotColdGenerator::uniform(
+            &s,
+            0,
+            512,
+            20_000,
+            base().epoch,
+            3,
+        )) as Box<dyn RequestGenerator>;
         let mut sim = Simulation::new(sim_config(1000), aqua_engine(1000), [gen]);
         let report = sim.run();
         assert_eq!(report.mitigation.row_migrations, 0);

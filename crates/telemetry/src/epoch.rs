@@ -74,6 +74,13 @@ impl EpochSeries {
     pub fn total<F: Fn(&EpochRecord) -> u64>(&self, f: F) -> u64 {
         self.records.iter().map(f).sum()
     }
+
+    /// Appends all of `other`'s records after this series' own, preserving
+    /// `other`'s internal order (used when per-job series from a parallel
+    /// run are stitched together in deterministic job order).
+    pub fn merge_from(&mut self, other: &EpochSeries) {
+        self.records.extend(other.records.iter().cloned());
+    }
 }
 
 #[cfg(test)]
@@ -89,6 +96,22 @@ mod tests {
         };
         assert_eq!(rec.gauge("rqa_occupancy"), Some(0.25));
         assert_eq!(rec.gauge("missing"), None);
+    }
+
+    #[test]
+    fn merge_appends_in_order() {
+        let rec = |epoch| EpochRecord {
+            epoch,
+            ..Default::default()
+        };
+        let mut a = EpochSeries::new();
+        a.push(rec(0));
+        let mut b = EpochSeries::new();
+        b.push(rec(1));
+        b.push(rec(2));
+        a.merge_from(&b);
+        let epochs: Vec<u64> = a.records().iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![0, 1, 2]);
     }
 
     #[test]

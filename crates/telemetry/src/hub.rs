@@ -94,6 +94,55 @@ impl Telemetry {
         Telemetry { inner: None }
     }
 
+    /// A fresh, empty hub with this hub's configuration (disabled handles
+    /// fork into disabled handles). The parallel experiment runner gives
+    /// each job a fork of the caller's hub so that concurrently running
+    /// simulations never interleave writes, then [`Telemetry::merge_from`]s
+    /// the forks back in deterministic job order.
+    pub fn fork(&self) -> Telemetry {
+        match &self.inner {
+            Some(i) => Telemetry::new(i.cfg),
+            None => Telemetry::disabled(),
+        }
+    }
+
+    /// Absorbs everything `other` recorded into this hub.
+    ///
+    /// Counters add, gauges take `other`'s value, histograms merge
+    /// bucket-wise, the epoch series appends `other`'s records after this
+    /// hub's own, and `other`'s retained trace events are replayed into this
+    /// hub's ring (events `other` already dropped stay counted as dropped).
+    /// Merging per-job hubs in job-index order therefore yields the same
+    /// aggregate regardless of how the jobs were scheduled across threads.
+    ///
+    /// A no-op when either handle is disabled or both refer to the same hub.
+    pub fn merge_from(&self, other: &Telemetry) {
+        let (Some(a), Some(b)) = (&self.inner, &other.inner) else {
+            return;
+        };
+        if Arc::ptr_eq(a, b) {
+            return;
+        }
+        for (&name, c) in b.counters.lock().unwrap().iter() {
+            self.counter(name).add(c.load(Ordering::Relaxed));
+        }
+        for (&name, g) in b.gauges.lock().unwrap().iter() {
+            self.gauge(name)
+                .set(f64::from_bits(g.load(Ordering::Relaxed)));
+        }
+        for (&name, h) in b.histograms.lock().unwrap().iter() {
+            let data = h.lock().unwrap().clone();
+            if let Some(mine) = self.histogram(name).0 {
+                mine.lock().unwrap().merge(&data);
+            }
+        }
+        a.epochs
+            .lock()
+            .unwrap()
+            .merge_from(&b.epochs.lock().unwrap());
+        a.trace.lock().unwrap().merge_from(&b.trace.lock().unwrap());
+    }
+
     /// Whether this handle feeds a live hub.
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
@@ -309,6 +358,14 @@ impl Telemetry {
         Telemetry
     }
 
+    /// Forks into another zero-sized handle.
+    pub fn fork(&self) -> Telemetry {
+        Telemetry
+    }
+
+    /// No-op.
+    pub fn merge_from(&self, _other: &Telemetry) {}
+
     /// Always `false` in this mode.
     pub fn is_enabled(&self) -> bool {
         false
@@ -464,6 +521,74 @@ mod tests {
         });
         t2.record(10, EventKind::Activate { bank: 0, row: 1 });
         assert_eq!(t2.trace_events().len(), 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn merge_aggregates_every_metric_kind() {
+        use crate::epoch::EpochRecord;
+
+        let parent = Telemetry::new(TelemetryConfig::default());
+        parent.counter("c").add(3);
+        parent.gauge("g").set(0.25);
+        parent.histogram("h").record(10);
+        parent.push_epoch(EpochRecord {
+            epoch: 0,
+            ..Default::default()
+        });
+        parent.record(1, EventKind::EpochRollover { epoch: 0 });
+
+        let job = parent.fork();
+        assert!(job.is_enabled());
+        job.counter("c").add(4);
+        job.counter("job_only").inc();
+        job.gauge("g").set(0.75);
+        job.histogram("h").record(20);
+        job.push_epoch(EpochRecord {
+            epoch: 1,
+            ..Default::default()
+        });
+        job.record(2, EventKind::EpochRollover { epoch: 1 });
+
+        parent.merge_from(&job);
+        let s = parent.summary().unwrap();
+        assert_eq!(s.counter("c"), Some(7));
+        assert_eq!(s.counter("job_only"), Some(1));
+        assert_eq!(s.gauge("g"), Some(0.75));
+        let h = s.histogram("h").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.max, 20);
+        assert_eq!(s.epochs_recorded, 2);
+        assert_eq!(s.events_recorded, 2);
+        let epochs: Vec<u64> = parent.epochs().records().iter().map(|r| r.epoch).collect();
+        assert_eq!(epochs, vec![0, 1]);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn merge_with_disabled_or_self_is_a_no_op() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        t.counter("c").inc();
+        t.merge_from(&t.clone()); // same hub: must not deadlock or double
+        t.merge_from(&Telemetry::disabled());
+        Telemetry::disabled().merge_from(&t);
+        assert_eq!(t.summary().unwrap().counter("c"), Some(1));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn fork_inherits_config_but_not_state() {
+        let t = Telemetry::new(TelemetryConfig {
+            trace_activates: true,
+            ..Default::default()
+        });
+        t.counter("c").inc();
+        let f = t.fork();
+        assert_eq!(f.summary().unwrap().counter("c"), None);
+        // The fork inherits `trace_activates`.
+        f.record(1, EventKind::Activate { bank: 0, row: 1 });
+        assert_eq!(f.trace_events().len(), 1);
+        assert!(!Telemetry::disabled().fork().is_enabled());
     }
 
     #[cfg(feature = "enabled")]

@@ -70,6 +70,21 @@ impl<T> RingBuffer<T> {
         self.buf.iter()
     }
 
+    /// Replays `other`'s retained entries into this buffer (oldest first)
+    /// and carries over its already-dropped count, so `offered()` and
+    /// `dropped()` keep accounting for every entry either buffer ever saw.
+    pub fn merge_from(&mut self, other: &RingBuffer<T>)
+    where
+        T: Clone,
+    {
+        for entry in other.iter() {
+            self.push(entry.clone());
+        }
+        let pre_dropped = other.offered - other.buf.len() as u64;
+        self.offered += pre_dropped;
+        self.dropped += pre_dropped;
+    }
+
     /// Consumes the buffer, yielding retained entries oldest first.
     pub fn into_vec(self) -> Vec<T> {
         self.buf.into_iter().collect()
@@ -99,6 +114,33 @@ mod tests {
         assert_eq!(rb.iter().copied().collect::<Vec<_>>(), vec![2, 3, 4]);
         assert_eq!(rb.dropped(), 2);
         assert_eq!(rb.offered(), 5);
+    }
+
+    #[test]
+    fn merge_preserves_offered_and_dropped_accounting() {
+        let mut a = RingBuffer::new(4);
+        a.push(1);
+        let mut b = RingBuffer::new(2);
+        for v in 10..15 {
+            b.push(v); // 5 offered, 3 dropped, retains [13, 14]
+        }
+        a.merge_from(&b);
+        assert_eq!(a.iter().copied().collect::<Vec<_>>(), vec![1, 13, 14]);
+        assert_eq!(a.offered(), 6);
+        assert_eq!(a.dropped(), 3);
+    }
+
+    #[test]
+    fn merge_overflows_like_individual_pushes() {
+        let mut a = RingBuffer::new(2);
+        a.push(1);
+        a.push(2);
+        let mut b = RingBuffer::new(4);
+        b.push(3);
+        a.merge_from(&b);
+        assert_eq!(a.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
+        assert_eq!(a.offered(), 3);
+        assert_eq!(a.dropped(), 1);
     }
 
     #[test]

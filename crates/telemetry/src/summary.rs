@@ -29,6 +29,11 @@ impl TelemetrySummary {
             .map(|&(_, v)| v)
     }
 
+    /// Looks up a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
     /// Looks up a histogram summary by name.
     pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
         self.histograms

@@ -114,6 +114,71 @@ proptest! {
         prop_assert_eq!(rb.offered(), n);
         prop_assert_eq!(rb.dropped(), n);
     }
+
+    /// Histogram merging is associative and preserves count/sum/min/max and
+    /// every bucket no matter how the samples are partitioned across jobs —
+    /// the property the parallel runner's telemetry merge relies on.
+    #[test]
+    fn merge_is_partition_independent(
+        samples in prop::collection::vec(any::<u64>(), 1..120),
+        cut_a in 0usize..120,
+        cut_b in 0usize..120,
+    ) {
+        let cut_a = cut_a.min(samples.len());
+        let cut_b = cut_b.min(samples.len()).max(cut_a);
+        let mut parts = [HistogramData::new(), HistogramData::new(), HistogramData::new()];
+        let mut whole = HistogramData::new();
+        for (i, &s) in samples.iter().enumerate() {
+            let p = if i < cut_a { 0 } else if i < cut_b { 1 } else { 2 };
+            parts[p].record(s);
+            whole.record(s);
+        }
+        // Left-fold (merged[0] <- 1 <- 2) vs right-fold (1 <- 2 first).
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut right_tail = parts[1].clone();
+        right_tail.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(&right, &whole);
+        prop_assert_eq!(left.count(), samples.len() as u64);
+        prop_assert_eq!(left.sum(), samples.iter().map(|&s| s as u128).sum::<u128>());
+        prop_assert_eq!(left.min(), *samples.iter().min().unwrap());
+        prop_assert_eq!(left.max(), *samples.iter().max().unwrap());
+        prop_assert_eq!(left.buckets(), whole.buckets());
+    }
+
+    /// Ring merging replays retained entries in order and never loses the
+    /// offered/dropped accounting of either side.
+    #[test]
+    fn ring_merge_accounts_for_both_sides(
+        a_values in prop::collection::vec(any::<u32>(), 0..60),
+        b_values in prop::collection::vec(any::<u32>(), 0..60),
+        cap_a in 1usize..12,
+        cap_b in 1usize..12,
+    ) {
+        let mut a = RingBuffer::new(cap_a);
+        for &v in &a_values {
+            a.push(v);
+        }
+        let mut b = RingBuffer::new(cap_b);
+        for &v in &b_values {
+            b.push(v);
+        }
+        // Pushing b's retained entries by hand must be indistinguishable.
+        let mut expect = a.clone();
+        for v in b.iter().copied().collect::<Vec<_>>() {
+            expect.push(v);
+        }
+        a.merge_from(&b);
+        prop_assert_eq!(a.iter().copied().collect::<Vec<_>>(),
+                        expect.iter().copied().collect::<Vec<_>>());
+        prop_assert_eq!(a.offered(), (a_values.len() + b_values.len()) as u64);
+        let retained = a.len() as u64;
+        prop_assert_eq!(a.dropped(), a.offered() - retained);
+    }
 }
 
 /// The 65 buckets tile the full `u64` range with no gaps or overlaps.

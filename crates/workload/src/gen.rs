@@ -111,11 +111,19 @@ impl HotColdGenerator {
 
     /// A purely uniform stream: `requests_per_epoch` requests spread over a
     /// `footprint`-row region starting at dense index `start` (no hot rows).
+    ///
+    /// `epoch` is the simulated epoch length the request rate is paced
+    /// against (`gap = epoch / requests_per_epoch`), so the stream really
+    /// does issue `requests_per_epoch` requests per epoch even on systems
+    /// configured with a non-default epoch (e.g. `BaselineConfig::tiny`'s
+    /// 1 ms) — previously a hardcoded 64 ms gap underpaced such systems by
+    /// the ratio of the two epoch lengths.
     pub fn uniform(
         space: &AddressSpace,
         start: u64,
         footprint: u64,
         requests_per_epoch: u64,
+        epoch: Duration,
         seed: u64,
     ) -> Self {
         assert!(footprint >= 1 && start + footprint <= space.len());
@@ -129,7 +137,7 @@ impl HotColdGenerator {
             cold_start: start,
             cold_len: footprint,
             space: *space,
-            gap: Duration::from_ms(64) / requests_per_epoch.max(1),
+            gap: epoch / requests_per_epoch.max(1),
         }
     }
 
@@ -252,10 +260,20 @@ mod tests {
     #[test]
     fn uniform_generator_covers_footprint() {
         let s = space();
-        let mut g = HotColdGenerator::uniform(&s, 100, 50, 10_000, 3);
+        let mut g = HotColdGenerator::uniform(&s, 100, 50, 10_000, Duration::from_ms(64), 3);
         for _ in 0..500 {
             let r = g.next_request();
             assert!(s.contains(r.row));
         }
+    }
+
+    #[test]
+    fn uniform_generator_paces_against_the_given_epoch() {
+        let s = space();
+        let paper = HotColdGenerator::uniform(&s, 0, 64, 1000, Duration::from_ms(64), 3);
+        let tiny = HotColdGenerator::uniform(&s, 0, 64, 1000, Duration::from_ms(1), 3);
+        assert_eq!(paper.gap, Duration::from_ms(64) / 1000);
+        // A 1 ms epoch must pace 64x faster for the same per-epoch rate.
+        assert_eq!(tiny.gap, Duration::from_ms(1) / 1000);
     }
 }

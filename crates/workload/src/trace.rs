@@ -133,15 +133,15 @@ mod tests {
 
     fn sample_trace() -> RecordedTrace {
         let space = AddressSpace::new(DramGeometry::tiny(), 0.9);
-        let mut gen = HotColdGenerator::uniform(&space, 0, 64, 1000, 7);
+        let mut gen = HotColdGenerator::uniform(&space, 0, 64, 1000, Duration::from_ms(64), 7);
         RecordedTrace::record(&mut gen, 50)
     }
 
     #[test]
     fn record_captures_the_exact_stream() {
         let space = AddressSpace::new(DramGeometry::tiny(), 0.9);
-        let mut a = HotColdGenerator::uniform(&space, 0, 64, 1000, 7);
-        let mut b = HotColdGenerator::uniform(&space, 0, 64, 1000, 7);
+        let mut a = HotColdGenerator::uniform(&space, 0, 64, 1000, Duration::from_ms(64), 7);
+        let mut b = HotColdGenerator::uniform(&space, 0, 64, 1000, Duration::from_ms(64), 7);
         let trace = RecordedTrace::record(&mut a, 20);
         let mut replay = trace.into_replayer();
         for _ in 0..20 {
