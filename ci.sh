@@ -39,5 +39,18 @@ smoke 1 target/experiments/fig06_smoke_serial.csv
 smoke 2 target/experiments/fig06_smoke_parallel.csv
 run diff target/experiments/fig06_smoke_serial.csv target/experiments/fig06_smoke_parallel.csv
 
+# Seeded fault-injection smoke test: two campaigns with the same seed must
+# emit byte-identical CSVs (and exit zero, i.e. no unaccounted corruptions).
+fault_smoke() {
+    local out="$1"
+    echo
+    echo "==> smoke: fault_campaign --seed 7 -> $out"
+    AQUA_BENCH_WORKLOADS=mcf cargo run --offline -q --release -p aqua-bench \
+        --bin fault_campaign -- --seed 7 --epochs 1 --rates 0,8 --out "$out" >/dev/null
+}
+fault_smoke fault_smoke_first
+fault_smoke fault_smoke_replay
+run diff target/experiments/fault_smoke_first.csv target/experiments/fault_smoke_replay.csv
+
 echo
 echo "ci.sh: all checks passed"

@@ -20,6 +20,9 @@ pub struct BloomStats {
     pub clear_hits: u64,
     /// Queries answered "possibly quarantined" (bit set).
     pub set_hits: u64,
+    /// Removes that found a zero count (insert/remove mismatch — only ever
+    /// non-zero after injected filter faults).
+    pub underflows: u64,
 }
 
 /// Single-bit-per-entry resettable bloom filter.
@@ -77,7 +80,8 @@ impl ResettableBloomFilter {
         row / self.rows_per_group as u64
     }
 
-    fn bit_of(&self, group: u64) -> usize {
+    /// The filter bit a group hashes to.
+    pub fn bit_of(&self, group: u64) -> usize {
         (group % self.counts.len() as u64) as usize
     }
 
@@ -106,14 +110,44 @@ impl ResettableBloomFilter {
     /// Records that a row of `group` lost its FPT entry; the bit resets when
     /// the last entry of all aliasing groups goes away.
     ///
-    /// # Panics
-    ///
-    /// Panics if the bit's count is already zero (insert/remove mismatch —
-    /// a bug in the caller's bookkeeping, never a recoverable condition).
+    /// A remove that finds a zero count saturates (and bumps
+    /// [`BloomStats::underflows`]) instead of panicking: injected filter
+    /// faults can legitimately zero a count while entries still exist, and
+    /// the end-of-epoch audit rebuilds the counts from the FPT afterwards.
     pub fn remove(&mut self, group: u64) {
         let bit = self.bit_of(group);
-        assert!(self.counts[bit] > 0, "bloom remove without matching insert");
+        if self.counts[bit] == 0 {
+            self.stats.underflows += 1;
+            return;
+        }
         self.counts[bit] -= 1;
+    }
+
+    /// Injected fault: zeroes the first non-zero count scanning circularly
+    /// from `entropy % bits`, creating false negatives for every aliasing
+    /// group. Returns the cleared bit, or `None` if the filter is empty.
+    pub fn fault_clear_bit(&mut self, entropy: u64) -> Option<usize> {
+        let bits = self.counts.len();
+        let start = (entropy % bits as u64) as usize;
+        let bit = (0..bits)
+            .map(|i| (start + i) % bits)
+            .find(|&b| self.counts[b] > 0)?;
+        self.counts[bit] = 0;
+        Some(bit)
+    }
+
+    /// Rebuilds the count table from an iterator of `(group, valid_entries)`
+    /// pairs (the audit's view of the FPT). Returns whether any count
+    /// changed. Summation is order-independent, so callers may feed hash-map
+    /// iteration order without hurting determinism.
+    pub fn rebuild<I: IntoIterator<Item = (u64, u32)>>(&mut self, groups: I) -> bool {
+        let mut counts = vec![0u32; self.counts.len()];
+        for (group, valid) in groups {
+            counts[self.bit_of(group)] += valid;
+        }
+        let changed = counts != self.counts;
+        self.counts = counts;
+        changed
     }
 
     /// Fraction of bits currently set.
@@ -170,10 +204,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "matching insert")]
-    fn unbalanced_remove_panics() {
+    fn unbalanced_remove_saturates() {
         let mut bf = ResettableBloomFilter::new(64, 16);
         bf.remove(1);
+        assert_eq!(bf.stats().underflows, 1);
+        assert!(!bf.peek(1));
+    }
+
+    #[test]
+    fn fault_clear_and_rebuild() {
+        let mut bf = ResettableBloomFilter::new(64, 16);
+        bf.insert(3);
+        bf.insert(3);
+        bf.insert(10);
+        // Scan starts at bit 5, wraps, and lands on bit 10.
+        assert_eq!(bf.fault_clear_bit(5), Some(10));
+        assert!(!bf.peek(10), "cleared bit must read as a false negative");
+        assert!(bf.peek(3));
+        // Audit rebuild restores the counts from the (group, valid) view.
+        assert!(bf.rebuild([(3u64, 2u32), (10, 1)]));
+        assert!(bf.peek(10));
+        bf.remove(3);
+        assert!(bf.peek(3), "one of two entries remains");
+        // Empty filter has nothing to clear.
+        let mut empty = ResettableBloomFilter::new(8, 16);
+        assert_eq!(empty.fault_clear_bit(0), None);
     }
 
     #[test]

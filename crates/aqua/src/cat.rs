@@ -122,7 +122,8 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
     /// Looks up `key`.
     pub fn get(&self, key: u64) -> Option<&V> {
         self.find(key)
-            .map(|(skew, i)| &self.skews[skew][i].as_ref().expect("found slot").value)
+            .and_then(|(skew, i)| self.skews[skew][i].as_ref())
+            .map(|e| &e.value)
     }
 
     /// Whether `key` is present.
@@ -181,14 +182,17 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
         let skew = order[0];
         let set = self.hash(skew, key);
         let slot = set * WAYS + depth % WAYS;
-        let victim = self.skews[skew][slot].take().expect("full set has entries");
+        let Some(victim) = self.skews[skew][slot].take() else {
+            // The set scanned as full above, so this slot cannot be vacant;
+            // if it somehow is, installing here is the correct outcome.
+            self.skews[skew][slot] = Some(Entry { key, value });
+            return true;
+        };
         self.skews[skew][slot] = Some(Entry { key, value });
         if self.try_place(victim.key, victim.value, depth + 1) {
             true
         } else {
             // Undo: restore the victim and fail the insert.
-            let ours = self.skews[skew][slot].take().expect("just placed");
-            debug_assert_eq!(ours.key, key);
             self.skews[skew][slot] = Some(victim);
             false
         }
@@ -197,7 +201,7 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
     /// Removes `key`, returning its value if present.
     pub fn remove(&mut self, key: u64) -> Option<V> {
         let (skew, i) = self.find(key)?;
-        let e = self.skews[skew][i].take().expect("found slot");
+        let e = self.skews[skew][i].take()?;
         self.len -= 1;
         Some(e.value)
     }

@@ -5,14 +5,17 @@ use crate::{
     QuarantineArea, ReversePointerTable, RptEntry, RqaSlot, TableMode, TrackerKind,
 };
 use aqua_dram::mitigation::{
-    DataMovement, MigrationKind, Mitigation, MitigationAction, MitigationStats, Translation,
+    DataMovement, DegradedMode, MigrationKind, Mitigation, MitigationAction, MitigationStats,
+    Translation,
 };
-use aqua_dram::{Duration, GlobalRowId, RowAddr, Time};
+use aqua_dram::{BankId, Duration, GlobalRowId, RowAddr, Time};
+use aqua_faults::{mix, FaultHealth, FaultKind, InjectOutcome};
 use aqua_telemetry::{Counter, EventKind, Telemetry};
 use aqua_tracker::{
     AggressorTracker, ExactTracker, HydraConfig, HydraTracker, MisraGriesTracker, TrackerConfig,
 };
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// SRAM table-lookup latency on the access critical path (3–4 cycles at
 /// 3 GHz, section IV-G).
@@ -48,6 +51,8 @@ struct AquaCounters {
     background_drains: Counter,
     mitigations: Counter,
     fpt_cache_misses: Counter,
+    faults_injected: Counter,
+    faults_recovered: Counter,
 }
 
 impl AquaStats {
@@ -62,7 +67,9 @@ impl AquaStats {
 #[derive(Debug, Clone)]
 enum Backend {
     Sram(ForwardPointerTable),
-    Mapped(MappedTables),
+    // Boxed: MappedTables (filter + cache + audit state) dwarfs the SRAM
+    // variant, and one engine holds exactly one backend.
+    Mapped(Box<MappedTables>),
 }
 
 impl Backend {
@@ -103,6 +110,29 @@ impl Backend {
             Backend::Mapped(m) => m.mappings(),
         }
     }
+
+    /// Non-mutating forward lookup, bypassing the mapped-mode filter and
+    /// cache (the audit's ground-truth view).
+    fn peek(&self, row: GlobalRowId) -> Option<RqaSlot> {
+        match self {
+            Backend::Sram(fpt) => fpt.lookup(row),
+            Backend::Mapped(m) => m.peek(row),
+        }
+    }
+
+    /// Injected fault: rewrites an existing forward pointer to `slot`.
+    /// Returns whether an entry was actually corrupted.
+    fn fault_set_fpt(&mut self, row: GlobalRowId, slot: RqaSlot) -> bool {
+        match self {
+            Backend::Sram(fpt) => {
+                if fpt.lookup(row).is_none() {
+                    return false;
+                }
+                fpt.map(row, slot).is_ok()
+            }
+            Backend::Mapped(m) => m.fault_corrupt_fpt(row, slot),
+        }
+    }
 }
 
 /// The AQUA mitigation engine for one rank.
@@ -126,6 +156,17 @@ pub struct AquaEngine {
     /// Lookup breakdown at the previous epoch boundary (drives the
     /// per-epoch FPT-cache hit-rate gauge).
     epoch_breakdown: LookupBreakdown,
+    /// Set once any fault has been injected; gates the end-of-epoch table
+    /// audit so fault-free runs stay bit-identical to the plain engine.
+    faults_active: bool,
+    /// An injected migration interrupt waiting to abort the next quarantine.
+    pending_interrupt: bool,
+    /// Banks whose tables went unrecoverably inconsistent; they run under
+    /// the victim-refresh fallback instead of row migration.
+    degraded: BTreeSet<u32>,
+    health: FaultHealth,
+    /// Victim-refresh rows issued by the degraded-bank fallback.
+    victim_refreshes: u64,
 }
 
 impl AquaEngine {
@@ -165,13 +206,14 @@ impl AquaEngine {
                 // Pin the FPT entries of the table-storing rows in SRAM so a
                 // table lookup never recurses (section VI-B).
                 for addr in table_region_rows(&config) {
-                    let gid = config
-                        .geometry
-                        .flatten(addr)
-                        .expect("table region lies within the module");
+                    let Ok(gid) = config.geometry.flatten(addr) else {
+                        return Err(AquaError::InvalidConfig(
+                            "table region lies outside the module geometry",
+                        ));
+                    };
                     m.pin(gid);
                 }
-                Backend::Mapped(m)
+                Backend::Mapped(Box::new(m))
             }
         };
         let migration_latency = config.timing.row_migration_latency(&config.geometry);
@@ -187,6 +229,11 @@ impl AquaEngine {
             telemetry: Telemetry::disabled(),
             counters: AquaCounters::default(),
             epoch_breakdown: LookupBreakdown::default(),
+            faults_active: false,
+            pending_interrupt: false,
+            degraded: BTreeSet::new(),
+            health: FaultHealth::default(),
+            victim_refreshes: 0,
         })
     }
 
@@ -225,28 +272,39 @@ impl AquaEngine {
 
     /// Verifies that the FPT and RPT are mutually consistent inverse maps.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics (with a description) on any inconsistency; used by property
-    /// tests and debug assertions.
-    pub fn check_consistency(&self) {
+    /// Returns [`AquaError::TableInconsistency`] naming the offending row
+    /// and slot on any disagreement; used by property tests and by the
+    /// fault-injection audit's self-checks.
+    pub fn check_consistency(&self) -> Result<(), AquaError> {
         let mappings = self.backend.mappings();
         for (row, slot) in &mappings {
-            let entry = self.rpt.get(slot.index()).unwrap_or_else(|| {
-                panic!("FPT maps {row} -> slot {} but RPT is empty", slot.index())
-            });
-            assert_eq!(
-                entry.original,
-                *row,
-                "FPT/RPT disagree at slot {}",
-                slot.index()
-            );
+            match self.rpt.get(slot.index()) {
+                Some(entry) if entry.original == *row => {}
+                Some(_) | None => {
+                    return Err(AquaError::TableInconsistency {
+                        row: row.index(),
+                        slot: slot.index(),
+                    });
+                }
+            }
         }
-        assert_eq!(
-            mappings.len(),
-            self.rpt.valid_count(),
-            "FPT and RPT track different numbers of quarantined rows"
-        );
+        if mappings.len() != self.rpt.valid_count() {
+            // Some occupied RPT slot has no forward pointer; name one.
+            let mapped: BTreeSet<u64> = mappings.iter().map(|(_, s)| s.index()).collect();
+            for slot in 0..self.rpt.slots() {
+                if let Some(entry) = self.rpt.get(slot) {
+                    if !mapped.contains(&slot) {
+                        return Err(AquaError::TableInconsistency {
+                            row: entry.original.index(),
+                            slot,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Evicts the occupant of `slot` back to its original location, if any.
@@ -260,16 +318,25 @@ impl AquaEngine {
     ) -> bool {
         if let Some(entry) = self.rpt.clear(slot.index()) {
             let writes = self.backend.unmap(entry.original);
+            let Ok(home) = self.config.geometry.expand(entry.original) else {
+                // Corrupted back-pointer (AquaError::RowOutOfGeometry when
+                // audited): the occupant has no home to return to, so its
+                // data is untraceable. Degrade the slot's bank to the
+                // victim-refresh fallback and keep simulating.
+                let bank = self.config.rqa_slot_location(slot.index()).bank;
+                self.degrade_bank(bank.index());
+                self.stats.violations += 1;
+                if writes > 0 {
+                    actions.push(MitigationAction::TableWrites { count: writes });
+                }
+                return false;
+            };
             actions.push(MitigationAction::BlockChannel {
                 duration: self.migration_latency,
                 kind: MigrationKind::QuarantineEvict,
                 movement: DataMovement::Move {
                     from: self.config.rqa_slot_location(slot.index()),
-                    to: self
-                        .config
-                        .geometry
-                        .expand(entry.original)
-                        .expect("quarantined rows originate within geometry"),
+                    to: home,
                 },
             });
             if writes > 0 {
@@ -297,6 +364,28 @@ impl AquaEngine {
         now: Time,
         actions: &mut Vec<MitigationAction>,
     ) {
+        if self.pending_interrupt {
+            // Injected fault: the migration is interrupted before any table
+            // write or data movement is committed, so the row simply stays
+            // where it is — fully recovered by construction.
+            self.pending_interrupt = false;
+            self.health.recovered += 1;
+            self.counters.faults_recovered.inc();
+            return;
+        }
+        let from = match from_slot {
+            Some(old) => self.config.rqa_slot_location(old.index()),
+            None => match self.config.geometry.expand(row) {
+                Ok(addr) => addr,
+                Err(_) => {
+                    // AquaError::RowOutOfGeometry territory: a row id that
+                    // is not a real row cannot be moved. Refuse the
+                    // quarantine and count the inconsistency.
+                    self.stats.violations += 1;
+                    return;
+                }
+            },
+        };
         let alloc = self.rqa.allocate();
         if alloc.reused_within_epoch {
             self.stats.violations += 1;
@@ -307,14 +396,6 @@ impl AquaEngine {
             self.stats.evictions += 1;
             self.counters.evictions.inc();
         }
-        let from = match from_slot {
-            Some(old) => self.config.rqa_slot_location(old.index()),
-            None => self
-                .config
-                .geometry
-                .expand(row)
-                .expect("rows to quarantine lie within geometry"),
-        };
         actions.push(MitigationAction::BlockChannel {
             duration: self.migration_latency,
             kind: if from_slot.is_some() {
@@ -395,6 +476,237 @@ impl AquaEngine {
         }
         actions
     }
+
+    /// Marks a bank's tables unrecoverable; it runs under victim refresh
+    /// from now on.
+    fn degrade_bank(&mut self, bank: u32) {
+        if self.degraded.insert(bank) {
+            self.health.unrecoverable += 1;
+        }
+        self.health.degraded_banks = self.degraded.len() as u64;
+    }
+
+    /// Accounts one successful audit repair.
+    fn note_repair(&mut self) {
+        self.health.repairs += 1;
+        self.health.recovered += 1;
+        self.counters.faults_recovered.inc();
+    }
+
+    /// Blast-radius neighbours (distance 1 and 2) of `phys`, for the
+    /// victim-refresh fallback on degraded banks.
+    fn victim_rows(&self, phys: RowAddr) -> Vec<RowAddr> {
+        let rows = i64::from(self.config.geometry.rows_per_bank);
+        [-2i64, -1, 1, 2]
+            .iter()
+            .map(|d| i64::from(phys.row) + d)
+            .filter(|r| (0..rows).contains(r))
+            .map(|r| RowAddr {
+                bank: phys.bank,
+                row: r as u32,
+            })
+            .collect()
+    }
+
+    /// Deterministically picks an occupied RQA slot, scanning circularly
+    /// from a pseudo-random start. `None` when nothing is quarantined.
+    fn pick_victim_slot(&self, entropy: u64) -> Option<u64> {
+        let slots = self.rpt.slots();
+        if slots == 0 {
+            return None;
+        }
+        let start = entropy % slots;
+        (0..slots)
+            .map(|i| (start + i) % slots)
+            .find(|&s| self.rpt.get(s).is_some())
+    }
+
+    /// A pseudo-random slot different from `avoid`; `None` if the RQA has
+    /// fewer than two slots (no wrong value exists).
+    fn wrong_slot(&self, entropy: u64, avoid: u64) -> Option<RqaSlot> {
+        let slots = self.rpt.slots();
+        if slots < 2 {
+            return None;
+        }
+        let mut w = mix(entropy) % slots;
+        if w == avoid {
+            w = (w + 1) % slots;
+        }
+        Some(RqaSlot::new(w))
+    }
+
+    /// Forces one quarantined row's forward pointer to a wrong slot.
+    fn fault_fpt_flip(&mut self, entropy: u64) -> InjectOutcome {
+        let Some(slot) = self.pick_victim_slot(entropy) else {
+            return InjectOutcome::Applied; // nothing quarantined: fault hit vacant state
+        };
+        let Some(entry) = self.rpt.get(slot) else {
+            return InjectOutcome::Applied;
+        };
+        let Some(wrong) = self.wrong_slot(entropy, slot) else {
+            return InjectOutcome::Applied;
+        };
+        if self.backend.fault_set_fpt(entry.original, wrong) {
+            InjectOutcome::CorruptedTranslation {
+                rows: vec![entry.original.index()],
+            }
+        } else {
+            InjectOutcome::Applied
+        }
+    }
+
+    /// Corrupts one RPT entry's back-pointer. The wrong row is drawn from
+    /// twice the module's row range, so roughly half the flips point outside
+    /// the geometry and exercise the unrecoverable/degrade path.
+    fn fault_rpt_flip(&mut self, entropy: u64) -> InjectOutcome {
+        let Some(slot) = self.pick_victim_slot(entropy) else {
+            return InjectOutcome::Applied;
+        };
+        let Some(entry) = self.rpt.get(slot) else {
+            return InjectOutcome::Applied;
+        };
+        let total = self.config.geometry.total_rows();
+        let mut wrong = mix(entropy) % (total * 2);
+        if wrong == entry.original.index() {
+            wrong = (wrong + 1) % (total * 2);
+        }
+        self.rpt.set(
+            slot,
+            RptEntry {
+                original: GlobalRowId::new(wrong),
+                install_epoch: entry.install_epoch,
+            },
+        );
+        let mut rows = vec![entry.original.index()];
+        if wrong < total {
+            rows.push(wrong);
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        InjectOutcome::CorruptedTranslation { rows }
+    }
+
+    /// Drops one RPT entry, orphaning its forward pointer.
+    fn fault_rpt_drop(&mut self, entropy: u64) -> InjectOutcome {
+        let Some(slot) = self.pick_victim_slot(entropy) else {
+            return InjectOutcome::Applied;
+        };
+        let Some(entry) = self.rpt.clear(slot) else {
+            return InjectOutcome::Applied;
+        };
+        InjectOutcome::CorruptedTranslation {
+            rows: vec![entry.original.index()],
+        }
+    }
+
+    /// Zeroes one bloom count (mapped mode only): false negatives for every
+    /// quarantined row whose group hashes to the cleared bit.
+    fn fault_filter_clear(&mut self, entropy: u64) -> InjectOutcome {
+        match &mut self.backend {
+            Backend::Sram(_) => InjectOutcome::Unsupported,
+            Backend::Mapped(m) => {
+                let rows = m.fault_clear_filter(entropy);
+                if rows.is_empty() {
+                    InjectOutcome::Applied
+                } else {
+                    InjectOutcome::CorruptedTranslation { rows }
+                }
+            }
+        }
+    }
+
+    /// Inserts a wrong-slot entry into the FPT-Cache (mapped mode only);
+    /// the in-DRAM FPT stays correct.
+    fn fault_cache_poison(&mut self, entropy: u64) -> InjectOutcome {
+        if matches!(self.backend, Backend::Sram(_)) {
+            return InjectOutcome::Unsupported;
+        }
+        let Some(slot) = self.pick_victim_slot(entropy) else {
+            return InjectOutcome::Applied;
+        };
+        let Some(entry) = self.rpt.get(slot) else {
+            return InjectOutcome::Applied;
+        };
+        let Some(wrong) = self.wrong_slot(entropy, slot) else {
+            return InjectOutcome::Applied;
+        };
+        let Backend::Mapped(m) = &mut self.backend else {
+            return InjectOutcome::Applied;
+        };
+        if m.fault_poison_cache(entry.original, wrong) {
+            InjectOutcome::CorruptedTranslation {
+                rows: vec![entry.original.index()],
+            }
+        } else {
+            InjectOutcome::Applied // pinned row: lookups never consult the cache
+        }
+    }
+
+    /// End-of-epoch table audit (runs only once a fault has been injected).
+    ///
+    /// Pass 1 treats the RPT as authoritative for occupied slots: a slot
+    /// whose row's forward pointer disagrees is repaired by rewriting the
+    /// FPT from the back-pointer; a slot whose back-pointer is not a real
+    /// row is unrecoverable and degrades its bank. Pass 2 walks the forward
+    /// pointers (sorted, so hash-map iteration order cannot leak into the
+    /// outcome): orphans with a free slot get their RPT entry restored
+    /// (the data is still in the slot); orphans whose slot belongs to
+    /// another row are dropped. Pass 3 rebuilds the mapped-mode SRAM
+    /// filter/cache state from the in-DRAM FPT.
+    fn audit_tables(&mut self) {
+        for slot in 0..self.rpt.slots() {
+            let Some(entry) = self.rpt.get(slot) else {
+                continue;
+            };
+            if self.config.geometry.expand(entry.original).is_err() {
+                self.rpt.clear(slot);
+                self.backend.unmap(entry.original);
+                let bank = self.config.rqa_slot_location(slot).bank;
+                self.degrade_bank(bank.index());
+                continue;
+            }
+            if self.backend.peek(entry.original) != Some(RqaSlot::new(slot)) {
+                match self.backend.map(entry.original, RqaSlot::new(slot)) {
+                    Ok(_) => self.note_repair(),
+                    Err(_) => {
+                        self.rpt.clear(slot);
+                        let bank = self.config.rqa_slot_location(slot).bank;
+                        self.degrade_bank(bank.index());
+                    }
+                }
+            }
+        }
+        let mut maps = self.backend.mappings();
+        maps.sort_unstable_by_key(|(r, s)| (r.index(), s.index()));
+        for (row, slot) in maps {
+            if slot.index() >= self.rpt.slots() {
+                self.backend.unmap(row);
+                self.note_repair();
+                continue;
+            }
+            match self.rpt.get(slot.index()) {
+                Some(e) if e.original == row => {}
+                Some(_) => {
+                    self.backend.unmap(row);
+                    self.note_repair();
+                }
+                None => {
+                    self.rpt.set(
+                        slot.index(),
+                        RptEntry {
+                            original: row,
+                            install_epoch: self.rqa.epoch(),
+                        },
+                    );
+                    self.note_repair();
+                }
+            }
+        }
+        if let Backend::Mapped(m) = &mut self.backend {
+            m.fault_audit_rebuild();
+        }
+        self.health.degraded_banks = self.degraded.len() as u64;
+    }
 }
 
 /// All physical rows of the in-DRAM table region (mapped mode).
@@ -443,28 +755,49 @@ impl Mitigation for AquaEngine {
             }
             _ => {}
         }
+        let identity = |cfg: &AquaConfig, violations: &mut u64| match cfg.geometry.expand(row) {
+            Ok(addr) => addr,
+            Err(_) => {
+                // AquaError::RowOutOfGeometry: a row id that is not a real
+                // row cannot be accessed; fall back to row 0 of bank 0 and
+                // count the inconsistency rather than aborting.
+                *violations += 1;
+                RowAddr {
+                    bank: BankId::new(0),
+                    row: 0,
+                }
+            }
+        };
         let phys = match slot {
-            Some(s) => self.config.rqa_slot_location(s.index()),
-            None => self
-                .config
-                .geometry
-                .expand(row)
-                .expect("workload row ids must be within geometry"),
+            Some(s) if s.index() < self.config.rqa_rows => self.config.rqa_slot_location(s.index()),
+            Some(_) => {
+                // AquaError::SlotOutOfRange: a corrupted forward pointer
+                // names a slot outside the quarantine area. Serve the
+                // identity mapping until the epoch audit repairs the entry.
+                self.stats.violations += 1;
+                identity(&self.config, &mut self.stats.violations)
+            }
+            None => identity(&self.config, &mut self.stats.violations),
         };
         let table_row = if dram_reads > 0 {
             // The in-DRAM FPT line actually read; it may itself have been
             // quarantined, in which case the pinned entry redirects it.
             let addr = self.config.fpt_table_row_of(row);
-            let gid = self
-                .config
-                .geometry
-                .flatten(addr)
-                .expect("table rows lie within geometry");
-            let (tslot, _, _) = self.backend.lookup_slot(gid);
-            Some(match tslot {
-                Some(s) => self.config.rqa_slot_location(s.index()),
-                None => addr,
-            })
+            match self.config.geometry.flatten(addr) {
+                Ok(gid) => {
+                    let (tslot, _, _) = self.backend.lookup_slot(gid);
+                    Some(match tslot {
+                        Some(s) if s.index() < self.config.rqa_rows => {
+                            self.config.rqa_slot_location(s.index())
+                        }
+                        _ => addr,
+                    })
+                }
+                Err(_) => {
+                    self.stats.violations += 1;
+                    None
+                }
+            }
         } else {
             None
         };
@@ -482,6 +815,14 @@ impl Mitigation for AquaEngine {
         }
         self.stats.mitigations += 1;
         self.counters.mitigations.inc();
+        if self.degraded.contains(&phys.bank.index()) {
+            // Fallback protection for a bank whose tables went
+            // unrecoverable: refresh the blast-radius neighbours instead of
+            // migrating (weaker against Half-Double, but data-safe).
+            let rows = self.victim_rows(phys);
+            self.victim_refreshes += rows.len() as u64;
+            return vec![MitigationAction::RefreshRows(rows)];
+        }
         let mut actions = Vec::new();
         if let Some(slot) = self.config.rqa_slot_of(phys) {
             // A quarantined row is hot at its RQA location: move it within
@@ -495,17 +836,23 @@ impl Mitigation for AquaEngine {
             // Normal row (or a table-storing row): quarantine it. The row id
             // is its physical location, which equals its OS-visible id here
             // because non-quarantined rows are identity-mapped.
-            let row = self
-                .config
-                .geometry
-                .flatten(phys)
-                .expect("physical address within geometry");
-            self.quarantine(row, None, now, &mut actions);
+            match self.config.geometry.flatten(phys) {
+                Ok(row) => self.quarantine(row, None, now, &mut actions),
+                Err(_) => {
+                    // Not a real row (only reachable through injected
+                    // corruption); nothing to quarantine.
+                    self.stats.violations += 1;
+                }
+            }
         }
         actions
     }
 
     fn end_epoch(&mut self) {
+        if self.faults_active {
+            self.audit_tables();
+            self.health.degraded_epochs += self.degraded.len() as u64;
+        }
         self.tracker.end_epoch();
         self.rqa.advance_epoch();
         if let Backend::Mapped(m) = &self.backend {
@@ -525,6 +872,8 @@ impl Mitigation for AquaEngine {
             background_drains: telemetry.counter("aqua.background_drains"),
             mitigations: telemetry.counter("aqua.mitigations"),
             fpt_cache_misses: telemetry.counter("aqua.fpt_cache_misses"),
+            faults_injected: telemetry.counter("aqua.faults_injected"),
+            faults_recovered: telemetry.counter("aqua.faults_recovered"),
         };
         self.telemetry = telemetry;
     }
@@ -556,9 +905,71 @@ impl Mitigation for AquaEngine {
         MitigationStats {
             row_migrations: self.stats.row_migrations(),
             mitigations_triggered: self.stats.mitigations,
-            victim_refreshes: 0,
+            victim_refreshes: self.victim_refreshes,
             throttled: 0,
             violations: self.stats.violations,
+        }
+    }
+
+    fn inject_fault(&mut self, fault: &FaultKind, _now: Time) -> InjectOutcome {
+        let outcome = match *fault {
+            FaultKind::FptFlip { entropy } => self.fault_fpt_flip(entropy),
+            FaultKind::RptFlip { entropy } => self.fault_rpt_flip(entropy),
+            FaultKind::RptDrop { entropy } => self.fault_rpt_drop(entropy),
+            FaultKind::FilterFalseClear { entropy } => self.fault_filter_clear(entropy),
+            FaultKind::CachePoison { entropy } => self.fault_cache_poison(entropy),
+            FaultKind::TrackerReset => {
+                if self.tracker.inject_reset() {
+                    InjectOutcome::Applied
+                } else {
+                    InjectOutcome::Unsupported
+                }
+            }
+            FaultKind::TrackerSaturate => {
+                if self.tracker.inject_saturate() {
+                    InjectOutcome::Applied
+                } else {
+                    InjectOutcome::Unsupported
+                }
+            }
+            FaultKind::MigrationInterrupt => {
+                self.pending_interrupt = true;
+                InjectOutcome::Applied
+            }
+            FaultKind::RqaWrapBurst { slots } => {
+                // Burn allocations: ages the circular allocator without
+                // moving data, so wrap pressure (and within-epoch reuse
+                // violations) rise while translation stays intact.
+                for _ in 0..slots {
+                    if self.rqa.allocate().reused_within_epoch {
+                        self.stats.violations += 1;
+                    }
+                }
+                InjectOutcome::Applied
+            }
+            // Command faults live in the simulator's notification path, not
+            // in the engine's tables.
+            FaultKind::DramCommandFault => InjectOutcome::Unsupported,
+        };
+        if !matches!(outcome, InjectOutcome::Unsupported) {
+            self.faults_active = true;
+            self.health.injected += 1;
+            self.counters.faults_injected.inc();
+        }
+        outcome
+    }
+
+    fn fault_health(&self) -> FaultHealth {
+        self.health
+    }
+
+    fn degraded_mode(&self) -> DegradedMode {
+        if self.degraded.is_empty() {
+            DegradedMode::Normal
+        } else {
+            DegradedMode::VictimRefresh {
+                banks: self.degraded.iter().copied().collect(),
+            }
         }
     }
 }
@@ -603,7 +1014,7 @@ mod tests {
         // Row now resolves to the quarantine region.
         let t = e.translate(row, Time::ZERO);
         assert!(e.config().rqa_region_contains(t.phys));
-        e.check_consistency();
+        e.check_consistency().unwrap();
     }
 
     #[test]
@@ -617,7 +1028,7 @@ mod tests {
         assert_ne!(first, second, "internal migration must change the slot");
         assert!(e.config().rqa_region_contains(second));
         assert_eq!(e.stats().internal_moves, 1);
-        e.check_consistency();
+        e.check_consistency().unwrap();
     }
 
     #[test]
@@ -637,7 +1048,7 @@ mod tests {
         // The evicted row is identity-mapped again.
         let t = e.translate(GlobalRowId::new(0), Time::ZERO);
         assert!(!e.config().rqa_region_contains(t.phys));
-        e.check_consistency();
+        e.check_consistency().unwrap();
     }
 
     #[test]
@@ -678,7 +1089,7 @@ mod tests {
         assert!(e.config().rqa_region_contains(t.phys));
         let b = e.lookup_breakdown().unwrap();
         assert!(b.total() > 0);
-        e.check_consistency();
+        e.check_consistency().unwrap();
     }
 
     #[test]
@@ -738,7 +1149,7 @@ mod tests {
                 e.config().rqa_region_contains(redirected) || e.config().is_table_row(redirected)
             );
         }
-        e.check_consistency();
+        e.check_consistency().unwrap();
     }
 
     #[test]
@@ -756,7 +1167,7 @@ mod tests {
         // Subsequent installs need no on-demand eviction.
         hammer(&mut e, GlobalRowId::new(200), 10);
         assert_eq!(e.stats().evictions, 0);
-        e.check_consistency();
+        e.check_consistency().unwrap();
     }
 
     #[test]
@@ -772,7 +1183,7 @@ mod tests {
         assert!(e.stats().installs >= 1);
         let t = e.translate(row, Time::ZERO);
         assert!(e.config().rqa_region_contains(t.phys));
-        e.check_consistency();
+        e.check_consistency().unwrap();
         // At paper scale, Hydra's SRAM footprint is far below MG's
         // (Table VII: ~30 KB vs ~396 KB).
         let paper = BaselineConfig::paper_table1();
@@ -793,6 +1204,193 @@ mod tests {
         assert_eq!(e.stats().installs, 0);
         hammer(&mut e, row, 1);
         assert_eq!(e.stats().installs, 1);
+    }
+
+    #[test]
+    fn fpt_flip_is_repaired_by_the_epoch_audit() {
+        let mut e = AquaEngine::new(small_config()).unwrap();
+        let row = GlobalRowId::new(5);
+        hammer(&mut e, row, 10);
+        let good = e.translate(row, Time::ZERO).phys;
+        let out = e.inject_fault(&FaultKind::FptFlip { entropy: 3 }, Time::ZERO);
+        assert_eq!(
+            out,
+            InjectOutcome::CorruptedTranslation {
+                rows: vec![row.index()]
+            }
+        );
+        assert!(e.check_consistency().is_err(), "corruption must be visible");
+        assert_ne!(e.translate(row, Time::ZERO).phys, good);
+        e.end_epoch();
+        e.check_consistency().unwrap();
+        assert_eq!(e.translate(row, Time::ZERO).phys, good);
+        let h = e.fault_health();
+        assert_eq!(h.injected, 1);
+        assert!(h.repairs >= 1);
+        assert_eq!(h.unrecoverable, 0);
+    }
+
+    #[test]
+    fn rpt_drop_is_restored_by_the_epoch_audit() {
+        let mut e = AquaEngine::new(small_config()).unwrap();
+        let row = GlobalRowId::new(5);
+        hammer(&mut e, row, 10);
+        let out = e.inject_fault(&FaultKind::RptDrop { entropy: 0 }, Time::ZERO);
+        assert!(matches!(out, InjectOutcome::CorruptedTranslation { .. }));
+        assert_eq!(e.quarantined_rows(), 0);
+        e.end_epoch();
+        e.check_consistency().unwrap();
+        assert_eq!(e.quarantined_rows(), 1, "audit must restore the RPT entry");
+        let phys = e.translate(row, Time::ZERO).phys;
+        assert!(e.config().rqa_region_contains(phys));
+    }
+
+    #[test]
+    fn out_of_geometry_rpt_flip_degrades_the_bank() {
+        let mut e = AquaEngine::new(small_config()).unwrap();
+        let row = GlobalRowId::new(5);
+        hammer(&mut e, row, 10);
+        let slot = match e.backend.peek(row) {
+            Some(s) => s,
+            None => panic!("row must be quarantined"),
+        };
+        // Force a back-pointer that is not a real row.
+        let total = e.config().geometry.total_rows();
+        e.rpt.set(
+            slot.index(),
+            RptEntry {
+                original: GlobalRowId::new(total + 7),
+                install_epoch: 0,
+            },
+        );
+        e.faults_active = true;
+        e.end_epoch();
+        e.check_consistency().unwrap();
+        let h = e.fault_health();
+        assert_eq!(h.unrecoverable, 1);
+        assert!(h.degraded_banks >= 1);
+        match e.degraded_mode() {
+            DegradedMode::VictimRefresh { banks } => assert!(!banks.is_empty()),
+            DegradedMode::Normal => panic!("bank must be degraded"),
+        }
+        // Mitigations on the degraded bank fall back to victim refresh.
+        let bank = e.degraded.iter().next().copied().unwrap();
+        let phys = RowAddr {
+            bank: BankId::new(bank),
+            row: 10,
+        };
+        let mut refreshed = false;
+        for _ in 0..10 {
+            for a in e.on_activation(phys, Time::ZERO) {
+                if matches!(a, MitigationAction::RefreshRows(_)) {
+                    refreshed = true;
+                }
+            }
+        }
+        assert!(refreshed, "degraded bank must use the refresh fallback");
+        assert!(e.mitigation_stats().victim_refreshes > 0);
+    }
+
+    #[test]
+    fn migration_interrupt_aborts_exactly_one_quarantine() {
+        let mut e = AquaEngine::new(small_config()).unwrap();
+        let out = e.inject_fault(&FaultKind::MigrationInterrupt, Time::ZERO);
+        assert_eq!(out, InjectOutcome::Applied);
+        let row = GlobalRowId::new(5);
+        hammer(&mut e, row, 10);
+        assert_eq!(e.stats().installs, 0, "interrupted migration must abort");
+        assert_eq!(e.fault_health().recovered, 1);
+        e.check_consistency().unwrap();
+        // The next threshold crossing quarantines normally.
+        hammer(&mut e, row, 10);
+        assert_eq!(e.stats().installs, 1);
+    }
+
+    #[test]
+    fn tracker_faults_apply_through_the_engine() {
+        let mut e = AquaEngine::new(small_config()).unwrap();
+        let row = GlobalRowId::new(5);
+        hammer(&mut e, row, 9);
+        assert_eq!(
+            e.inject_fault(&FaultKind::TrackerReset, Time::ZERO),
+            InjectOutcome::Applied
+        );
+        hammer(&mut e, row, 9);
+        assert_eq!(e.stats().installs, 0, "reset tracker must forget counts");
+        assert_eq!(
+            e.inject_fault(&FaultKind::TrackerSaturate, Time::ZERO),
+            InjectOutcome::Applied
+        );
+        hammer(&mut e, row, 1);
+        assert_eq!(e.stats().installs, 1, "saturated counter fires on touch");
+    }
+
+    #[test]
+    fn cache_poison_is_mapped_mode_only_and_audit_recovers() {
+        let mut e = AquaEngine::new(small_config()).unwrap();
+        assert_eq!(
+            e.inject_fault(&FaultKind::CachePoison { entropy: 1 }, Time::ZERO),
+            InjectOutcome::Unsupported
+        );
+        let mut c = small_config();
+        c.table_mode = TableMode::Mapped {
+            bloom_bits: 256,
+            cache_entries: 32,
+        };
+        let mut e = AquaEngine::new(c).unwrap();
+        let row = GlobalRowId::new(5);
+        hammer(&mut e, row, 10);
+        let good = e.translate(row, Time::ZERO).phys;
+        let out = e.inject_fault(&FaultKind::CachePoison { entropy: 1 }, Time::ZERO);
+        assert!(matches!(out, InjectOutcome::CorruptedTranslation { .. }));
+        assert_ne!(e.translate(row, Time::ZERO).phys, good);
+        e.end_epoch();
+        assert_eq!(e.translate(row, Time::ZERO).phys, good);
+    }
+
+    #[test]
+    fn filter_clear_makes_false_negatives_until_audit() {
+        let mut c = small_config();
+        c.table_mode = TableMode::Mapped {
+            bloom_bits: 256,
+            cache_entries: 32,
+        };
+        let mut e = AquaEngine::new(c).unwrap();
+        let row = GlobalRowId::new(5);
+        hammer(&mut e, row, 10);
+        let good = e.translate(row, Time::ZERO).phys;
+        // Scan from the row's own bit so the cleared bit is its group's.
+        let out = e.inject_fault(
+            &FaultKind::FilterFalseClear {
+                entropy: row.index() / 16,
+            },
+            Time::ZERO,
+        );
+        assert!(matches!(out, InjectOutcome::CorruptedTranslation { .. }));
+        assert_ne!(
+            e.translate(row, Time::ZERO).phys,
+            good,
+            "false negative must bypass the quarantine mapping"
+        );
+        e.end_epoch();
+        assert_eq!(e.translate(row, Time::ZERO).phys, good);
+        e.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn rqa_wrap_burst_raises_pressure_without_breaking_tables() {
+        let mut e = AquaEngine::new(small_config()).unwrap();
+        let row = GlobalRowId::new(5);
+        hammer(&mut e, row, 10);
+        let good = e.translate(row, Time::ZERO).phys;
+        let out = e.inject_fault(&FaultKind::RqaWrapBurst { slots: 20 }, Time::ZERO);
+        assert_eq!(out, InjectOutcome::Applied);
+        assert!(
+            e.stats().violations > 0,
+            "burst past 8 slots wraps in-epoch"
+        );
+        assert_eq!(e.translate(row, Time::ZERO).phys, good);
+        e.check_consistency().unwrap();
     }
 
     #[test]

@@ -21,6 +21,29 @@ pub enum AquaError {
     },
     /// A configuration parameter was invalid.
     InvalidConfig(&'static str),
+    /// A row id stored in a table fell outside the configured geometry
+    /// (corrupted table state, or a workload row id out of range).
+    RowOutOfGeometry {
+        /// Offending flat row id.
+        row: u64,
+        /// Total rows in the module.
+        rows: u64,
+    },
+    /// An RQA slot index fell outside the quarantine area (corrupted
+    /// forward pointer).
+    SlotOutOfRange {
+        /// Offending slot index.
+        slot: u64,
+        /// Configured RQA slots.
+        slots: u64,
+    },
+    /// The forward and reverse pointer tables disagree about a mapping.
+    TableInconsistency {
+        /// The row whose forward pointer is inconsistent.
+        row: u64,
+        /// The slot involved in the disagreement.
+        slot: u64,
+    },
 }
 
 impl fmt::Display for AquaError {
@@ -37,6 +60,15 @@ impl fmt::Display for AquaError {
                 write!(f, "forward-pointer table overflowed ({capacity} entries)")
             }
             AquaError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            AquaError::RowOutOfGeometry { row, rows } => {
+                write!(f, "row {row} outside the {rows}-row module geometry")
+            }
+            AquaError::SlotOutOfRange { slot, slots } => {
+                write!(f, "RQA slot {slot} out of range ({slots} slots)")
+            }
+            AquaError::TableInconsistency { row, slot } => {
+                write!(f, "FPT/RPT inconsistency for row {row} at slot {slot}")
+            }
         }
     }
 }
@@ -56,5 +88,11 @@ mod tests {
         assert!(e.to_string().contains("100"));
         assert!(AquaError::FptFull { capacity: 4 }.to_string().contains('4'));
         assert!(AquaError::InvalidConfig("x").to_string().contains('x'));
+        let e = AquaError::RowOutOfGeometry { row: 9, rows: 4 };
+        assert!(e.to_string().contains("row 9"));
+        let e = AquaError::SlotOutOfRange { slot: 7, slots: 2 };
+        assert!(e.to_string().contains("slot 7"));
+        let e = AquaError::TableInconsistency { row: 3, slot: 1 };
+        assert!(e.to_string().contains("row 3") && e.to_string().contains("slot 1"));
     }
 }

@@ -169,6 +169,15 @@ impl FptCache {
         }
     }
 
+    /// Drops every cached entry (audit rebuild after injected faults: any
+    /// entry may be poisoned, so the cache is flushed and refills on demand
+    /// from the in-DRAM FPT).
+    pub fn purge(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
     /// Updates the singleton bit on every cached entry of `group` (called
     /// when the group's valid-entry count changes between 1 and 2+).
     pub fn set_group_singleton(&mut self, group: u64, singleton: bool) {
@@ -266,6 +275,16 @@ mod tests {
         assert_eq!(c.lookup(101, 6), CacheLookup::Miss);
         c.set_group_singleton(6, true);
         assert_eq!(c.lookup(101, 6), CacheLookup::SingletonMiss);
+    }
+
+    #[test]
+    fn purge_empties_the_cache() {
+        let mut c = FptCache::new(64);
+        c.insert(100, 6, slot(9), true);
+        c.insert(200, 7, slot(1), true);
+        c.purge();
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(100, 6), CacheLookup::Miss);
     }
 
     #[test]

@@ -65,6 +65,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Robustness: library code must degrade gracefully, never abort. Tests keep
+// their unwraps (a failed unwrap there IS the test failing).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod bloom;
 mod cat;

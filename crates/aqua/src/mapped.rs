@@ -249,15 +249,19 @@ impl MappedTables {
         let slot = self.fpt.remove(&row.index());
         if slot.is_some() {
             self.cache.invalidate(row.index(), group);
-            let count = self
-                .group_valid
-                .get_mut(&group)
-                .expect("mapped row must have a group count");
-            *count -= 1;
-            if *count == 0 {
-                self.group_valid.remove(&group);
-            } else if *count == 1 {
-                self.cache.set_group_singleton(group, true);
+            // A missing or zero group count means the count bookkeeping was
+            // corrupted (only possible under injected faults); saturate
+            // instead of panicking and let the epoch audit rebuild it.
+            match self.group_valid.get_mut(&group) {
+                Some(count) if *count > 1 => {
+                    *count -= 1;
+                    if *count == 1 {
+                        self.cache.set_group_singleton(group, true);
+                    }
+                }
+                Some(_) | None => {
+                    self.group_valid.remove(&group);
+                }
             }
             self.bloom.remove(group);
             self.dram_writes += 2;
@@ -265,6 +269,90 @@ impl MappedTables {
         } else {
             (None, 0)
         }
+    }
+
+    /// Non-mutating translation check: the slot `row` maps to, bypassing the
+    /// filter and cache (the audit's ground-truth view of the in-DRAM FPT).
+    pub fn peek(&self, row: GlobalRowId) -> Option<RqaSlot> {
+        if let Some(p) = self.pinned.get(&row.index()) {
+            return *p;
+        }
+        self.fpt.get(&row.index()).copied()
+    }
+
+    /// Injected fault: rewrites the FPT entry for `row` (which must already
+    /// be mapped or pinned-mapped) to `slot`, and poisons any cached copy so
+    /// the corruption is visible on the fast path too. Returns whether an
+    /// entry was corrupted. Group counts are untouched — the entry stays
+    /// valid, it just points at the wrong slot.
+    pub fn fault_corrupt_fpt(&mut self, row: GlobalRowId, slot: RqaSlot) -> bool {
+        if let Some(p) = self.pinned.get_mut(&row.index()) {
+            if p.is_some() {
+                *p = Some(slot);
+                return true;
+            }
+            return false;
+        }
+        match self.fpt.get_mut(&row.index()) {
+            Some(entry) => {
+                *entry = slot;
+                let group = self.bloom.group_of(row.index());
+                let singleton = self.group_valid.get(&group).copied() == Some(1);
+                self.cache.insert(row.index(), group, slot, singleton);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Injected fault: inserts a wrong-slot entry for `row` into the
+    /// FPT-Cache only (the in-DRAM FPT stays correct). Returns `false` for
+    /// pinned rows, whose lookups never consult the cache.
+    pub fn fault_poison_cache(&mut self, row: GlobalRowId, slot: RqaSlot) -> bool {
+        if self.pinned.contains_key(&row.index()) {
+            return false;
+        }
+        let group = self.bloom.group_of(row.index());
+        let singleton = self.group_valid.get(&group).copied() == Some(1);
+        self.cache.insert(row.index(), group, slot, singleton);
+        true
+    }
+
+    /// Injected fault: zeroes one bloom count (see
+    /// [`ResettableBloomFilter::fault_clear_bit`]). Returns the flat FPT rows
+    /// whose translations became false negatives, sorted ascending (pinned
+    /// rows bypass the filter and are unaffected).
+    pub fn fault_clear_filter(&mut self, entropy: u64) -> Vec<u64> {
+        let Some(bit) = self.bloom.fault_clear_bit(entropy) else {
+            return Vec::new();
+        };
+        let mut rows: Vec<u64> = self
+            .fpt
+            .keys()
+            .copied()
+            .filter(|&r| self.bloom.bit_of(self.bloom.group_of(r)) == bit)
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// End-of-epoch audit rebuild: recomputes the group-valid counts and
+    /// bloom counts from the in-DRAM FPT (the authoritative copy) and purges
+    /// the FPT-Cache, which may hold poisoned entries. Returns whether any
+    /// SRAM state actually changed.
+    pub fn fault_audit_rebuild(&mut self) -> bool {
+        let mut groups: HashMap<u64, u32> = HashMap::new();
+        for &row in self.fpt.keys() {
+            *groups.entry(self.bloom.group_of(row)).or_insert(0) += 1;
+        }
+        let groups_changed = groups != self.group_valid;
+        self.group_valid = groups;
+        let bloom_changed = self
+            .bloom
+            .rebuild(self.group_valid.iter().map(|(&g, &c)| (g, c)));
+        let cache_dirty = !self.cache.is_empty();
+        self.cache.purge();
+        groups_changed || bloom_changed || cache_dirty
     }
 
     /// All current `(row, slot)` quarantine mappings (flat FPT plus pinned).
@@ -404,6 +492,56 @@ mod tests {
         assert_eq!(b.total(), 4);
         let f = b.fractions();
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peek_bypasses_filter_and_cache() {
+        let mut t = tables();
+        t.map(row(5), RqaSlot::new(3));
+        t.cache.invalidate(5, 0);
+        assert_eq!(t.peek(row(5)), Some(RqaSlot::new(3)));
+        assert_eq!(t.peek(row(6)), None);
+        assert_eq!(t.breakdown().total(), 0, "peek must not record lookups");
+    }
+
+    #[test]
+    fn corrupted_fpt_entry_is_visible_and_audit_repairable() {
+        let mut t = tables();
+        t.map(row(5), RqaSlot::new(3));
+        assert!(t.fault_corrupt_fpt(row(5), RqaSlot::new(7)));
+        assert_eq!(t.lookup(row(5)).slot, Some(RqaSlot::new(7)));
+        assert_eq!(t.peek(row(5)), Some(RqaSlot::new(7)));
+        // Unmapped rows have no entry to corrupt.
+        assert!(!t.fault_corrupt_fpt(row(6), RqaSlot::new(1)));
+        // The engine's audit repairs via map(); the tables converge again.
+        t.map(row(5), RqaSlot::new(3));
+        assert_eq!(t.lookup(row(5)).slot, Some(RqaSlot::new(3)));
+    }
+
+    #[test]
+    fn poisoned_cache_is_cured_by_audit_rebuild() {
+        let mut t = tables();
+        t.map(row(5), RqaSlot::new(3));
+        assert!(t.fault_poison_cache(row(5), RqaSlot::new(9)));
+        assert_eq!(t.lookup(row(5)).slot, Some(RqaSlot::new(9)));
+        assert!(t.fault_audit_rebuild());
+        // A second audit straight after finds nothing left to fix.
+        assert!(!t.fault_audit_rebuild());
+        // DRAM FPT was never wrong; after the purge the lookup refetches it.
+        assert_eq!(t.lookup(row(5)).slot, Some(RqaSlot::new(3)));
+    }
+
+    #[test]
+    fn cleared_filter_bit_reports_affected_rows() {
+        let mut t = tables();
+        t.map(row(16), RqaSlot::new(0));
+        t.map(row(17), RqaSlot::new(1));
+        let rows = t.fault_clear_filter(t.bloom().bit_of(1) as u64);
+        assert_eq!(rows, vec![16, 17]);
+        // False negative: the filter now denies the quarantine.
+        assert_eq!(t.lookup(row(16)).outcome, LookupOutcome::BloomClear);
+        assert!(t.fault_audit_rebuild());
+        assert_eq!(t.lookup(row(16)).slot, Some(RqaSlot::new(0)));
     }
 
     #[test]

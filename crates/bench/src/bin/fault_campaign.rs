@@ -1,0 +1,173 @@
+//! Seeded fault-injection campaign: fault-rate × scheme sweep.
+//!
+//! ```text
+//! fault_campaign [--seed N] [--trh N] [--epochs N] [--rates A,B,C]
+//!                [--watchdog-secs N] [--out NAME]
+//! ```
+//!
+//! - `--seed`: campaign base seed (default 42). Every `(scheme, workload)`
+//!   cell derives its own plan seed from it, so two runs with the same seed
+//!   produce byte-identical CSVs — `ci.sh` diffs exactly that.
+//! - `--trh`: Rowhammer threshold (default 1000)
+//! - `--epochs`: 64 ms epochs per cell (default 2, or `AQUA_BENCH_EPOCHS`)
+//! - `--rates`: comma-separated fault events per epoch (default `0,2,8,32`)
+//! - `--watchdog-secs`: per-cell wall-clock budget; a cell that exceeds it
+//!   becomes a failed cell instead of hanging the sweep (default 120)
+//! - `--out`: CSV basename under `target/experiments/` (default
+//!   `fault_campaign`)
+//!
+//! Workloads default to a small representative trio (`mcf`, `lbm`, `mix00`);
+//! set `AQUA_BENCH_WORKLOADS` to sweep others. Schemes are the ones with
+//! fault-injectable state: aqua-sram, aqua-mapped, rrs, plus victim-refresh
+//! as the no-translation-state control.
+//!
+//! Exits non-zero if any run reports `unaccounted > 0` (a corruption whose
+//! wrong access escaped the shadow memory uncounted) or any cell failed.
+
+use aqua_bench::output::{print_table, write_csv};
+use aqua_bench::{Harness, Scheme};
+use aqua_faults::FaultSpec;
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme::AquaSram,
+    Scheme::AquaMapped,
+    Scheme::Rrs,
+    Scheme::VictimRefresh,
+];
+
+const HEADER: [&str; 15] = [
+    "rate",
+    "scheme",
+    "workload",
+    "status",
+    "injected",
+    "unsupported",
+    "applied",
+    "corruptions",
+    "recovered",
+    "escaped_counted",
+    "dormant",
+    "unaccounted",
+    "engine_recovered",
+    "degraded_epochs",
+    "integrity_violations",
+];
+
+fn main() {
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let t_rh: u64 = arg("--trh").and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let rates: Vec<u32> = match arg("--rates") {
+        Some(raw) => raw
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(|s| match s.parse() {
+                Ok(r) => r,
+                Err(_) => {
+                    eprintln!("unparsable fault rate {s:?} in --rates");
+                    std::process::exit(2);
+                }
+            })
+            .collect(),
+        None => vec![0, 2, 8, 32],
+    };
+    let watchdog_secs: u64 = arg("--watchdog-secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(120);
+    let out = arg("--out").unwrap_or_else(|| "fault_campaign".into());
+
+    let mut harness = Harness::new(t_rh);
+    if let Some(e) = arg("--epochs").and_then(|v| v.parse().ok()) {
+        harness.epochs = e;
+    }
+    harness.watchdog = Some(std::time::Duration::from_secs(watchdog_secs));
+    // Default to a small representative workload trio; AQUA_BENCH_WORKLOADS
+    // (already validated by workloads()) overrides it.
+    let workloads = if std::env::var("AQUA_BENCH_WORKLOADS").is_ok() {
+        harness.workloads()
+    } else {
+        vec!["mcf".to_string(), "lbm".to_string(), "mix00".to_string()]
+    };
+
+    println!(
+        "fault campaign: seed={seed} T_RH={t_rh} epochs={} rates={rates:?} \
+         schemes={:?} workloads={workloads:?} watchdog={watchdog_secs}s",
+        harness.epochs,
+        SCHEMES.map(Scheme::name),
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut unaccounted_total: u64 = 0;
+    let mut failed_cells: u64 = 0;
+    for &rate in &rates {
+        harness.faults = Some(FaultSpec {
+            seed,
+            events_per_epoch: rate,
+        });
+        let results = harness.run_matrix(&SCHEMES, &workloads);
+        for cell in results.cells() {
+            let mut row = vec![
+                rate.to_string(),
+                cell.scheme.name().to_string(),
+                cell.workload.clone(),
+            ];
+            match &cell.outcome {
+                Ok(report) => {
+                    let f = report.faults;
+                    unaccounted_total += f.unaccounted;
+                    row.push("ok".into());
+                    row.extend(
+                        [
+                            f.injected,
+                            f.unsupported,
+                            f.applied,
+                            f.corruptions,
+                            f.recovered_rows,
+                            f.escaped_counted,
+                            f.dormant,
+                            f.unaccounted,
+                            f.engine_recovered,
+                            f.degraded_epochs,
+                            report.integrity_violations,
+                        ]
+                        .map(|v| v.to_string()),
+                    );
+                }
+                Err(msg) => {
+                    failed_cells += 1;
+                    // Watchdog and panic messages become a deterministic
+                    // status marker so seeded reruns still diff clean.
+                    let status = if msg.contains("watchdog") {
+                        "failed:watchdog"
+                    } else {
+                        "failed:panic"
+                    };
+                    row.push(status.into());
+                    row.extend((0..11).map(|_| "-".to_string()));
+                }
+            }
+            rows.push(row);
+        }
+    }
+
+    print_table(&format!("Fault campaign (seed {seed})"), &HEADER, &rows);
+    write_csv(&out, &HEADER, &rows);
+
+    if failed_cells > 0 {
+        eprintln!("FAIL: {failed_cells} campaign cell(s) failed");
+    }
+    if unaccounted_total > 0 {
+        eprintln!("FAIL: {unaccounted_total} corruption(s) escaped accounting (unaccounted > 0)");
+    }
+    if failed_cells > 0 || unaccounted_total > 0 {
+        std::process::exit(1);
+    }
+    println!("every injected corruption accounted for: recovered, counted, or dormant");
+}

@@ -37,6 +37,7 @@ use aqua::{AquaConfig, AquaEngine};
 use aqua_baselines::{Blockhammer, BlockhammerConfig, VictimRefresh, VictimRefreshConfig};
 use aqua_dram::mitigation::{Mitigation, NoMitigation};
 use aqua_dram::BaselineConfig;
+use aqua_faults::{derive_cell_seed, FaultSpec};
 use aqua_rrs::{RrsConfig, RrsEngine};
 use aqua_sim::{RunReport, SimConfig, Simulation};
 use aqua_telemetry::Telemetry;
@@ -86,6 +87,15 @@ pub struct Harness {
     pub seed: u64,
     /// Worker threads for [`Harness::run_matrix`] (1 = strictly serial).
     pub jobs: usize,
+    /// Optional fault campaign. The spec's `seed` is the campaign base
+    /// seed; every `(scheme, workload)` cell derives its own plan seed via
+    /// [`derive_cell_seed`], so cells stay independent of matrix shape and
+    /// scheduling while the whole campaign replays from one number.
+    pub faults: Option<FaultSpec>,
+    /// Optional per-cell wall-clock budget. A cell that exceeds it panics
+    /// inside its pool job (`DramError::WatchdogExpired`) and surfaces as a
+    /// failed matrix cell instead of hanging the campaign.
+    pub watchdog: Option<std::time::Duration>,
 }
 
 /// Parses an integer environment value, warning — instead of silently
@@ -132,6 +142,8 @@ impl Harness {
             epochs,
             seed: 42,
             jobs,
+            faults: None,
+            watchdog: None,
         }
     }
 
@@ -222,10 +234,23 @@ impl Harness {
         );
     }
 
-    fn sim_config(&self) -> SimConfig {
-        SimConfig::new(self.base)
+    /// Simulator configuration for one `(scheme, workload)` cell: the shared
+    /// base plus, when a fault campaign is active, that cell's derived fault
+    /// plan seed and the optional wall-clock watchdog.
+    fn sim_config(&self, scheme_name: &str, workload: &str) -> SimConfig {
+        let mut cfg = SimConfig::new(self.base)
             .epochs(self.epochs)
-            .t_rh(self.t_rh)
+            .t_rh(self.t_rh);
+        if let Some(spec) = self.faults {
+            cfg = cfg.faults(FaultSpec {
+                seed: derive_cell_seed(spec.seed, scheme_name, workload),
+                ..spec
+            });
+        }
+        if let Some(budget) = self.watchdog {
+            cfg = cfg.watchdog(budget);
+        }
+        cfg
     }
 
     /// AQUA configuration at this harness's threshold.
@@ -245,7 +270,12 @@ impl Harness {
         workload: &str,
         telemetry: Option<&Telemetry>,
     ) -> (RunReport, M) {
-        let mut sim = Simulation::new(self.sim_config(), mitigation, self.generators(workload));
+        let scheme_name = mitigation.name();
+        let mut sim = Simulation::new(
+            self.sim_config(scheme_name, workload),
+            mitigation,
+            self.generators(workload),
+        );
         if let Some(hub) = telemetry {
             sim.attach_telemetry(hub.clone());
         }
@@ -410,6 +440,8 @@ mod tests {
             epochs: 1,
             seed: 1,
             jobs: 1,
+            faults: None,
+            watchdog: None,
         }
     }
 
@@ -421,6 +453,8 @@ mod tests {
             epochs: 2,
             seed: 1,
             jobs,
+            faults: None,
+            watchdog: None,
         }
     }
 
@@ -545,6 +579,41 @@ mod tests {
             assert_eq!(hub_serial.epochs(), hub_parallel.epochs());
             assert!(hub_serial.summary().unwrap().counter("sim.activations") > Some(0));
         }
+    }
+
+    #[test]
+    fn faulted_matrix_replays_deterministically() {
+        let mut h = sim_harness(2);
+        h.faults = Some(FaultSpec {
+            seed: 5,
+            events_per_epoch: 8,
+        });
+        h.watchdog = Some(std::time::Duration::from_secs(600));
+        let schemes = [Scheme::Baseline, Scheme::VictimRefresh, Scheme::Blockhammer];
+        let workloads = vec!["povray".to_string()];
+        let first = h.run_matrix(&schemes, &workloads);
+        let replay = h.run_matrix(&schemes, &workloads);
+        assert_eq!(first.failures().count(), 0);
+        assert_eq!(first, replay);
+        for report in first.reports() {
+            // 2 epochs x 8 events, fully dispatched and fully accounted.
+            assert_eq!(report.faults.injected, 16);
+            assert_eq!(report.faults.unaccounted, 0);
+        }
+    }
+
+    #[test]
+    fn zero_rate_faults_leave_the_matrix_unchanged() {
+        let mut faulted = sim_harness(1);
+        faulted.faults = Some(FaultSpec {
+            seed: 9,
+            events_per_epoch: 0,
+        });
+        let schemes = [Scheme::Baseline, Scheme::VictimRefresh];
+        let workloads = vec!["namd".to_string()];
+        let with_plumbing = faulted.run_matrix(&schemes, &workloads);
+        let plain = sim_harness(1).run_matrix(&schemes, &workloads);
+        assert_eq!(with_plumbing, plain);
     }
 
     #[test]

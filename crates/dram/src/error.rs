@@ -58,12 +58,38 @@ impl Error for AddressError {}
 pub enum DramError {
     /// An address was invalid for the configured geometry.
     Address(AddressError),
+    /// A simulation exceeded its per-job wall-clock budget. The bench
+    /// harness converts this into a failed matrix cell whose reason names
+    /// the budget, instead of letting a hung cell stall the whole matrix.
+    WatchdogExpired {
+        /// Wall-clock budget the run was given, in milliseconds.
+        budget_ms: u64,
+    },
+    /// A DRAM command was issued to the array but its side-channel
+    /// notification was lost (one-shot command fault): the mitigation never
+    /// observed the activation.
+    CommandFault {
+        /// Simulation time of the dropped notification, picoseconds.
+        at_ps: u64,
+    },
 }
 
 impl fmt::Display for DramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DramError::Address(e) => write!(f, "invalid address: {e}"),
+            DramError::WatchdogExpired { budget_ms } => {
+                write!(
+                    f,
+                    "watchdog: simulation exceeded its {budget_ms} ms wall-clock budget"
+                )
+            }
+            DramError::CommandFault { at_ps } => {
+                write!(
+                    f,
+                    "command fault: activation notification lost at {at_ps} ps"
+                )
+            }
         }
     }
 }
@@ -72,6 +98,7 @@ impl Error for DramError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             DramError::Address(e) => Some(e),
+            DramError::WatchdogExpired { .. } | DramError::CommandFault { .. } => None,
         }
     }
 }

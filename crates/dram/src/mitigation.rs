@@ -21,7 +21,28 @@
 //! 4. At each 64 ms boundary the simulator calls [`Mitigation::end_epoch`].
 
 use crate::{Duration, GlobalRowId, RowAddr, Time};
+use aqua_faults::{FaultHealth, FaultKind, InjectOutcome};
 use serde::{Deserialize, Serialize};
+
+/// How degraded a scheme currently is, as a structured outcome the simulator
+/// can report instead of aborting the run.
+///
+/// When a fault leaves a mitigation's tables unrecoverably inconsistent for
+/// some bank, the engine stops relying on indirection there and falls back to
+/// victim-refresh-style protection — weaker against Half-Double-class
+/// attacks, but it preserves data integrity and keeps the run alive.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum DegradedMode {
+    /// All tables consistent; the scheme operates as designed.
+    #[default]
+    Normal,
+    /// The listed banks (sorted global bank indices) run under the
+    /// victim-refresh fallback instead of row migration.
+    VictimRefresh {
+        /// Degraded bank indices, ascending.
+        banks: Vec<u32>,
+    },
+}
 
 /// Why a channel-blocking row transfer happened (for per-kind accounting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -192,6 +213,27 @@ pub trait Mitigation: Send {
 
     /// Cumulative mitigation statistics.
     fn mitigation_stats(&self) -> MitigationStats;
+
+    /// Applies one injected fault to the scheme's internal state and reports
+    /// what happened. Schemes without state of the given kind return
+    /// [`InjectOutcome::Unsupported`]; schemes that accept the fault must
+    /// keep simulating afterwards — a fault may degrade protection, but it
+    /// must never panic the process.
+    fn inject_fault(&mut self, fault: &FaultKind, now: Time) -> InjectOutcome {
+        let _ = (fault, now);
+        InjectOutcome::Unsupported
+    }
+
+    /// Cumulative fault-handling counters (injections accepted, recoveries,
+    /// audit repairs, degraded bank-epochs).
+    fn fault_health(&self) -> FaultHealth {
+        FaultHealth::default()
+    }
+
+    /// The scheme's current degradation state.
+    fn degraded_mode(&self) -> DegradedMode {
+        DegradedMode::Normal
+    }
 }
 
 /// The no-mitigation baseline: identity translation, no actions.

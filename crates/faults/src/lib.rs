@@ -1,0 +1,143 @@
+//! Deterministic fault injection for the AQUA simulator.
+//!
+//! AQUA's security argument (paper §IV-D, §VI) rests on the quarantine
+//! pipeline never *silently* losing a mapping: a flipped FPT/RPT entry, a
+//! cleared filter bit, or an interrupted migration turns a performance
+//! mechanism into a data-integrity hazard. This crate provides the pieces
+//! needed to probe that argument at runtime:
+//!
+//! * a fault taxonomy ([`FaultKind`]) covering table bit-flips, stale-slot
+//!   corruption, filter/cache false state, tracker resets and saturation,
+//!   interrupted migrations, quarantine-area wrap pressure, and one-shot
+//!   DRAM command faults;
+//! * seeded, byte-identically replayable schedules ([`FaultPlan`], driven by
+//!   a [`SplitMix64`] PRNG) and the replay cursor ([`FaultInjector`]);
+//! * the structured outcome types mitigation engines report back through
+//!   the `Mitigation` trait: [`InjectOutcome`] per event, [`FaultHealth`]
+//!   cumulative counters, and the end-of-run [`FaultReport`] in which every
+//!   injected translation corruption must be accounted for — recovered,
+//!   counted as an integrity escape by the shadow memory, or dormant
+//!   (never referenced again). `unaccounted` must always be zero.
+//!
+//! The crate is a leaf: it knows nothing about DRAM geometry or engines, so
+//! any layer (dram, tracker, aqua, rrs, sim, bench) can depend on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plan;
+mod splitmix;
+
+pub use plan::{derive_cell_seed, FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultSpec};
+pub use splitmix::{mix, SplitMix64};
+
+use serde::{Deserialize, Serialize};
+
+/// What a mitigation engine did with one injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InjectOutcome {
+    /// The engine has no state of this kind (e.g. a filter fault against
+    /// the SRAM backend, or any table fault against the no-op baseline).
+    Unsupported,
+    /// The fault was applied and is self-contained: it may degrade security
+    /// or performance, but no address translation became incorrect.
+    Applied,
+    /// The fault corrupted address translation for the listed global row
+    /// ids. The driver must watch these rows until each is recovered,
+    /// counted as an integrity violation, or proven dormant.
+    CorruptedTranslation {
+        /// Global row ids whose translation is now wrong.
+        rows: Vec<u64>,
+    },
+}
+
+aqua_telemetry::stat_struct! {
+    /// Cumulative fault-handling counters a mitigation engine reports via
+    /// `Mitigation::fault_health`.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct FaultHealth {
+        /// Faults the engine accepted (applied to its state).
+        pub injected: u64,
+        /// Faults the engine neutralised or repaired (aborted migrations,
+        /// audit-repaired table entries, rebuilt filters).
+        pub recovered: u64,
+        /// Individual table entries repaired by the end-of-epoch audit.
+        pub repairs: u64,
+        /// Banks currently running in degraded (victim-refresh) mode.
+        pub degraded_banks: u64,
+        /// Bank-epochs spent in degraded mode so far.
+        pub degraded_epochs: u64,
+        /// Inconsistencies the engine could not repair (the affected bank
+        /// was degraded instead).
+        pub unrecoverable: u64,
+    }
+}
+
+aqua_telemetry::stat_struct! {
+    /// End-of-run fault accounting, embedded in the simulator's `RunReport`.
+    ///
+    /// Invariant checked by the proptests and the `fault_campaign` binary:
+    /// `unaccounted == 0` — every corrupted row is recovered, counted, or
+    /// dormant; nothing escapes silently.
+    #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+    pub struct FaultReport {
+        /// Events dispatched from the plan.
+        pub injected: u64,
+        /// Events the target scheme had no state for.
+        pub unsupported: u64,
+        /// Events applied without corrupting any translation.
+        pub applied: u64,
+        /// Distinct rows whose translation was corrupted (watch-list
+        /// admissions), partitioned exactly into the four fates below.
+        pub corruptions: u64,
+        /// Watched rows whose translation resolved correctly again by the
+        /// end of the run (engine audit repaired them).
+        pub recovered_rows: u64,
+        /// Watched rows whose corruption surfaced as a counted
+        /// shadow-memory integrity violation on access.
+        pub escaped_counted: u64,
+        /// Watched rows still mistranslated at the end of the run that no
+        /// access ever observed wrong — the shadow verifies every access,
+        /// so their first wrong touch is guaranteed to be counted.
+        pub dormant: u64,
+        /// Watched rows observed wrong on access without the shadow
+        /// recording any violation — a wrong access that slipped through
+        /// verification uncounted, i.e. a silent escape. Must be zero.
+        pub unaccounted: u64,
+        /// Engine-level recoveries (from `FaultHealth::recovered`).
+        pub engine_recovered: u64,
+        /// Bank-epochs the engine spent in degraded victim-refresh mode.
+        pub degraded_epochs: u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_report_accumulates() {
+        let mut a = FaultReport {
+            injected: 2,
+            corruptions: 1,
+            ..FaultReport::default()
+        };
+        a += FaultReport {
+            injected: 3,
+            recovered_rows: 1,
+            ..FaultReport::default()
+        };
+        assert_eq!(a.injected, 5);
+        assert_eq!(a.recovered_rows, 1);
+        assert_eq!(FaultReport::FIELD_NAMES[0], "injected");
+    }
+
+    #[test]
+    fn outcome_equality() {
+        assert_eq!(
+            InjectOutcome::CorruptedTranslation { rows: vec![3, 4] },
+            InjectOutcome::CorruptedTranslation { rows: vec![3, 4] }
+        );
+        assert_ne!(InjectOutcome::Applied, InjectOutcome::Unsupported);
+    }
+}

@@ -1,0 +1,345 @@
+//! Fault taxonomy, seeded fault plans, and the replay injector.
+
+use crate::splitmix::{mix, SplitMix64};
+
+/// One injectable fault. Variants carry pre-drawn `entropy` so the *effect*
+/// of a fault (which table entry, which wrong value) is fixed at plan time:
+/// two replays of the same plan corrupt exactly the same state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Flip a forward-pointer-table entry: one quarantined row's FPT slot
+    /// pointer is rewritten to a wrong slot.
+    FptFlip {
+        /// Selects the victim mapping and the wrong slot value.
+        entropy: u64,
+    },
+    /// Flip a reverse-pointer-table entry: one RQA slot's "original row"
+    /// back-pointer is rewritten (possibly to an out-of-geometry value,
+    /// modelling flips in the high pointer bits).
+    RptFlip {
+        /// Selects the victim slot and the wrong row value.
+        entropy: u64,
+    },
+    /// Drop a reverse-pointer-table entry (stale-slot corruption): the slot
+    /// looks vacant while the forward table still points at it.
+    RptDrop {
+        /// Selects the victim slot.
+        entropy: u64,
+    },
+    /// Clear a set bit of the quarantine presence filter (Bloom false
+    /// negative): rows hashing to that bit silently bypass their
+    /// quarantine translation.
+    FilterFalseClear {
+        /// Selects which set filter bit to clear.
+        entropy: u64,
+    },
+    /// Poison the FPT cache: one quarantined row's cached forward pointer
+    /// is replaced with a wrong slot while DRAM holds the correct entry.
+    CachePoison {
+        /// Selects the victim mapping and the wrong slot value.
+        entropy: u64,
+    },
+    /// Reset every aggressor-tracker counter mid-epoch (the tracker goes
+    /// blind until rows are re-observed).
+    TrackerReset,
+    /// Saturate the aggressor tracker: every tracked counter jumps to the
+    /// mitigation threshold, so the next touch of any tracked row fires a
+    /// spurious migration (migration-storm pressure).
+    TrackerSaturate,
+    /// Interrupt the next migration mid-swap: the engine must abort it
+    /// without committing partial table state.
+    MigrationInterrupt,
+    /// Burn quarantine-area allocations without installing rows, forcing
+    /// early wrap-around pressure on the circular allocator.
+    RqaWrapBurst {
+        /// Number of allocations to burn.
+        slots: u64,
+    },
+    /// One-shot DRAM command fault: a single activate command is issued to
+    /// the array but its notification never reaches the mitigation (tracker
+    /// blind spot for one access).
+    DramCommandFault,
+}
+
+impl FaultKind {
+    /// Short stable name, for telemetry labels and CSV columns.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::FptFlip { .. } => "fpt_flip",
+            FaultKind::RptFlip { .. } => "rpt_flip",
+            FaultKind::RptDrop { .. } => "rpt_drop",
+            FaultKind::FilterFalseClear { .. } => "filter_false_clear",
+            FaultKind::CachePoison { .. } => "cache_poison",
+            FaultKind::TrackerReset => "tracker_reset",
+            FaultKind::TrackerSaturate => "tracker_saturate",
+            FaultKind::MigrationInterrupt => "migration_interrupt",
+            FaultKind::RqaWrapBurst { .. } => "rqa_wrap_burst",
+            FaultKind::DramCommandFault => "dram_command_fault",
+        }
+    }
+
+    /// All fault family names, in plan-draw order.
+    pub const NAMES: &'static [&'static str] = &[
+        "fpt_flip",
+        "rpt_flip",
+        "rpt_drop",
+        "filter_false_clear",
+        "cache_poison",
+        "tracker_reset",
+        "tracker_saturate",
+        "migration_interrupt",
+        "rqa_wrap_burst",
+        "dram_command_fault",
+    ];
+
+    fn draw(rng: &mut SplitMix64) -> FaultKind {
+        match rng.next_below(10) {
+            0 => FaultKind::FptFlip {
+                entropy: rng.next_u64(),
+            },
+            1 => FaultKind::RptFlip {
+                entropy: rng.next_u64(),
+            },
+            2 => FaultKind::RptDrop {
+                entropy: rng.next_u64(),
+            },
+            3 => FaultKind::FilterFalseClear {
+                entropy: rng.next_u64(),
+            },
+            4 => FaultKind::CachePoison {
+                entropy: rng.next_u64(),
+            },
+            5 => FaultKind::TrackerReset,
+            6 => FaultKind::TrackerSaturate,
+            7 => FaultKind::MigrationInterrupt,
+            8 => FaultKind::RqaWrapBurst {
+                slots: 1 + rng.next_below(64),
+            },
+            _ => FaultKind::DramCommandFault,
+        }
+    }
+}
+
+/// A fault scheduled at an absolute simulation time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Injection time, picoseconds since simulation start.
+    pub at_ps: u64,
+    /// What to inject.
+    pub kind: FaultKind,
+}
+
+/// Campaign knob attached to a harness or simulation: how many faults to
+/// schedule per epoch, and the seed the plan is generated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed of the plan PRNG. Equal seeds replay byte-identical plans.
+    pub seed: u64,
+    /// Faults scheduled per 64 ms epoch (0 disables injection but still
+    /// exercises the fault plumbing).
+    pub events_per_epoch: u32,
+}
+
+/// A fully materialised, time-sorted schedule of fault events.
+///
+/// Generation is pure: `generate` called twice with the same arguments
+/// yields structurally identical plans (`PartialEq`), and the debug
+/// rendering — used by the determinism tests as a byte-level fingerprint —
+/// matches character for character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// Generates the plan for `epochs` epochs of `epoch_ps` picoseconds.
+    #[must_use]
+    pub fn generate(spec: FaultSpec, epochs: u64, epoch_ps: u64) -> FaultPlan {
+        let mut rng = SplitMix64::new(mix(spec.seed));
+        let mut events = Vec::with_capacity((epochs * u64::from(spec.events_per_epoch)) as usize);
+        if epoch_ps == 0 {
+            return FaultPlan { events };
+        }
+        for epoch in 0..epochs {
+            let base = epoch * epoch_ps;
+            let mut batch: Vec<FaultEvent> = (0..spec.events_per_epoch)
+                .map(|_| FaultEvent {
+                    at_ps: base + rng.next_below(epoch_ps),
+                    kind: FaultKind::draw(&mut rng),
+                })
+                .collect();
+            // Stable sort: simultaneous events keep their draw order.
+            batch.sort_by_key(|ev| ev.at_ps);
+            events.extend(batch);
+        }
+        FaultPlan { events }
+    }
+
+    /// An empty plan (no faults ever fire).
+    #[must_use]
+    pub fn empty() -> FaultPlan {
+        FaultPlan { events: Vec::new() }
+    }
+
+    /// The scheduled events, sorted by time.
+    #[must_use]
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Replays a [`FaultPlan`] against a running simulation: the driver polls
+/// [`FaultInjector::due`] with the current simulation time and applies every
+/// event that has come due, in schedule order.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    next: usize,
+}
+
+impl FaultInjector {
+    /// Wraps a plan for replay.
+    #[must_use]
+    pub fn new(plan: FaultPlan) -> FaultInjector {
+        FaultInjector { plan, next: 0 }
+    }
+
+    /// The next event at or before `now_ps`, if any. Call in a loop to
+    /// drain simultaneous events.
+    pub fn due(&mut self, now_ps: u64) -> Option<FaultEvent> {
+        let ev = *self.plan.events.get(self.next)?;
+        if ev.at_ps <= now_ps {
+            self.next += 1;
+            Some(ev)
+        } else {
+            None
+        }
+    }
+
+    /// Events already handed out.
+    #[must_use]
+    pub fn dispatched(&self) -> usize {
+        self.next
+    }
+
+    /// Events still pending.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.plan.events.len() - self.next
+    }
+}
+
+/// Derives the per-cell fault seed for a `(scheme, workload)` matrix cell
+/// from the campaign's base seed.
+///
+/// FNV-1a over `scheme NUL workload`, whitened through the SplitMix64
+/// finalizer, so neighbouring cells get unrelated fault streams while the
+/// whole campaign stays reproducible from one `--seed` value.
+#[must_use]
+pub fn derive_cell_seed(base: u64, scheme: &str, workload: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in scheme.bytes().chain([0u8]).chain(workload.bytes()) {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    mix(base ^ h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: FaultSpec = FaultSpec {
+        seed: 7,
+        events_per_epoch: 16,
+    };
+
+    #[test]
+    fn plans_replay_byte_identically() {
+        let a = FaultPlan::generate(SPEC, 4, 1_000_000);
+        let b = FaultPlan::generate(SPEC, 4, 1_000_000);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.len(), 64);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = FaultPlan::generate(SPEC, 2, 1_000_000);
+        let b = FaultPlan::generate(FaultSpec { seed: 8, ..SPEC }, 2, 1_000_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn events_are_time_sorted_within_horizon() {
+        let plan = FaultPlan::generate(SPEC, 3, 500_000);
+        let times: Vec<u64> = plan.events().iter().map(|e| e.at_ps).collect();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        assert_eq!(times, sorted);
+        assert!(times.iter().all(|&t| t < 3 * 500_000));
+    }
+
+    #[test]
+    fn injector_drains_in_order() {
+        let plan = FaultPlan::generate(SPEC, 2, 1_000_000);
+        let total = plan.len();
+        let mut inj = FaultInjector::new(plan.clone());
+        assert!(inj.due(0).is_none() || plan.events()[0].at_ps == 0);
+        let mut seen = 0;
+        while inj.due(u64::MAX).is_some() {
+            seen += 1;
+        }
+        assert_eq!(seen + inj.dispatched() - seen, total);
+        assert_eq!(inj.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_rate_yields_empty_plan() {
+        let plan = FaultPlan::generate(
+            FaultSpec {
+                seed: 1,
+                events_per_epoch: 0,
+            },
+            8,
+            1_000_000,
+        );
+        assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_and_distinct() {
+        let a = derive_cell_seed(42, "aqua-sram", "lbm");
+        assert_eq!(a, derive_cell_seed(42, "aqua-sram", "lbm"));
+        assert_ne!(a, derive_cell_seed(42, "aqua-sram", "mcf"));
+        assert_ne!(a, derive_cell_seed(42, "rrs", "lbm"));
+        assert_ne!(a, derive_cell_seed(43, "aqua-sram", "lbm"));
+        // The NUL separator keeps (scheme, workload) concatenation unambiguous.
+        assert_ne!(
+            derive_cell_seed(1, "ab", "c"),
+            derive_cell_seed(1, "a", "bc")
+        );
+    }
+
+    #[test]
+    fn kind_names_cover_every_variant() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..256 {
+            let kind = FaultKind::draw(&mut rng);
+            assert!(FaultKind::NAMES.contains(&kind.name()));
+        }
+    }
+}

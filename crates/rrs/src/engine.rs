@@ -4,7 +4,8 @@ use crate::{RowIndirectionTable, RrsConfig};
 use aqua_dram::mitigation::{
     DataMovement, MigrationKind, Mitigation, MitigationAction, MitigationStats, Translation,
 };
-use aqua_dram::{Duration, GlobalRowId, RowAddr, Time};
+use aqua_dram::{BankId, Duration, GlobalRowId, RowAddr, Time};
+use aqua_faults::{FaultHealth, FaultKind, InjectOutcome};
 use aqua_telemetry::{Counter, EventKind, Telemetry};
 use aqua_tracker::{AggressorTracker, MisraGriesTracker, TrackerConfig};
 use rand::rngs::StdRng;
@@ -60,6 +61,9 @@ pub struct RrsEngine {
     /// The pair most recently removed by capacity pressure (for the unswap
     /// data-movement record).
     last_unswapped: Option<(GlobalRowId, GlobalRowId)>,
+    /// An injected `MigrationInterrupt` waiting to abort the next swap.
+    pending_interrupt: bool,
+    health: FaultHealth,
     stats: RrsStats,
     telemetry: Telemetry,
     counters: RrsCounters,
@@ -77,6 +81,8 @@ impl RrsEngine {
             epoch: 0,
             migration_latency: config.timing.row_migration_latency(&config.geometry),
             last_unswapped: None,
+            pending_interrupt: false,
+            health: FaultHealth::default(),
             config,
             stats: RrsStats::default(),
             telemetry: Telemetry::disabled(),
@@ -166,22 +172,22 @@ impl RrsEngine {
         }
     }
 
-    /// Builds the data-exchange record for the pair `(a, b)`.
-    fn swap_movement(&self, pair: Option<(GlobalRowId, GlobalRowId)>) -> DataMovement {
-        match pair {
-            Some((a, b)) => DataMovement::Swap {
-                a: self
-                    .config
-                    .geometry
-                    .expand(a)
-                    .expect("swap members lie within geometry"),
-                b: self
-                    .config
-                    .geometry
-                    .expand(b)
-                    .expect("swap members lie within geometry"),
-            },
-            None => DataMovement::None,
+    /// Builds the data-exchange record for the pair `(a, b)`. A member
+    /// outside the geometry (only reachable under injected faults) yields no
+    /// movement and is counted as a violation rather than aborting the run.
+    fn swap_movement(&mut self, pair: Option<(GlobalRowId, GlobalRowId)>) -> DataMovement {
+        let Some((a, b)) = pair else {
+            return DataMovement::None;
+        };
+        match (
+            self.config.geometry.expand(a),
+            self.config.geometry.expand(b),
+        ) {
+            (Ok(a), Ok(b)) => DataMovement::Swap { a, b },
+            _ => {
+                self.stats.violations += 1;
+                DataMovement::None
+            }
         }
     }
 }
@@ -202,11 +208,19 @@ impl Mitigation for RrsEngine {
     }
 
     fn translate(&mut self, row: GlobalRowId, _now: Time) -> Translation {
-        let phys = self
-            .config
-            .geometry
-            .expand(self.rit.translate(row))
-            .expect("RIT destinations lie within geometry");
+        let dest = self.rit.translate(row);
+        let phys = match self.config.geometry.expand(dest) {
+            Ok(p) => p,
+            // A corrupt RIT destination (only reachable under injected
+            // faults) falls back to the identity mapping and is counted.
+            Err(_) => {
+                self.stats.violations += 1;
+                self.config.geometry.expand(row).unwrap_or(RowAddr {
+                    bank: BankId::new(0),
+                    row: 0,
+                })
+            }
+        };
         Translation {
             phys,
             lookup_latency: SRAM_LOOKUP,
@@ -222,20 +236,32 @@ impl Mitigation for RrsEngine {
         self.stats.mitigations += 1;
         self.counters.mitigations.inc();
         let mut actions = Vec::new();
-        let phys_id = self
-            .config
-            .geometry
-            .flatten(phys)
-            .expect("physical address within geometry");
+        if self.pending_interrupt {
+            // An injected interrupt aborts this migration before any table
+            // state is touched: the tables stay consistent and the row stays
+            // hot, so the next activation simply retries the swap.
+            self.pending_interrupt = false;
+            self.health.recovered += 1;
+            return actions;
+        }
+        let Ok(phys_id) = self.config.geometry.flatten(phys) else {
+            self.stats.violations += 1;
+            return actions;
+        };
         let logical = self.rit.translate(phys_id);
         if logical != phys_id {
             // Re-swap: the hot physical row hosts swapped data. Restore the
             // pair <X, Y> and form <X, A> and <Y, B> — four row migrations
             // through the copy-buffer (modelled as three logical exchanges;
             // the channel-blocking time is the paper's four transfers).
-            self.rit
-                .remove_pair(phys_id)
-                .expect("swapped row must have a pair");
+            if self.rit.remove_pair(phys_id).is_none() {
+                // The translation claimed "swapped" but no pair exists: RIT
+                // inconsistency (only reachable under injected faults).
+                // Count it and skip the re-swap rather than corrupting the
+                // table further.
+                self.stats.violations += 1;
+                return actions;
+            }
             self.make_room(now, &mut actions);
             let a = self.random_unswapped(&[logical, phys_id]);
             self.rit.insert_pair(logical, a, self.epoch);
@@ -336,6 +362,55 @@ impl Mitigation for RrsEngine {
             throttled: 0,
             violations: self.stats.violations,
         }
+    }
+
+    fn inject_fault(&mut self, fault: &FaultKind, _now: Time) -> InjectOutcome {
+        let outcome = match fault {
+            // RRS has one table: dropping a RIT pair is its stale-slot
+            // corruption. Both members now translate identity while their
+            // data stays exchanged — a permanent corruption (RRS has no
+            // redundant table to audit against), so both rows are reported
+            // for shadow-memory escape accounting.
+            FaultKind::RptDrop { entropy } => match self.rit.fault_drop_pair(*entropy) {
+                Some((a, b)) => {
+                    let mut rows = vec![a.index(), b.index()];
+                    rows.sort_unstable();
+                    InjectOutcome::CorruptedTranslation { rows }
+                }
+                // No live pair to corrupt: the fault lands on vacant state.
+                None => InjectOutcome::Applied,
+            },
+            FaultKind::TrackerReset => {
+                if self.tracker.inject_reset() {
+                    InjectOutcome::Applied
+                } else {
+                    InjectOutcome::Unsupported
+                }
+            }
+            FaultKind::TrackerSaturate => {
+                if self.tracker.inject_saturate() {
+                    InjectOutcome::Applied
+                } else {
+                    InjectOutcome::Unsupported
+                }
+            }
+            FaultKind::MigrationInterrupt => {
+                self.pending_interrupt = true;
+                InjectOutcome::Applied
+            }
+            // No FPT/RPT split, no presence filter, no FPT cache, no
+            // circular allocator: the remaining families have no RRS state
+            // to land on. DRAM command faults are simulator-level.
+            _ => InjectOutcome::Unsupported,
+        };
+        if !matches!(outcome, InjectOutcome::Unsupported) {
+            self.health.injected += 1;
+        }
+        outcome
+    }
+
+    fn fault_health(&self) -> FaultHealth {
+        self.health
     }
 }
 
@@ -445,6 +520,90 @@ mod tests {
         e.end_epoch();
         hammer(&mut e, GlobalRowId::new(3), 9);
         assert_eq!(e.stats().swaps, 0);
+    }
+
+    #[test]
+    fn dropped_pair_is_reported_as_corrupted() {
+        let mut e = RrsEngine::new(small_config());
+        let row = GlobalRowId::new(3);
+        hammer(&mut e, row, 10);
+        let swapped_phys = e.translate(row, Time::ZERO).phys;
+        let partner = e.config().geometry.flatten(swapped_phys).unwrap();
+        match e.inject_fault(&FaultKind::RptDrop { entropy: 5 }, Time::ZERO) {
+            InjectOutcome::CorruptedTranslation { rows } => {
+                assert!(rows.contains(&row.index()));
+                assert!(rows.contains(&partner.index()));
+            }
+            other => panic!("expected a corrupted translation, got {other:?}"),
+        }
+        // The row now translates identity while its data lives elsewhere —
+        // exactly what the shadow memory must catch as an escape.
+        let phys = e.translate(row, Time::ZERO).phys;
+        assert_eq!(e.config().geometry.flatten(phys).unwrap(), row);
+        assert_eq!(e.fault_health().injected, 1);
+        // The involution itself still holds (identity on both members).
+        e.check_consistency((0..64).map(GlobalRowId::new));
+        // Dropping with no live pairs lands on vacant state.
+        let mut fresh = RrsEngine::new(small_config());
+        assert!(matches!(
+            fresh.inject_fault(&FaultKind::RptDrop { entropy: 0 }, Time::ZERO),
+            InjectOutcome::Applied
+        ));
+    }
+
+    #[test]
+    fn migration_interrupt_aborts_exactly_one_swap() {
+        let mut e = RrsEngine::new(small_config());
+        assert!(matches!(
+            e.inject_fault(&FaultKind::MigrationInterrupt, Time::ZERO),
+            InjectOutcome::Applied
+        ));
+        let row = GlobalRowId::new(3);
+        hammer(&mut e, row, 10);
+        assert_eq!(e.stats().swaps, 0, "the interrupted swap never commits");
+        assert_eq!(e.stats().mitigations, 1);
+        assert_eq!(e.fault_health().recovered, 1);
+        hammer(&mut e, row, 10);
+        assert_eq!(e.stats().swaps, 1, "the next mitigation proceeds normally");
+        e.check_consistency((0..64).map(GlobalRowId::new));
+    }
+
+    #[test]
+    fn tracker_faults_apply_through_the_engine() {
+        let mut e = RrsEngine::new(small_config());
+        let row = GlobalRowId::new(3);
+        hammer(&mut e, row, 9); // one activation below the swap threshold
+        assert!(matches!(
+            e.inject_fault(&FaultKind::TrackerReset, Time::ZERO),
+            InjectOutcome::Applied
+        ));
+        hammer(&mut e, row, 9);
+        assert_eq!(e.stats().swaps, 0, "reset forgot the partial count");
+        assert!(matches!(
+            e.inject_fault(&FaultKind::TrackerSaturate, Time::ZERO),
+            InjectOutcome::Applied
+        ));
+        hammer(&mut e, row, 1);
+        assert_eq!(e.stats().swaps, 1, "saturated counter fires on next touch");
+    }
+
+    #[test]
+    fn aqua_specific_faults_are_unsupported() {
+        let mut e = RrsEngine::new(small_config());
+        for fault in [
+            FaultKind::FptFlip { entropy: 1 },
+            FaultKind::RptFlip { entropy: 1 },
+            FaultKind::FilterFalseClear { entropy: 1 },
+            FaultKind::CachePoison { entropy: 1 },
+            FaultKind::RqaWrapBurst { slots: 4 },
+            FaultKind::DramCommandFault,
+        ] {
+            assert!(matches!(
+                e.inject_fault(&fault, Time::ZERO),
+                InjectOutcome::Unsupported
+            ));
+        }
+        assert_eq!(e.fault_health().injected, 0);
     }
 
     #[test]

@@ -85,6 +85,22 @@ impl RowIndirectionTable {
         Some((row, dest))
     }
 
+    /// Injected fault: silently forgets the `entropy % pairs`-th swap pair
+    /// (deterministic — indexed into the creation-order queue, never a hash
+    /// map). The mapping disappears while the rows' data stays exchanged,
+    /// so both rows now translate to the wrong physical location. Returns
+    /// the dropped pair, or `None` if the table is empty.
+    pub fn fault_drop_pair(&mut self, entropy: u64) -> Option<(GlobalRowId, GlobalRowId)> {
+        if self.order.is_empty() {
+            return None;
+        }
+        let idx = (entropy % self.order.len() as u64) as usize;
+        let (a, b, _) = self.order.remove(idx)?;
+        self.map.remove(a.index());
+        self.map.remove(b.index());
+        Some((a, b))
+    }
+
     /// Removes and returns the oldest pair created strictly before `epoch`,
     /// if the table is over its capacity watermark.
     pub fn evict_stale_pair(&mut self, epoch: u64) -> Option<(GlobalRowId, GlobalRowId)> {
@@ -139,6 +155,20 @@ mod tests {
     fn self_swap_is_rejected() {
         let mut rit = RowIndirectionTable::new(16);
         rit.insert_pair(row(1), row(1), 0);
+    }
+
+    #[test]
+    fn fault_drop_breaks_the_involution_silently() {
+        let mut rit = RowIndirectionTable::new(16);
+        rit.insert_pair(row(1), row(2), 0);
+        rit.insert_pair(row(3), row(4), 0);
+        assert_eq!(rit.fault_drop_pair(1), Some((row(3), row(4))));
+        // The dropped rows translate identity although their data swapped.
+        assert_eq!(rit.translate(row(3)), row(3));
+        assert_eq!(rit.pairs(), 1);
+        assert_eq!(rit.translate(row(1)), row(2), "other pairs unaffected");
+        let mut empty = RowIndirectionTable::new(4);
+        assert_eq!(empty.fault_drop_pair(0), None);
     }
 
     #[test]

@@ -54,8 +54,10 @@ impl CoreState {
     /// The earliest time this core can issue its pending request.
     pub fn ready_at(&self) -> Time {
         if self.inflight.len() >= self.mlp {
-            let Reverse(gate) = *self.inflight.peek().expect("window is non-empty");
-            self.arrival.max(gate)
+            match self.inflight.peek() {
+                Some(&Reverse(gate)) => self.arrival.max(gate),
+                None => self.arrival, // unreachable: len >= mlp >= 1
+            }
         } else {
             self.arrival
         }

@@ -45,6 +45,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// Robustness: the simulator must degrade gracefully under injected faults,
+// never abort. Tests keep their unwraps (a failed unwrap there IS the test
+// failing).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod core_model;
 mod oracle;

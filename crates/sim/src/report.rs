@@ -3,6 +3,7 @@
 use crate::OracleSummary;
 use aqua_dram::mitigation::MitigationStats;
 use aqua_dram::Duration;
+use aqua_faults::FaultReport;
 use aqua_telemetry::TelemetrySummary;
 use serde::{Deserialize, Serialize};
 
@@ -33,8 +34,13 @@ pub struct RunReport {
     /// Security-oracle summary.
     pub oracle: OracleSummary,
     /// Shadow-memory integrity violations (a translation resolved to a
-    /// physical row not holding the requested data; must be zero).
+    /// physical row not holding the requested data; must be zero in
+    /// fault-free runs).
     pub integrity_violations: u64,
+    /// Fault-campaign accounting (all zero when no faults were injected).
+    /// `faults.unaccounted` must be zero in every run: a corruption that is
+    /// neither recovered, counted, nor dormant escaped silently.
+    pub faults: FaultReport,
     /// End-of-run telemetry snapshot (`None` when no telemetry hub was
     /// attached or the `telemetry` feature is disabled).
     pub telemetry: Option<TelemetrySummary>,

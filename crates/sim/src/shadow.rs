@@ -8,10 +8,20 @@
 //! requested data. Any divergence — an FPT pointing at a recycled slot, an
 //! eviction to the wrong home, a mis-sequenced swap — shows up as an
 //! integrity violation instead of silent data corruption.
+//!
+//! The shadow itself must survive corrupt inputs: under fault injection a
+//! scheme may hand it an out-of-geometry address. Those are *counted* as
+//! violations, never panics, so a fault campaign can keep simulating and
+//! report the damage at the end of the run.
 
 use aqua_dram::mitigation::DataMovement;
 use aqua_dram::{DramGeometry, GlobalRowId, RowAddr};
 
+/// Sentinel for "no data here". Stored in the same `u32` as logical row ids,
+/// so a geometry with `u32::MAX` (~4.3 G) rows or more would collide with
+/// it; [`ShadowMemory::new`] rejects such geometries up front. Every
+/// configuration in this repository (paper-scale is 2 M rows per rank) is
+/// orders of magnitude below the limit.
 const VACANT: u32 = u32::MAX;
 
 /// Tracks data placement across migrations and verifies translations.
@@ -26,8 +36,17 @@ pub struct ShadowMemory {
 impl ShadowMemory {
     /// Creates the shadow with identity placement: every physical row holds
     /// its own logical row's data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has `u32::MAX` rows or more (the top row id
+    /// would collide with the vacancy sentinel).
     pub fn new(geometry: &DramGeometry) -> Self {
-        let rows = geometry.total_rows() as usize;
+        let rows = geometry.total_rows();
+        assert!(
+            rows < u64::from(VACANT),
+            "geometry with {rows} rows collides with the shadow's vacancy sentinel"
+        );
         ShadowMemory {
             rows_per_bank: geometry.rows_per_bank,
             contents: (0..rows as u32).collect(),
@@ -35,14 +54,23 @@ impl ShadowMemory {
         }
     }
 
-    fn index(&self, row: RowAddr) -> usize {
-        row.bank.index() as usize * self.rows_per_bank as usize + row.row as usize
+    /// Flat index of `row`, or `None` if the address lies outside the
+    /// geometry the shadow was built for.
+    fn index(&self, row: RowAddr) -> Option<usize> {
+        if row.row >= self.rows_per_bank {
+            return None;
+        }
+        let i = row.bank.index() as usize * self.rows_per_bank as usize + row.row as usize;
+        (i < self.contents.len()).then_some(i)
     }
 
     /// Marks `row` as holding no data (reserved regions like AQUA's RQA).
+    /// An out-of-geometry address is counted as a violation.
     pub fn vacate(&mut self, row: RowAddr) {
-        let i = self.index(row);
-        self.contents[i] = VACANT;
+        match self.index(row) {
+            Some(i) => self.contents[i] = VACANT,
+            None => self.violations += 1,
+        }
     }
 
     /// Integrity violations observed so far.
@@ -50,19 +78,23 @@ impl ShadowMemory {
         self.violations
     }
 
-    /// The logical row whose data occupies `phys`, if any.
+    /// The logical row whose data occupies `phys`, if any (`None` for vacant
+    /// or out-of-geometry addresses).
     pub fn occupant(&self, phys: RowAddr) -> Option<GlobalRowId> {
-        let c = self.contents[self.index(phys)];
+        let c = self.contents[self.index(phys)?];
         (c != VACANT).then(|| GlobalRowId::new(c as u64))
     }
 
-    /// Applies one declared data movement.
+    /// Applies one declared data movement. Movements naming rows outside
+    /// the geometry are dropped and counted.
     pub fn apply(&mut self, movement: DataMovement) {
         match movement {
             DataMovement::None => {}
             DataMovement::Move { from, to } => {
-                let fi = self.index(from);
-                let ti = self.index(to);
+                let (Some(fi), Some(ti)) = (self.index(from), self.index(to)) else {
+                    self.violations += 1;
+                    return;
+                };
                 if self.contents[ti] != VACANT {
                     // Overwriting live data is a bug in the scheme's
                     // sequencing (e.g. installing before evicting).
@@ -72,18 +104,30 @@ impl ShadowMemory {
                 self.contents[fi] = VACANT;
             }
             DataMovement::Swap { a, b } => {
-                let ai = self.index(a);
-                let bi = self.index(b);
+                let (Some(ai), Some(bi)) = (self.index(a), self.index(b)) else {
+                    self.violations += 1;
+                    return;
+                };
                 self.contents.swap(ai, bi);
             }
         }
     }
 
-    /// Verifies that accessing `phys` returns the data of logical `row`.
-    pub fn verify(&mut self, row: GlobalRowId, phys: RowAddr) {
-        if self.contents[self.index(phys)] != row.index() as u32 {
+    /// Whether accessing `phys` would return the data of logical `row`
+    /// (non-mutating: used by the fault driver's end-of-run audit).
+    pub fn check(&self, row: GlobalRowId, phys: RowAddr) -> bool {
+        self.index(phys)
+            .is_some_and(|i| u64::from(self.contents[i]) == row.index())
+    }
+
+    /// Verifies that accessing `phys` returns the data of logical `row`,
+    /// counting a violation (and returning `false`) if it does not.
+    pub fn verify(&mut self, row: GlobalRowId, phys: RowAddr) -> bool {
+        let ok = self.check(row, phys);
+        if !ok {
             self.violations += 1;
         }
+        ok
     }
 }
 
@@ -106,9 +150,9 @@ mod tests {
     #[test]
     fn identity_placement_verifies() {
         let mut s = shadow();
-        s.verify(GlobalRowId::new(5), addr(5));
+        assert!(s.verify(GlobalRowId::new(5), addr(5)));
         assert_eq!(s.violations(), 0);
-        s.verify(GlobalRowId::new(5), addr(6));
+        assert!(!s.verify(GlobalRowId::new(5), addr(6)));
         assert_eq!(s.violations(), 1);
     }
 
@@ -168,6 +212,35 @@ mod tests {
         });
         s.verify(GlobalRowId::new(7), addr(7));
         assert_eq!(s.occupant(addr(1000)), None);
+        assert_eq!(s.violations(), 0);
+    }
+
+    #[test]
+    fn out_of_geometry_addresses_are_counted_not_fatal() {
+        let g = DramGeometry::tiny();
+        let mut s = ShadowMemory::new(&g);
+        let bad = RowAddr {
+            bank: BankId::new(0),
+            row: g.rows_per_bank, // one past the last row of the bank
+        };
+        assert!(!s.verify(GlobalRowId::new(0), bad));
+        s.vacate(bad);
+        s.apply(DataMovement::Move {
+            from: bad,
+            to: addr(3),
+        });
+        s.apply(DataMovement::Swap { a: addr(3), b: bad });
+        assert_eq!(s.violations(), 4);
+        assert_eq!(s.occupant(bad), None);
+        // In-geometry state is untouched by the rejected movements.
+        assert!(s.check(GlobalRowId::new(3), addr(3)));
+    }
+
+    #[test]
+    fn check_is_non_mutating() {
+        let s = shadow();
+        assert!(s.check(GlobalRowId::new(5), addr(5)));
+        assert!(!s.check(GlobalRowId::new(5), addr(6)));
         assert_eq!(s.violations(), 0);
     }
 }

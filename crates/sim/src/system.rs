@@ -1,10 +1,17 @@
 //! The system simulator: cores + channel + banks + mitigation + oracle.
 
 use crate::{ActivationOracle, CoreState, RunReport, ShadowMemory};
-use aqua_dram::mitigation::{Mitigation, MitigationAction, MitigationStats};
-use aqua_dram::{Bank, BaselineConfig, Channel, ChannelStats, Duration, RefreshScheduler, Time};
+use aqua_dram::mitigation::{DegradedMode, Mitigation, MitigationAction, MitigationStats};
+use aqua_dram::{
+    Bank, BaselineConfig, Channel, ChannelStats, DramError, Duration, GlobalRowId,
+    RefreshScheduler, Time,
+};
+use aqua_faults::{
+    FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultReport, FaultSpec, InjectOutcome,
+};
 use aqua_telemetry::{Counter, EpochRecord, EventKind, Histogram, Telemetry};
 use aqua_workload::RequestGenerator;
+use std::collections::BTreeSet;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -15,6 +22,13 @@ pub struct SimConfig {
     pub epochs: u64,
     /// Rowhammer threshold the oracle checks against.
     pub t_rh: u64,
+    /// Seeded fault-injection campaign (`None` disables injection).
+    pub faults: Option<FaultSpec>,
+    /// Wall-clock budget for the whole run. When exceeded, the run panics
+    /// with [`DramError::WatchdogExpired`]'s message; the bench worker pool
+    /// catches the unwind and converts the hung cell into a failed cell
+    /// instead of stalling the campaign.
+    pub watchdog: Option<std::time::Duration>,
 }
 
 impl SimConfig {
@@ -24,6 +38,8 @@ impl SimConfig {
             base,
             epochs: 2,
             t_rh: 1000,
+            faults: None,
+            watchdog: None,
         }
     }
 
@@ -36,6 +52,18 @@ impl SimConfig {
     /// Sets the oracle's Rowhammer threshold.
     pub fn t_rh(mut self, t_rh: u64) -> Self {
         self.t_rh = t_rh;
+        self
+    }
+
+    /// Enables the seeded fault campaign described by `spec`.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Sets the per-run wall-clock watchdog budget.
+    pub fn watchdog(mut self, budget: std::time::Duration) -> Self {
+        self.watchdog = Some(budget);
         self
     }
 }
@@ -67,6 +95,21 @@ pub struct Simulation<M: Mitigation> {
     /// Mapping-table lookup latency on the access critical path, ps.
     lookup_hist: Histogram,
     activations: Counter,
+    /// Replay cursor over the generated fault plan (`None`: no campaign).
+    injector: Option<FaultInjector>,
+    /// Rows whose translation an injected fault corrupted, pending
+    /// end-of-run accounting.
+    watch: BTreeSet<u64>,
+    /// Watched rows whose corruption surfaced as a counted shadow violation.
+    escaped: BTreeSet<u64>,
+    /// Pending DRAM command faults: each suppresses the mitigation
+    /// notification of one activation (the tracker's blind spot).
+    suppress_notifications: u64,
+    /// Plan-level fault accounting accumulated during the run.
+    freport: FaultReport,
+    faults_injected: Counter,
+    integrity_escapes: Counter,
+    degraded_epochs: Counter,
 }
 
 impl<M: Mitigation> Simulation<M> {
@@ -94,6 +137,13 @@ impl<M: Mitigation> Simulation<M> {
             shadow.vacate(row);
         }
         let detached = Telemetry::disabled();
+        let injector = cfg.faults.map(|spec| {
+            FaultInjector::new(FaultPlan::generate(
+                spec,
+                cfg.epochs,
+                cfg.base.epoch.as_ps(),
+            ))
+        });
         Simulation {
             banks: (0..cfg.base.geometry.total_banks())
                 .map(|_| Bank::with_policy(cfg.base.timing, cfg.base.page_policy))
@@ -111,6 +161,14 @@ impl<M: Mitigation> Simulation<M> {
             migration_hist: detached.histogram("migration.stall_ps"),
             lookup_hist: detached.histogram("table.lookup_ps"),
             activations: detached.counter("sim.activations"),
+            injector,
+            watch: BTreeSet::new(),
+            escaped: BTreeSet::new(),
+            suppress_notifications: 0,
+            freport: FaultReport::default(),
+            faults_injected: detached.counter("sim.faults_injected"),
+            integrity_escapes: detached.counter("sim.integrity_escapes"),
+            degraded_epochs: detached.counter("sim.degraded_epochs"),
         }
     }
 
@@ -122,6 +180,9 @@ impl<M: Mitigation> Simulation<M> {
         self.migration_hist = telemetry.histogram("migration.stall_ps");
         self.lookup_hist = telemetry.histogram("table.lookup_ps");
         self.activations = telemetry.counter("sim.activations");
+        self.faults_injected = telemetry.counter("sim.faults_injected");
+        self.integrity_escapes = telemetry.counter("sim.integrity_escapes");
+        self.degraded_epochs = telemetry.counter("sim.degraded_epochs");
         self.mitigation.attach_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }
@@ -185,6 +246,52 @@ impl<M: Mitigation> Simulation<M> {
         completion
     }
 
+    /// Applies one scheduled fault event. DRAM command faults are handled at
+    /// the simulator level (the mitigation never learns of one activation);
+    /// everything else is offered to the scheme, and any corrupted rows it
+    /// reports are admitted to the watch list for end-of-run accounting.
+    fn apply_fault(&mut self, ev: FaultEvent, now: Time) {
+        self.freport.injected += 1;
+        self.faults_injected.inc();
+        self.telemetry.record(
+            ev.at_ps,
+            EventKind::FaultInjected {
+                fault: ev.kind.name(),
+            },
+        );
+        match ev.kind {
+            FaultKind::DramCommandFault => {
+                self.suppress_notifications += 1;
+                self.freport.applied += 1;
+            }
+            kind => match self.mitigation.inject_fault(&kind, now) {
+                InjectOutcome::Unsupported => self.freport.unsupported += 1,
+                InjectOutcome::Applied => self.freport.applied += 1,
+                InjectOutcome::CorruptedTranslation { rows } => {
+                    for r in rows {
+                        // `corruptions` counts distinct watched rows, so the
+                        // end-of-run audit partitions it exactly into
+                        // recovered + escaped + dormant + unaccounted.
+                        if self.watch.insert(r) {
+                            self.freport.corruptions += 1;
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    /// Notifies the mitigation of an activation unless a pending DRAM
+    /// command fault swallows the notification (the oracle, being physical
+    /// ground truth, always sees the activation regardless).
+    fn notify_activation(&mut self, phys: aqua_dram::RowAddr, at: Time) -> Vec<MitigationAction> {
+        if self.suppress_notifications > 0 {
+            self.suppress_notifications -= 1;
+            return Vec::new();
+        }
+        self.mitigation.on_activation(phys, at)
+    }
+
     /// Records an activation with the oracle and trace (the oracle reports
     /// first-time threshold crossings, which become trace events).
     fn record_activation(&mut self, phys: aqua_dram::RowAddr, at: Time) {
@@ -229,7 +336,7 @@ impl<M: Mitigation> Simulation<M> {
                 .reserve_table_access(res.data_ready, self.burst);
             if res.activated {
                 self.record_activation(trow, res.data_ready);
-                let actions = self.mitigation.on_activation(trow, res.data_ready);
+                let actions = self.notify_activation(trow, res.data_ready);
                 self.apply_actions(actions, res.data_ready, res.data_ready);
             }
             t = slot + self.burst;
@@ -242,14 +349,19 @@ impl<M: Mitigation> Simulation<M> {
         let phys = tr.phys;
         // End-to-end integrity: the translation must resolve to the physical
         // row actually holding the requested row's data.
-        self.shadow.verify(req.row, phys);
+        let ok = self.shadow.verify(req.row, phys);
+        if !ok && self.watch.contains(&req.row.index()) && self.escaped.insert(req.row.index()) {
+            // The corruption surfaced as a counted violation: the row is
+            // accounted for.
+            self.integrity_escapes.inc();
+        }
         let start = t.max(self.channel.blocked_until());
         let res = self.banks[phys.bank.index() as usize].access(phys.row, start);
         let slot = self.channel.reserve_burst(res.data_ready, self.burst);
         let mut completion = slot + self.burst;
         if res.activated {
             self.record_activation(phys, completion);
-            let actions = self.mitigation.on_activation(phys, completion);
+            let actions = self.notify_activation(phys, completion);
             completion = self.apply_actions(actions, completion, completion);
         }
         self.access_hist
@@ -263,6 +375,9 @@ impl<M: Mitigation> Simulation<M> {
     fn sample_epoch(&mut self, epoch: u64, end: Time, prev: &mut EpochBaseline) {
         self.telemetry
             .record(end.as_ps(), EventKind::EpochRollover { epoch });
+        if let DegradedMode::VictimRefresh { banks } = self.mitigation.degraded_mode() {
+            self.degraded_epochs.add(banks.len() as u64);
+        }
         let requests: u64 = self.cores.iter().map(|c| c.issued()).sum();
         let mitigation = self.mitigation.mitigation_stats();
         let channel = self.channel.stats();
@@ -297,6 +412,12 @@ impl<M: Mitigation> Simulation<M> {
     }
 
     /// Runs for `cfg.epochs` refresh windows and reports the results.
+    ///
+    /// # Panics
+    ///
+    /// Panics with [`DramError::WatchdogExpired`]'s message if the
+    /// configured wall-clock watchdog budget is exceeded (the bench worker
+    /// pool catches the unwind and marks the cell failed).
     pub fn run(&mut self) -> RunReport {
         let epoch_len = self.cfg.base.epoch;
         let end = Time::ZERO + epoch_len.checked_scale(self.cfg.epochs);
@@ -305,16 +426,31 @@ impl<M: Mitigation> Simulation<M> {
         let mut next_tick = Time::ZERO + t_refi;
         let mut epoch_idx: u64 = 0;
         let mut baseline = EpochBaseline::default();
-        loop {
-            let (ci, t) = self
-                .cores
-                .iter()
-                .enumerate()
-                .map(|(i, c)| (i, c.ready_at()))
-                .min_by_key(|&(_, t)| t)
-                .expect("at least one core");
+        let started = std::time::Instant::now();
+        let mut watchdog_check: u32 = 0;
+        while let Some((ci, t)) = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, c.ready_at()))
+            .min_by_key(|&(_, t)| t)
+        {
             if t >= end {
                 break;
+            }
+            if let Some(budget) = self.cfg.watchdog {
+                // Check wall clock every 1024 serves: cheap enough to catch
+                // a hung cell within a fraction of the budget.
+                watchdog_check = watchdog_check.wrapping_add(1);
+                if watchdog_check.is_multiple_of(1024) && started.elapsed() > budget {
+                    let err = DramError::WatchdogExpired {
+                        budget_ms: budget.as_millis() as u64,
+                    };
+                    panic!("{err}");
+                }
+            }
+            while let Some(ev) = self.injector.as_mut().and_then(|inj| inj.due(t.as_ps())) {
+                self.apply_fault(ev, t);
             }
             while t >= next_tick {
                 let actions = self.mitigation.on_refresh_tick(next_tick);
@@ -332,7 +468,12 @@ impl<M: Mitigation> Simulation<M> {
             }
             self.serve(ci, t);
         }
-        // Close out remaining epoch boundaries.
+        // Close out remaining epoch boundaries. Any still-undelivered fault
+        // events fire first, so every scheduled fault is accounted for even
+        // when the cores drained early.
+        while let Some(ev) = self.injector.as_mut().and_then(|inj| inj.due(end.as_ps())) {
+            self.apply_fault(ev, end);
+        }
         while next_epoch <= end {
             self.sample_epoch(epoch_idx, next_epoch, &mut baseline);
             self.mitigation.end_epoch();
@@ -340,6 +481,7 @@ impl<M: Mitigation> Simulation<M> {
             next_epoch += epoch_len;
             epoch_idx += 1;
         }
+        let faults = self.close_fault_accounting(end);
         let stats = self.channel.stats();
         RunReport {
             scheme: self.mitigation.name().to_string(),
@@ -353,8 +495,46 @@ impl<M: Mitigation> Simulation<M> {
             mitigation: self.mitigation.mitigation_stats(),
             oracle: self.oracle.summary(),
             integrity_violations: self.shadow.violations(),
+            faults,
             telemetry: self.telemetry.summary(),
         }
+    }
+
+    /// Settles the fate of every watched row at the end of the run: each
+    /// corruption must be recovered (the engine's audit repaired the
+    /// translation), counted (an access observed it and the shadow recorded
+    /// a violation), or dormant (still wrong, but no access ever returned
+    /// wrong data — the shadow verifies *every* access, so its first wrong
+    /// touch is guaranteed to be counted). `unaccounted` cross-checks the
+    /// counting path itself: an "escaped" row without any recorded shadow
+    /// violation would mean a wrong access slipped through verification
+    /// uncounted — the silent escape the proptests and the `fault_campaign`
+    /// binary assert never happens.
+    fn close_fault_accounting(&mut self, end: Time) -> FaultReport {
+        let mut report = self.freport;
+        let health = self.mitigation.fault_health();
+        report.engine_recovered = health.recovered;
+        report.degraded_epochs = health.degraded_epochs;
+        let violations_recorded = self.shadow.violations() > 0;
+        let watch = std::mem::take(&mut self.watch);
+        for row in watch {
+            if self.escaped.contains(&row) {
+                if violations_recorded {
+                    report.escaped_counted += 1;
+                } else {
+                    report.unaccounted += 1;
+                }
+                continue;
+            }
+            let gid = GlobalRowId::new(row);
+            let tr = self.mitigation.translate(gid, end);
+            if self.shadow.check(gid, tr.phys) {
+                report.recovered_rows += 1;
+            } else {
+                report.dormant += 1;
+            }
+        }
+        report
     }
 }
 
@@ -420,7 +600,7 @@ mod tests {
         assert_eq!(report.oracle.rows_over_trh, 0, "{:?}", report.oracle);
         assert_eq!(report.mitigation.violations, 0);
         assert!(report.mitigation.row_migrations > 0);
-        sim.mitigation().check_consistency();
+        sim.mitigation().check_consistency().unwrap();
     }
 
     #[test]
@@ -565,6 +745,81 @@ mod tests {
         let mut protected = Simulation::new(closed_cfg, aqua_engine(1000), [gen()]);
         let protected_report = protected.run();
         assert_eq!(protected_report.oracle.rows_over_trh, 0);
+    }
+
+    #[test]
+    fn fault_campaign_accounts_for_every_corruption() {
+        let spec = FaultSpec {
+            seed: 11,
+            events_per_epoch: 24,
+        };
+        let mk = || Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let run = || {
+            let mut sim = Simulation::new(sim_config(1000).faults(spec), aqua_engine(1000), [mk()]);
+            sim.run()
+        };
+        let report = run();
+        let f = report.faults;
+        assert_eq!(f.injected, 48, "every scheduled event dispatched");
+        assert_eq!(
+            f.corruptions,
+            f.recovered_rows + f.escaped_counted + f.dormant + f.unaccounted,
+            "{f:?}"
+        );
+        assert_eq!(f.unaccounted, 0, "no silent escapes: {f:?}");
+        // Byte-identical replay: the same seed reproduces the whole report.
+        assert_eq!(report, run());
+    }
+
+    #[test]
+    fn fault_free_runs_are_unchanged_by_the_fault_plumbing() {
+        let mk = || Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut plain = Simulation::new(sim_config(1000), aqua_engine(1000), [mk()]);
+        let zero_rate = SimConfig::new(base())
+            .epochs(2)
+            .t_rh(1000)
+            .faults(FaultSpec {
+                seed: 5,
+                events_per_epoch: 0,
+            });
+        let mut wired = Simulation::new(zero_rate, aqua_engine(1000), [mk()]);
+        assert_eq!(plain.run(), wired.run());
+    }
+
+    #[test]
+    fn dram_command_fault_blinds_the_mitigation_for_one_activation() {
+        use aqua_faults::FaultEvent;
+        let gen = Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(1000), aqua_engine(1000), [gen]);
+        sim.apply_fault(
+            FaultEvent {
+                at_ps: 0,
+                kind: FaultKind::DramCommandFault,
+            },
+            Time::ZERO,
+        );
+        assert_eq!(sim.suppress_notifications, 1);
+        assert_eq!(sim.freport.applied, 1);
+        let phys = aqua_dram::RowAddr {
+            bank: aqua_dram::BankId::new(0),
+            row: 7,
+        };
+        // The suppressed notification never reaches the scheme...
+        assert!(sim.notify_activation(phys, Time::ZERO).is_empty());
+        assert_eq!(sim.suppress_notifications, 0);
+        assert_eq!(sim.mitigation().tracker_stats().activations, 0);
+        // ...but the next one does.
+        sim.notify_activation(phys, Time::ZERO);
+        assert_eq!(sim.mitigation().tracker_stats().activations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn watchdog_converts_a_hung_run_into_a_panic() {
+        let gen = Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let cfg = sim_config(1000).watchdog(std::time::Duration::ZERO);
+        let mut sim = Simulation::new(cfg, NoMitigation::new(base().geometry), [gen]);
+        sim.run();
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Property tests for the fault-injection loop (ISSUE 3 satellite):
+//! a random seeded fault plan (a) never panics the simulator, (b) replays
+//! byte-identically, and (c) leaves every injected translation corruption
+//! accounted for — recovered, counted by the shadow memory, or dormant.
+//! Zero silent escapes.
+
+use aqua::{AquaConfig, AquaEngine};
+use aqua_dram::BaselineConfig;
+use aqua_faults::FaultSpec;
+use aqua_rrs::{RrsConfig, RrsEngine};
+use aqua_sim::{RunReport, SimConfig, Simulation};
+use aqua_workload::attack::Hammer;
+use aqua_workload::{AddressSpace, RequestGenerator};
+use proptest::prelude::*;
+
+fn base() -> BaselineConfig {
+    BaselineConfig::tiny()
+}
+
+fn space() -> AddressSpace {
+    AddressSpace::new(base().geometry, 0.75)
+}
+
+fn gen() -> Box<dyn RequestGenerator> {
+    Box::new(Hammer::double_sided(&space(), 0, 100))
+}
+
+fn aqua_config() -> AquaConfig {
+    let cfg = AquaConfig::for_rowhammer_threshold(1000, &base()).with_rqa_rows(512);
+    AquaConfig {
+        tracker_entries_per_bank: 256,
+        fpt_entries: 1024,
+        ..cfg
+    }
+}
+
+/// Runs one seeded fault campaign for the selected scheme (0 = AQUA/SRAM,
+/// 1 = AQUA/memory-mapped, 2 = RRS) and returns the report.
+fn run_campaign(scheme: u8, spec: FaultSpec) -> RunReport {
+    let cfg = SimConfig::new(base()).epochs(2).t_rh(1000).faults(spec);
+    match scheme {
+        0 => Simulation::new(cfg, AquaEngine::new(aqua_config()).unwrap(), [gen()]).run(),
+        1 => {
+            let mapped = aqua_config().with_mapped_tables();
+            Simulation::new(cfg, AquaEngine::new(mapped).unwrap(), [gen()]).run()
+        }
+        _ => {
+            let mut rrs = RrsConfig::for_rowhammer_threshold(1000, &base());
+            rrs.tracker_entries_per_bank = 256;
+            rrs.rit_pairs = 64;
+            Simulation::new(cfg, RrsEngine::new(rrs), [gen()]).run()
+        }
+    }
+}
+
+proptest! {
+    // Full simulator runs are ~100 ms each and every case runs each plan
+    // twice, so the case budget is kept deliberately small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random plans neither panic nor let a corruption escape silently, and
+    /// equal seeds replay the entire run report byte-identically — across
+    /// every engine family (SRAM tables, memory-mapped tables, RRS).
+    #[test]
+    fn random_fault_plans_are_survivable_and_deterministic(
+        seed in any::<u64>(),
+        rate in 1u32..24,
+        scheme in 0u8..3,
+    ) {
+        let spec = FaultSpec { seed, events_per_epoch: rate };
+        let report = run_campaign(scheme, spec);
+        let f = report.faults;
+        // (a) Reaching this line at all means no panic; the plan was fully
+        // dispatched.
+        prop_assert_eq!(f.injected, 2 * u64::from(rate));
+        // (c) Every corruption is accounted for, with no silent escapes.
+        prop_assert_eq!(
+            f.corruptions,
+            f.recovered_rows + f.escaped_counted + f.dormant,
+            "unaccounted corruptions: {:?}", f
+        );
+        prop_assert_eq!(f.unaccounted, 0, "silent escapes: {:?}", f);
+        // (b) Byte-identical replay of the whole run.
+        let replay = run_campaign(scheme, spec);
+        prop_assert_eq!(report, replay);
+    }
+
+    /// A zero-rate campaign is indistinguishable from no campaign at all:
+    /// wiring the injector must not perturb a fault-free simulation.
+    #[test]
+    fn zero_rate_campaign_matches_fault_free_run(scheme in 0u8..3) {
+        let spec = FaultSpec { seed: 9, events_per_epoch: 0 };
+        let with_plumbing = run_campaign(scheme, spec);
+        let cfg = SimConfig::new(base()).epochs(2).t_rh(1000);
+        let plain = match scheme {
+            0 => Simulation::new(cfg, AquaEngine::new(aqua_config()).unwrap(), [gen()]).run(),
+            1 => {
+                let mapped = aqua_config().with_mapped_tables();
+                Simulation::new(cfg, AquaEngine::new(mapped).unwrap(), [gen()]).run()
+            }
+            _ => {
+                let mut rrs = RrsConfig::for_rowhammer_threshold(1000, &base());
+                rrs.tracker_entries_per_bank = 256;
+                rrs.rit_pairs = 64;
+                Simulation::new(cfg, RrsEngine::new(rrs), [gen()]).run()
+            }
+        };
+        prop_assert_eq!(with_plumbing.faults, aqua_faults::FaultReport::default());
+        prop_assert_eq!(with_plumbing, plain);
+    }
+}

@@ -77,6 +77,11 @@ pub enum EventKind {
         /// Activation count at the crossing.
         count: u64,
     },
+    /// A scheduled fault was injected into the running system.
+    FaultInjected {
+        /// Stable fault-family name (`FaultKind::name`).
+        fault: &'static str,
+    },
 }
 
 impl EventKind {
@@ -92,6 +97,7 @@ impl EventKind {
             EventKind::EpochRollover { .. } => "EpochRollover",
             EventKind::ThrottleStall { .. } => "ThrottleStall",
             EventKind::ThresholdCrossed { .. } => "ThresholdCrossed",
+            EventKind::FaultInjected { .. } => "FaultInjected",
         }
     }
 
@@ -134,6 +140,11 @@ impl EventKind {
                 put(&mut out, "row", row.to_string());
                 put(&mut out, "count", count.to_string());
             }
+            EventKind::FaultInjected { fault } => {
+                let mut quoted = String::new();
+                json::push_str(&mut quoted, fault);
+                put(&mut out, "fault", quoted);
+            }
         }
         out.push('}');
         out
@@ -163,6 +174,7 @@ mod tests {
                 row: 2,
                 count: 5000,
             },
+            EventKind::FaultInjected { fault: "rpt_flip" },
         ];
         for k in kinds {
             let s = k.args_json();

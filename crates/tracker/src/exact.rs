@@ -70,6 +70,19 @@ impl AggressorTracker for ExactTracker {
         // 21-bit global row id + 21-bit counter per live entry.
         self.counts.len() as u64 * (21 + 21)
     }
+
+    fn inject_reset(&mut self) -> bool {
+        self.counts.clear();
+        true
+    }
+
+    fn inject_saturate(&mut self) -> bool {
+        let target = self.threshold.saturating_sub(1).max(1);
+        for count in self.counts.values_mut() {
+            *count = target;
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -118,5 +131,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_threshold() {
         ExactTracker::new(0);
+    }
+
+    #[test]
+    fn injected_faults_reset_and_saturate() {
+        let mut t = ExactTracker::new(5);
+        for _ in 0..3 {
+            t.on_activation(row(1));
+        }
+        assert!(t.inject_saturate());
+        assert_eq!(t.count(row(1)), 4);
+        assert!(t.on_activation(row(1)).mitigate());
+        assert!(t.inject_reset());
+        assert_eq!(t.tracked_rows(), 0);
     }
 }

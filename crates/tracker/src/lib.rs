@@ -137,6 +137,22 @@ pub trait AggressorTracker: std::fmt::Debug {
 
     /// SRAM footprint of the tracker state, in bits.
     fn sram_bits(&self) -> u64;
+
+    /// Injected fault: wipes every per-epoch counter mid-epoch, leaving the
+    /// tracker blind until rows are re-observed. Returns `false` if this
+    /// tracker does not support counter injection (the fault is then
+    /// reported as unsupported rather than silently ignored).
+    fn inject_reset(&mut self) -> bool {
+        false
+    }
+
+    /// Injected fault: saturates every tracked counter to just below the
+    /// mitigation threshold, so the next touch of any tracked row fires a
+    /// spurious mitigation (migration-storm pressure). Returns `false` if
+    /// unsupported.
+    fn inject_saturate(&mut self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -80,6 +80,22 @@ impl BankSummary {
         self.counts.clear();
         self.buckets.clear();
     }
+
+    /// Injected fault: pegs every tracked row's count to `value`. All rows
+    /// land in one bucket, so the summary invariant holds and the end state
+    /// is independent of map iteration order.
+    fn saturate_to(&mut self, value: u64) {
+        let rows: Vec<u32> = self.counts.keys().copied().collect();
+        if rows.is_empty() {
+            return;
+        }
+        self.counts.clear();
+        self.buckets.clear();
+        for &row in &rows {
+            self.counts.insert(row, value);
+        }
+        self.buckets.insert(value, rows.into_iter().collect());
+    }
 }
 
 /// Graphene-style per-bank Misra-Gries (Space-Saving) tracker.
@@ -166,6 +182,23 @@ impl AggressorTracker for MisraGriesTracker {
         // (counts up to ACTmax), valid bit. CAM/comparator overhead excluded.
         let bits_per_entry = 17 + 21 + 1;
         self.banks.len() as u64 * self.config.entries_per_bank as u64 * bits_per_entry
+    }
+
+    fn inject_reset(&mut self) -> bool {
+        for bank in &mut self.banks {
+            bank.clear();
+        }
+        true
+    }
+
+    fn inject_saturate(&mut self) -> bool {
+        // One shy of the threshold: the very next touch of any tracked row
+        // crosses it and fires a spurious mitigation.
+        let target = self.config.mitigation_threshold.saturating_sub(1).max(1);
+        for bank in &mut self.banks {
+            bank.saturate_to(target);
+        }
+        true
     }
 }
 
@@ -296,6 +329,35 @@ mod tests {
         }
         assert!(flagged, "hot row not flagged");
         assert!(hot_acts <= a, "flagged only after {hot_acts} > {a} ACTs");
+    }
+
+    #[test]
+    fn injected_reset_blinds_the_tracker() {
+        let mut t = tracker(10, 4);
+        for _ in 0..9 {
+            t.on_activation(row(0, 1));
+        }
+        assert!(t.inject_reset());
+        assert_eq!(t.estimate(row(0, 1)), None);
+        // Counters restart from scratch: 9 more touches stay quiet.
+        for _ in 0..9 {
+            assert!(!t.on_activation(row(0, 1)).mitigate());
+        }
+        // A mid-epoch reset is not an epoch boundary.
+        assert_eq!(t.stats().epochs, 0);
+    }
+
+    #[test]
+    fn injected_saturation_fires_on_next_touch() {
+        let mut t = tracker(100, 8);
+        t.on_activation(row(0, 1));
+        t.on_activation(row(1, 2));
+        assert!(t.inject_saturate());
+        assert_eq!(t.estimate(row(0, 1)), Some(99));
+        assert!(t.on_activation(row(0, 1)).mitigate());
+        assert!(t.on_activation(row(1, 2)).mitigate());
+        // Untracked rows are unaffected.
+        assert!(!t.on_activation(row(0, 3)).mitigate());
     }
 
     #[test]

@@ -57,6 +57,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         protected.mitigation.row_migrations, protected.oracle.max_window_activations
     );
     assert_eq!(protected.oracle.rows_over_trh, 0);
-    sim.mitigation().check_consistency();
+    sim.mitigation()
+        .check_consistency()
+        .expect("consistent tables after the run");
     Ok(())
 }

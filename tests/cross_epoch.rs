@@ -53,7 +53,7 @@ fn rows_return_home_when_their_slot_is_recycled() {
             home
         );
     }
-    engine.check_consistency();
+    engine.check_consistency().expect("consistent tables");
 }
 
 #[test]
@@ -72,7 +72,7 @@ fn background_drain_clears_rqa_between_epochs() {
     // Subsequent installs find clean slots: no on-demand evictions.
     quarantine(&mut engine, 99);
     assert_eq!(engine.stats().evictions, 0);
-    engine.check_consistency();
+    engine.check_consistency().expect("consistent tables");
 }
 
 #[test]
@@ -99,7 +99,7 @@ fn requarantine_across_epochs_keeps_counts_bounded() {
     assert_eq!(stats.installs, 1);
     assert_eq!(stats.internal_moves, 9);
     assert_eq!(stats.violations, 0);
-    engine.check_consistency();
+    engine.check_consistency().expect("consistent tables");
 }
 
 #[test]

@@ -47,14 +47,14 @@ proptest! {
     fn aqua_sram_tables_stay_consistent(accesses in prop::collection::vec((0u8..=255, 1u8..30), 1..60)) {
         let mut engine = aqua_engine(TableMode::Sram);
         drive(&mut engine, &accesses);
-        engine.check_consistency();
+        prop_assert!(engine.check_consistency().is_ok());
     }
 
     #[test]
     fn aqua_mapped_tables_stay_consistent(accesses in prop::collection::vec((0u8..=255, 1u8..30), 1..60)) {
         let mut engine = aqua_engine(TableMode::Mapped { bloom_bits: 64, cache_entries: 32 });
         drive(&mut engine, &accesses);
-        engine.check_consistency();
+        prop_assert!(engine.check_consistency().is_ok());
     }
 
     #[test]
