@@ -52,5 +52,27 @@ fault_smoke fault_smoke_first
 fault_smoke fault_smoke_replay
 run diff target/experiments/fault_smoke_first.csv target/experiments/fault_smoke_replay.csv
 
+# Performance-regression gate: the deterministic canary matrix must stay
+# within tolerance of the committed BENCH_5.json baseline, in both telemetry
+# feature modes (span-phase latencies are only gated when telemetry is on;
+# the attribution residual is gated in both). Exit nonzero = regression.
+echo
+echo "==> regression gate (telemetry on)"
+cargo run --offline -q --release -p aqua-bench --bin regression_gate
+echo
+echo "==> regression gate (telemetry off)"
+cargo run --offline -q --release -p aqua-bench --no-default-features --bin regression_gate
+
+# The gate itself must detect a synthetic regression: +10 pp of slowdown
+# (and residual) has to fail. A gate that cannot fail gates nothing.
+echo
+echo "==> regression gate must FAIL on injected +10pp slowdown"
+if cargo run --offline -q --release -p aqua-bench --bin regression_gate -- \
+    --inject-slowdown 10 >/dev/null 2>&1; then
+    echo "ERROR: regression gate passed despite injected slowdown" >&2
+    exit 1
+fi
+echo "gate correctly rejected the injected regression"
+
 echo
 echo "ci.sh: all checks passed"

@@ -1,0 +1,172 @@
+//! Causal slowdown attribution from cost-ablation runs.
+//!
+//! A mitigation's measured slowdown is decomposed into the paper's
+//! first-order costs (section IV-G): exclusive channel **blocking during
+//! migrations**, mapping-table **lookup latency** on the access critical
+//! path, and the **queueing pressure** of extra table traffic on the bus.
+//!
+//! Summing per-stall time from one instrumented run does not work here:
+//! the MLP-limited cores overlap stalls with other outstanding misses, so
+//! an X-picosecond stall rarely costs X picoseconds of throughput. The
+//! attribution instead uses *what-if re-runs*: the identical seeded
+//! simulation is repeated with exactly one cost zeroed (the `CostAblation`
+//! knobs in `aqua-sim`), and each component is the work that comes back
+//! when its cost is removed:
+//!
+//! ```text
+//! slowdown  = (req_base - req_full) / req_base            x 100
+//! component = (req_ablated - req_full) / req_base         x 100
+//! residual  = slowdown - (migration + lookup + traffic)
+//! ```
+//!
+//! The residual captures interaction terms (removing two costs together
+//! recovers more than the sum of removing each alone) plus second-order
+//! behavioral drift (a faster run progresses further through its
+//! time-bounded workload and may trigger more migrations). A small
+//! residual is the health check: if it exceeds the tolerance, either the
+//! ablation knobs are not isolating their costs or the decomposition is
+//! missing a component.
+
+/// Requests completed by each run of an attribution matrix cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AblationCounts {
+    /// Unmitigated baseline run (same seeds, `NoMitigation`).
+    pub baseline: u64,
+    /// Fully-costed mitigated run.
+    pub full: u64,
+    /// Mitigated run with migration channel-blocking zeroed.
+    pub free_migration: u64,
+    /// Mitigated run with table-lookup latency zeroed.
+    pub free_lookup: u64,
+    /// Mitigated run with table bus traffic zeroed.
+    pub free_table_traffic: u64,
+}
+
+/// Slowdown decomposition for one scheme x workload cell, all in percent
+/// of baseline throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Attribution {
+    /// Measured slowdown of the fully-costed run vs the baseline.
+    pub slowdown_pct: f64,
+    /// Slowdown attributable to exclusive channel blocking by migrations.
+    pub migration_pct: f64,
+    /// Slowdown attributable to table-lookup latency.
+    pub lookup_pct: f64,
+    /// Slowdown attributable to table-traffic queueing.
+    pub table_traffic_pct: f64,
+    /// Interaction terms and behavioral drift:
+    /// `slowdown - (migration + lookup + table_traffic)`.
+    pub residual_pct: f64,
+}
+
+impl Attribution {
+    /// Decomposes the measured slowdown from ablation request counts.
+    ///
+    /// With `baseline == 0` (an empty or unrunnable cell) everything is
+    /// reported as zero rather than NaN.
+    pub fn from_counts(c: AblationCounts) -> Attribution {
+        if c.baseline == 0 {
+            return Attribution {
+                slowdown_pct: 0.0,
+                migration_pct: 0.0,
+                lookup_pct: 0.0,
+                table_traffic_pct: 0.0,
+                residual_pct: 0.0,
+            };
+        }
+        let base = c.baseline as f64;
+        let pct = |ablated: u64| (ablated as f64 - c.full as f64) / base * 100.0;
+        let slowdown_pct = (base - c.full as f64) / base * 100.0;
+        let migration_pct = pct(c.free_migration);
+        let lookup_pct = pct(c.free_lookup);
+        let table_traffic_pct = pct(c.free_table_traffic);
+        Attribution {
+            slowdown_pct,
+            migration_pct,
+            lookup_pct,
+            table_traffic_pct,
+            residual_pct: slowdown_pct - (migration_pct + lookup_pct + table_traffic_pct),
+        }
+    }
+
+    /// Sum of the three named components plus the residual. Equal to
+    /// [`slowdown_pct`](Attribution::slowdown_pct) by construction (up to
+    /// floating-point rounding); exposed so reports can assert the
+    /// identity.
+    pub fn component_sum(&self) -> f64 {
+        self.migration_pct + self.lookup_pct + self.table_traffic_pct + self.residual_pct
+    }
+
+    /// Whether the decomposition is trustworthy: the residual (interaction
+    /// + drift) is within `tolerance_pct` percentage points.
+    pub fn residual_within(&self, tolerance_pct: f64) -> bool {
+        self.residual_pct.abs() <= tolerance_pct
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_and_residual_sum_to_the_measured_slowdown() {
+        let a = Attribution::from_counts(AblationCounts {
+            baseline: 10_000,
+            full: 9_000,
+            free_migration: 9_600,
+            free_lookup: 9_150,
+            free_table_traffic: 9_100,
+        });
+        assert!((a.slowdown_pct - 10.0).abs() < 1e-9);
+        assert!((a.migration_pct - 6.0).abs() < 1e-9);
+        assert!((a.lookup_pct - 1.5).abs() < 1e-9);
+        assert!((a.table_traffic_pct - 1.0).abs() < 1e-9);
+        assert!((a.residual_pct - 1.5).abs() < 1e-9);
+        assert!((a.component_sum() - a.slowdown_pct).abs() < 1e-9);
+        assert!(a.residual_within(1.5 + 1e-9));
+        assert!(!a.residual_within(1.0));
+    }
+
+    #[test]
+    fn ablated_run_slower_than_full_yields_a_negative_component() {
+        // Behavioral drift can make an ablated run complete slightly less
+        // work; the component goes negative instead of clamping, so the
+        // sum identity still holds.
+        let a = Attribution::from_counts(AblationCounts {
+            baseline: 1_000,
+            full: 950,
+            free_migration: 940,
+            free_lookup: 950,
+            free_table_traffic: 950,
+        });
+        assert!(a.migration_pct < 0.0);
+        assert!((a.component_sum() - a.slowdown_pct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_baseline_reports_all_zeros() {
+        let a = Attribution::from_counts(AblationCounts {
+            baseline: 0,
+            full: 0,
+            free_migration: 0,
+            free_lookup: 0,
+            free_table_traffic: 0,
+        });
+        assert_eq!(a.slowdown_pct, 0.0);
+        assert_eq!(a.residual_pct, 0.0);
+        assert!(a.residual_within(0.0));
+    }
+
+    #[test]
+    fn unmitigated_speed_means_zero_everything() {
+        let a = Attribution::from_counts(AblationCounts {
+            baseline: 5_000,
+            full: 5_000,
+            free_migration: 5_000,
+            free_lookup: 5_000,
+            free_table_traffic: 5_000,
+        });
+        assert_eq!(a.slowdown_pct, 0.0);
+        assert_eq!(a.component_sum(), 0.0);
+    }
+}

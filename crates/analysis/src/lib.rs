@@ -12,11 +12,14 @@
 //! - the worst-case slowdown bounds of sections VI-C and VII-B —
 //!   [`dos`];
 //! - the power estimates of section V-H — [`power`];
-//! - the Rowhammer-threshold timeline of Figure 2 — [`thresholds`].
+//! - the Rowhammer-threshold timeline of Figure 2 — [`thresholds`];
+//! - the causal slowdown decomposition used by the attribution report —
+//!   [`attribution`].
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod attribution;
 pub mod dos;
 pub mod migration_model;
 pub mod power;

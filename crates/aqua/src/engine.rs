@@ -167,6 +167,9 @@ pub struct AquaEngine {
     health: FaultHealth,
     /// Victim-refresh rows issued by the degraded-bank fallback.
     victim_refreshes: u64,
+    /// Latest simulated timestamp seen (ps); timestamps the end-of-epoch
+    /// audit/degraded spans, since `end_epoch` carries no time.
+    last_ps: u64,
 }
 
 impl AquaEngine {
@@ -234,6 +237,7 @@ impl AquaEngine {
             degraded: BTreeSet::new(),
             health: FaultHealth::default(),
             victim_refreshes: 0,
+            last_ps: 0,
         })
     }
 
@@ -342,6 +346,9 @@ impl AquaEngine {
             if writes > 0 {
                 actions.push(MitigationAction::TableWrites { count: writes });
             }
+            self.telemetry
+                .span_start("aqua.evict", now.as_ps())
+                .end(now.as_ps());
             self.telemetry.record(
                 now.as_ps(),
                 EventKind::QuarantineOut {
@@ -371,6 +378,9 @@ impl AquaEngine {
             self.pending_interrupt = false;
             self.health.recovered += 1;
             self.counters.faults_recovered.inc();
+            self.telemetry
+                .span_start("aqua.fault_repair", now.as_ps())
+                .end(now.as_ps());
             return;
         }
         let from = match from_slot {
@@ -386,7 +396,10 @@ impl AquaEngine {
                 }
             },
         };
+        // RQA enqueue: pick the destination slot in the quarantine area.
+        let enqueue = self.telemetry.span_start("aqua.rqa_enqueue", now.as_ps());
         let alloc = self.rqa.allocate();
+        enqueue.end(now.as_ps());
         if alloc.reused_within_epoch {
             self.stats.violations += 1;
         }
@@ -408,6 +421,8 @@ impl AquaEngine {
                 to: self.config.rqa_slot_location(alloc.slot.index()),
             },
         });
+        // FPT/RPT update: commit the new forward mapping.
+        let table_update = self.telemetry.span_start("aqua.table_update", now.as_ps());
         let writes = match self.backend.map(row, alloc.slot) {
             Ok(w) => w,
             Err(_) => {
@@ -415,9 +430,11 @@ impl AquaEngine {
                 // state. Counted as a violation — with paper-sized tables
                 // this is unreachable.
                 self.stats.violations += 1;
+                table_update.cancel();
                 return;
             }
         };
+        table_update.end(now.as_ps());
         if writes > 0 {
             actions.push(MitigationAction::TableWrites { count: writes });
         }
@@ -491,6 +508,9 @@ impl AquaEngine {
         self.health.repairs += 1;
         self.health.recovered += 1;
         self.counters.faults_recovered.inc();
+        self.telemetry
+            .span_start("aqua.fault_repair", self.last_ps)
+            .end(self.last_ps);
     }
 
     /// Blast-radius neighbours (distance 1 and 2) of `phys`, for the
@@ -731,6 +751,7 @@ impl Mitigation for AquaEngine {
     }
 
     fn translate(&mut self, row: GlobalRowId, now: Time) -> Translation {
+        self.last_ps = now.as_ps();
         let (slot, dram_reads, outcome) = self.backend.lookup_slot(row);
         match outcome {
             Some(LookupOutcome::SingletonSkip) => {
@@ -810,6 +831,7 @@ impl Mitigation for AquaEngine {
     }
 
     fn on_activation(&mut self, phys: RowAddr, now: Time) -> Vec<MitigationAction> {
+        self.last_ps = now.as_ps();
         if !self.tracker.on_activation(phys).mitigate() {
             return Vec::new();
         }
@@ -819,10 +841,14 @@ impl Mitigation for AquaEngine {
             // Fallback protection for a bank whose tables went
             // unrecoverable: refresh the blast-radius neighbours instead of
             // migrating (weaker against Half-Double, but data-safe).
+            self.telemetry
+                .span_start("aqua.degraded_refresh", now.as_ps())
+                .end(now.as_ps());
             let rows = self.victim_rows(phys);
             self.victim_refreshes += rows.len() as u64;
             return vec![MitigationAction::RefreshRows(rows)];
         }
+        let sp = self.telemetry.span_start("aqua.quarantine", now.as_ps());
         let mut actions = Vec::new();
         if let Some(slot) = self.config.rqa_slot_of(phys) {
             // A quarantined row is hot at its RQA location: move it within
@@ -845,12 +871,20 @@ impl Mitigation for AquaEngine {
                 }
             }
         }
+        sp.end(now.as_ps());
         actions
     }
 
     fn end_epoch(&mut self) {
         if self.faults_active {
+            let sp = self.telemetry.span_start("aqua.audit", self.last_ps);
             self.audit_tables();
+            sp.end(self.last_ps);
+            if !self.degraded.is_empty() {
+                self.telemetry
+                    .span_start("aqua.degraded_epoch", self.last_ps)
+                    .end(self.last_ps);
+            }
             self.health.degraded_epochs += self.degraded.len() as u64;
         }
         self.tracker.end_epoch();

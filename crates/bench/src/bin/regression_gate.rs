@@ -1,0 +1,302 @@
+//! Performance-regression gate over a deterministic canary matrix.
+//!
+//! ```text
+//! regression_gate [--baseline FILE] [--out FILE] [--write-baseline]
+//!                 [--inject-slowdown PP]
+//! ```
+//!
+//! Runs three schemes (aqua-sram, aqua-mapped, rrs) x two workloads
+//! (mcf, povray) at pinned `epochs=1`, `T_RH=1000`, `seed=42`. For every
+//! cell it measures:
+//!
+//! - **slowdown** vs the unmitigated baseline (same seeded streams);
+//! - **migrations per epoch** (behavioral drift canary);
+//! - the **causal attribution decomposition** — three extra what-if
+//!   re-runs with one cost ablated each (`CostAblation`), decomposed by
+//!   `aqua_analysis::attribution` into migration-blocking, lookup-latency,
+//!   table-traffic, and residual components that sum to the slowdown;
+//! - **span-derived phase latencies** (p50/p99 of every `span.*` duration
+//!   histogram) when the `telemetry` feature is compiled in.
+//!
+//! The result is written to `--out` (default
+//! `target/experiments/BENCH_5.json`) and compared against the committed
+//! baseline (`--baseline`, default `BENCH_5.json`) with the per-metric
+//! tolerances of `aqua_bench::gate::tolerance`. Exit status: 0 = pass,
+//! 1 = regression (one line per violated tolerance on stderr), 2 = usage
+//! or I/O error.
+//!
+//! `--write-baseline` re-measures and overwrites the baseline file
+//! instead of comparing (use after an intentional perf change).
+//! `--inject-slowdown PP` adds PP percentage points to every cell's
+//! slowdown and residual after measurement — a synthetic regression used
+//! by CI to prove the gate actually fails.
+//!
+//! The simulator is deterministic (seeded streams, no wall-clock in
+//! results), so a re-run on unchanged code reproduces the baseline
+//! numbers exactly; `AQUA_BENCH_JOBS` only changes wall-clock time.
+
+use aqua_analysis::attribution::{AblationCounts, Attribution};
+use aqua_bench::gate::{self, CellAttribution, CellMetrics, GateReport, PhaseLatency};
+use aqua_bench::{pool, Harness, Scheme};
+use aqua_sim::CostAblation;
+use aqua_telemetry::Telemetry;
+
+const T_RH: u64 = 1000;
+const EPOCHS: u64 = 1;
+const SEED: u64 = 42;
+const SCHEMES: [Scheme; 3] = [Scheme::AquaSram, Scheme::AquaMapped, Scheme::Rrs];
+const WORKLOADS: [&str; 2] = ["mcf", "povray"];
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+/// One simulation of the canary: the unmitigated baseline for a workload,
+/// or a scheme cell under some ablation. Only the fully-costed scheme run
+/// (`ablate == NONE`) carries a telemetry hub for span latencies.
+#[derive(Clone, Copy)]
+struct Job {
+    scheme: Option<Scheme>,
+    workload: &'static str,
+    ablate: CostAblation,
+}
+
+struct JobResult {
+    requests_done: u64,
+    migrations_per_epoch: f64,
+    phases: Vec<PhaseLatency>,
+}
+
+fn run_job(harness: &Harness, job: &Job) -> JobResult {
+    let mut h = *harness;
+    h.ablate = job.ablate;
+    let Some(scheme) = job.scheme else {
+        let report = h.run(Scheme::Baseline, job.workload);
+        return JobResult {
+            requests_done: report.requests_done,
+            migrations_per_epoch: 0.0,
+            phases: Vec::new(),
+        };
+    };
+    let hub = (!job.ablate.any()).then(|| Telemetry::new(Default::default()));
+    let report = h.run_instrumented(scheme, job.workload, hub.as_ref());
+    let phases = hub
+        .and_then(|hub| hub.summary())
+        .map(|summary| {
+            summary
+                .histograms
+                .iter()
+                .filter(|(name, h)| name.starts_with("span.") && h.count > 0)
+                .map(|(name, h)| PhaseLatency {
+                    name: name.clone(),
+                    p50_ps: h.p50,
+                    p99_ps: h.p99,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    JobResult {
+        requests_done: report.requests_done,
+        migrations_per_epoch: report.migrations_per_epoch(),
+        phases,
+    }
+}
+
+fn measure(inject_pp: f64) -> Result<GateReport, String> {
+    let mut harness = Harness::new(T_RH);
+    harness.epochs = EPOCHS;
+    harness.seed = SEED;
+
+    // Job list: one unmitigated baseline per workload, then four runs
+    // (full + three single-cost ablations) per scheme x workload cell.
+    let variants = [
+        CostAblation::NONE,
+        CostAblation::FREE_MIGRATION,
+        CostAblation::FREE_LOOKUP,
+        CostAblation::FREE_TABLE_TRAFFIC,
+    ];
+    let mut jobs = Vec::new();
+    for &workload in &WORKLOADS {
+        jobs.push(Job {
+            scheme: None,
+            workload,
+            ablate: CostAblation::NONE,
+        });
+        for &scheme in &SCHEMES {
+            for &ablate in &variants {
+                jobs.push(Job {
+                    scheme: Some(scheme),
+                    workload,
+                    ablate,
+                });
+            }
+        }
+    }
+    eprintln!(
+        "regression gate: {} canary runs on {} workers...",
+        jobs.len(),
+        harness.jobs
+    );
+    let outcomes = pool::run_indexed(harness.jobs, &jobs, |_, job| run_job(&harness, job));
+    let mut results = Vec::with_capacity(jobs.len());
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        let name = job.scheme.map_or("baseline", Scheme::name);
+        results.push(outcome.map_err(|e| format!("{name}/{} failed: {e}", job.workload))?);
+    }
+
+    let find = |scheme: Option<Scheme>, workload: &str, ablate: CostAblation| -> &JobResult {
+        let idx = jobs
+            .iter()
+            .position(|j| j.scheme == scheme && j.workload == workload && j.ablate == ablate)
+            .expect("job exists by construction");
+        &results[idx]
+    };
+
+    let mut cells = Vec::new();
+    for &workload in &WORKLOADS {
+        let base = find(None, workload, CostAblation::NONE).requests_done;
+        for &scheme in &SCHEMES {
+            let full = find(Some(scheme), workload, CostAblation::NONE);
+            let attribution = Attribution::from_counts(AblationCounts {
+                baseline: base,
+                full: full.requests_done,
+                free_migration: find(Some(scheme), workload, CostAblation::FREE_MIGRATION)
+                    .requests_done,
+                free_lookup: find(Some(scheme), workload, CostAblation::FREE_LOOKUP).requests_done,
+                free_table_traffic: find(Some(scheme), workload, CostAblation::FREE_TABLE_TRAFFIC)
+                    .requests_done,
+            });
+            cells.push(CellMetrics {
+                scheme: scheme.name().to_string(),
+                workload: workload.to_string(),
+                slowdown_pct: attribution.slowdown_pct + inject_pp,
+                migrations_per_epoch: full.migrations_per_epoch,
+                attribution: CellAttribution {
+                    migration_pct: attribution.migration_pct,
+                    lookup_pct: attribution.lookup_pct,
+                    table_traffic_pct: attribution.table_traffic_pct,
+                    residual_pct: attribution.residual_pct + inject_pp,
+                },
+                phases: full.phases.clone(),
+            });
+        }
+    }
+    Ok(GateReport {
+        t_rh: T_RH,
+        epochs: EPOCHS,
+        seed: SEED,
+        telemetry: Telemetry::new(Default::default()).is_enabled(),
+        cells,
+    })
+}
+
+fn print_report(report: &GateReport) {
+    println!(
+        "\n== regression gate canary (T_RH={}, epochs={}, seed={}, telemetry={}) ==",
+        report.t_rh, report.epochs, report.seed, report.telemetry
+    );
+    println!(
+        "{:<12} {:<8} {:>9} {:>10} | {:>7} {:>7} {:>7} {:>8}",
+        "scheme", "workload", "slow(%)", "migr/ep", "M(%)", "L(%)", "Q(%)", "resid(%)"
+    );
+    for c in &report.cells {
+        println!(
+            "{:<12} {:<8} {:>9.3} {:>10.1} | {:>7.3} {:>7.3} {:>7.3} {:>8.3}",
+            c.scheme,
+            c.workload,
+            c.slowdown_pct,
+            c.migrations_per_epoch,
+            c.attribution.migration_pct,
+            c.attribution.lookup_pct,
+            c.attribution.table_traffic_pct,
+            c.attribution.residual_pct
+        );
+    }
+    for c in &report.cells {
+        for p in &c.phases {
+            println!(
+                "  {}/{} {:<26} p50={:>12.0} ps  p99={:>12.0} ps",
+                c.scheme, c.workload, p.name, p.p50_ps, p.p99_ps
+            );
+        }
+    }
+}
+
+fn main() {
+    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_5.json".into());
+    let out_path = arg("--out").unwrap_or_else(|| "target/experiments/BENCH_5.json".into());
+    let inject_pp: f64 = match arg("--inject-slowdown").map(|v| v.parse()) {
+        None => 0.0,
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!("--inject-slowdown takes a number (percentage points)");
+            std::process::exit(2);
+        }
+    };
+
+    let report = match measure(inject_pp) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("regression gate: canary run failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    print_report(&report);
+
+    if flag("--write-baseline") {
+        if let Err(e) = std::fs::write(&baseline_path, report.to_json()) {
+            eprintln!("regression gate: cannot write {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+        println!("\nwrote new baseline to {baseline_path}");
+        return;
+    }
+
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("regression gate: cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!("\nwrote current metrics to {out_path}");
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "regression gate: cannot read baseline {baseline_path}: {e}\n\
+                 (generate one with `regression_gate --write-baseline`)"
+            );
+            std::process::exit(2);
+        }
+    };
+    let baseline = match GateReport::from_json(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("regression gate: malformed baseline {baseline_path}: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let failures = gate::compare(&baseline, &report);
+    if failures.is_empty() {
+        println!(
+            "\nregression gate: PASS ({} cells within tolerance)",
+            baseline.cells.len()
+        );
+        return;
+    }
+    eprintln!("\nregression gate: FAIL");
+    for f in &failures {
+        eprintln!("  - {f}");
+    }
+    std::process::exit(1);
+}

@@ -3,7 +3,7 @@
 //! ```text
 //! simulate [--scheme NAME] [--workload NAME] [--trh N] [--epochs N]
 //!          [--trace-out FILE] [--timeseries-out FILE] [--histograms FILE]
-//!          [--trace-activates] [--trace-capacity N]
+//!          [--spans-out FILE] [--trace-activates] [--trace-capacity N]
 //! ```
 //!
 //! - `--scheme`: baseline | aqua-sram | aqua-mapped | rrs | victim-refresh |
@@ -11,8 +11,11 @@
 //! - `--workload`: any Table II name or `mixNN` (default mcf)
 //! - `--trh`: Rowhammer threshold (default 1000)
 //! - `--epochs`: 64 ms epochs to simulate (default 2)
-//! - `--trace-out`: write the event trace as a Chrome-loadable JSON file
-//!   (open in `chrome://tracing` or Perfetto)
+//! - `--trace-out`: write the event trace **and causal migration spans** as
+//!   a Chrome-loadable JSON file (open in `chrome://tracing` or Perfetto;
+//!   spans render as duration bars, events as instants)
+//! - `--spans-out`: write the completed spans as JSONL (one record per
+//!   span: id, parent, name, start/end/duration in ps)
 //! - `--timeseries-out`: write the per-epoch time series as JSONL (one
 //!   record per epoch: migrations, RQA occupancy, FPT-cache hit rate, ...)
 //! - `--histograms`: write the latency histograms (memory access, migration
@@ -30,7 +33,9 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use aqua_bench::{Harness, Scheme};
-use aqua_telemetry::export::{write_chrome_trace, write_epochs_jsonl, write_histogram_jsonl};
+use aqua_telemetry::export::{
+    write_chrome_trace_full, write_epochs_jsonl, write_histogram_jsonl, write_spans_jsonl,
+};
 use aqua_telemetry::{Telemetry, TelemetryConfig};
 
 fn arg(name: &str) -> Option<String> {
@@ -70,8 +75,11 @@ fn main() {
     let trace_out = arg("--trace-out");
     let timeseries_out = arg("--timeseries-out");
     let histograms_out = arg("--histograms");
-    let want_telemetry =
-        trace_out.is_some() || timeseries_out.is_some() || histograms_out.is_some();
+    let spans_out = arg("--spans-out");
+    let want_telemetry = trace_out.is_some()
+        || timeseries_out.is_some()
+        || histograms_out.is_some()
+        || spans_out.is_some();
     let telemetry = if want_telemetry {
         let mut cfg = TelemetryConfig {
             trace_activates: flag("--trace-activates"),
@@ -153,9 +161,20 @@ fn main() {
 
     if let Some(path) = trace_out {
         let events = hub.trace_events();
+        let spans = hub.spans();
         let mut w = BufWriter::new(File::create(&path).expect("create --trace-out file"));
-        write_chrome_trace(&mut w, events.iter()).expect("write Chrome trace");
-        println!("wrote {} trace events to {path}", events.len());
+        write_chrome_trace_full(&mut w, events.iter(), &spans).expect("write Chrome trace");
+        println!(
+            "wrote {} trace events and {} spans to {path}",
+            events.len(),
+            spans.len()
+        );
+    }
+    if let Some(path) = spans_out {
+        let spans = hub.spans();
+        let mut w = BufWriter::new(File::create(&path).expect("create --spans-out file"));
+        write_spans_jsonl(&mut w, &spans).expect("write spans JSONL");
+        println!("wrote {} span records to {path}", spans.len());
     }
     if let Some(path) = timeseries_out {
         let series = hub.epochs();

@@ -1,0 +1,745 @@
+//! Performance-regression gate: canary metrics, baseline file format, and
+//! tolerance-based comparison.
+//!
+//! The `regression_gate` binary runs a small canary matrix (three schemes x
+//! two workloads at pinned epochs/threshold/seed), measures slowdown,
+//! migration rate, the causal attribution decomposition, and span-derived
+//! phase latencies, and compares them against the committed baseline
+//! (`BENCH_5.json` at the repo root). The simulator is fully deterministic,
+//! so an identical re-run reproduces the baseline exactly; the tolerances
+//! below exist to absorb intentional small drift (a retuned constant, an
+//! extra bookkeeping access) while still catching real regressions.
+//!
+//! The baseline file is JSON. The workspace has no JSON dependency, so this
+//! module carries a small recursive-descent parser for the subset the gate
+//! emits (objects, arrays, strings, finite numbers, booleans, null).
+
+use std::fmt::Write as _;
+
+/// Gate tolerances (documented in DESIGN.md section 11).
+pub mod tolerance {
+    /// Slowdown may grow by at most this many percentage points.
+    pub const SLOWDOWN_PP: f64 = 2.0;
+    /// Migrations per epoch may deviate (either direction) by this relative
+    /// fraction — behavioral drift, not just a perf change.
+    pub const MIGRATIONS_REL: f64 = 0.10;
+    /// The attribution residual (interaction terms + drift) must stay
+    /// within this many percentage points of zero.
+    pub const RESIDUAL_PP: f64 = 1.0;
+    /// A span-phase p50/p99 latency may grow by this relative fraction.
+    pub const PHASE_REL: f64 = 0.25;
+    /// Phase latencies below this floor (in ps) are never compared: at
+    /// sub-nanosecond scale a one-bucket histogram shift is pure noise.
+    pub const PHASE_FLOOR_PS: f64 = 1_000.0;
+}
+
+/// Span-derived latency of one migration phase, from the full run's
+/// telemetry summary (`span.<name>` histograms). Empty when the build has
+/// telemetry compiled out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseLatency {
+    /// Histogram name (e.g. `span.migration.install`).
+    pub name: String,
+    /// Median duration in picoseconds.
+    pub p50_ps: f64,
+    /// 99th-percentile duration in picoseconds.
+    pub p99_ps: f64,
+}
+
+/// Attribution components for one cell, in percent of baseline throughput.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellAttribution {
+    /// Slowdown recovered by zeroing migration channel-blocking.
+    pub migration_pct: f64,
+    /// Slowdown recovered by zeroing table-lookup latency.
+    pub lookup_pct: f64,
+    /// Slowdown recovered by zeroing table bus traffic.
+    pub table_traffic_pct: f64,
+    /// `slowdown - (migration + lookup + table_traffic)`.
+    pub residual_pct: f64,
+}
+
+/// All gated metrics for one `(scheme, workload)` canary cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// Scheme name (`aqua-sram`, `aqua-mapped`, `rrs`).
+    pub scheme: String,
+    /// Workload name.
+    pub workload: String,
+    /// Measured slowdown vs the unmitigated baseline, percent.
+    pub slowdown_pct: f64,
+    /// Row migrations per 64 ms epoch in the fully-costed run.
+    pub migrations_per_epoch: f64,
+    /// Causal slowdown decomposition from the ablation re-runs.
+    pub attribution: CellAttribution,
+    /// Span-derived phase latencies (empty when telemetry is off).
+    pub phases: Vec<PhaseLatency>,
+}
+
+/// The whole gate report / baseline file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Rowhammer threshold the canary ran at.
+    pub t_rh: u64,
+    /// Simulated epochs per run.
+    pub epochs: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Whether the producing build had telemetry compiled in (controls
+    /// whether phase latencies are compared).
+    pub telemetry: bool,
+    /// One entry per canary cell, in matrix order.
+    pub cells: Vec<CellMetrics>,
+}
+
+/// Formats a float so that parsing it back yields the identical `f64`
+/// (Rust's shortest-roundtrip `Display`). Non-finite values — which valid
+/// gate metrics never produce — serialize as 0 to keep the JSON parseable.
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl GateReport {
+    /// Renders the report as a pretty-printed JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\n  \"schema\": \"aqua-bench-gate-v1\",\n  \"t_rh\": {},\n  \
+             \"epochs\": {},\n  \"seed\": {},\n  \"telemetry\": {},\n  \"cells\": [",
+            self.t_rh, self.epochs, self.seed, self.telemetry
+        );
+        for (i, c) in self.cells.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"scheme\": ");
+            push_json_str(&mut out, &c.scheme);
+            out.push_str(",\n      \"workload\": ");
+            push_json_str(&mut out, &c.workload);
+            let _ = write!(
+                out,
+                ",\n      \"slowdown_pct\": {},\n      \"migrations_per_epoch\": {},\n      \
+                 \"attribution\": {{\"migration_pct\": {}, \"lookup_pct\": {}, \
+                 \"table_traffic_pct\": {}, \"residual_pct\": {}}},\n      \"phases\": [",
+                num(c.slowdown_pct),
+                num(c.migrations_per_epoch),
+                num(c.attribution.migration_pct),
+                num(c.attribution.lookup_pct),
+                num(c.attribution.table_traffic_pct),
+                num(c.attribution.residual_pct)
+            );
+            for (j, p) in c.phases.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        {\"name\": ");
+                push_json_str(&mut out, &p.name);
+                let _ = write!(
+                    out,
+                    ", \"p50_ps\": {}, \"p99_ps\": {}}}",
+                    num(p.p50_ps),
+                    num(p.p99_ps)
+                );
+            }
+            if !c.phases.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a baseline file produced by [`GateReport::to_json`].
+    pub fn from_json(text: &str) -> Result<GateReport, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("top level is not an object")?;
+        match json::get(obj, "schema").and_then(JsonValue::as_str) {
+            Some("aqua-bench-gate-v1") => {}
+            Some(other) => return Err(format!("unknown schema {other:?}")),
+            None => return Err("missing \"schema\"".into()),
+        }
+        let field_u64 = |name: &str| -> Result<u64, String> {
+            json::get(obj, name)
+                .and_then(JsonValue::as_f64)
+                .map(|f| f as u64)
+                .ok_or_else(|| format!("missing numeric field {name:?}"))
+        };
+        let cells_v = json::get(obj, "cells")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing \"cells\" array")?;
+        let mut cells = Vec::new();
+        for cv in cells_v {
+            let co = cv.as_obj().ok_or("cell is not an object")?;
+            let sfield = |name: &str| -> Result<String, String> {
+                json::get(co, name)
+                    .and_then(JsonValue::as_str)
+                    .map(String::from)
+                    .ok_or_else(|| format!("cell missing string field {name:?}"))
+            };
+            let nfield = |name: &str| -> Result<f64, String> {
+                json::get(co, name)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("cell missing numeric field {name:?}"))
+            };
+            let ao = json::get(co, "attribution")
+                .and_then(JsonValue::as_obj)
+                .ok_or("cell missing \"attribution\"")?;
+            let afield = |name: &str| -> Result<f64, String> {
+                json::get(ao, name)
+                    .and_then(JsonValue::as_f64)
+                    .ok_or_else(|| format!("attribution missing field {name:?}"))
+            };
+            let mut phases = Vec::new();
+            for pv in json::get(co, "phases")
+                .and_then(JsonValue::as_arr)
+                .ok_or("cell missing \"phases\"")?
+            {
+                let po = pv.as_obj().ok_or("phase is not an object")?;
+                let pget = |name: &str| -> Result<f64, String> {
+                    json::get(po, name)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("phase missing field {name:?}"))
+                };
+                phases.push(PhaseLatency {
+                    name: json::get(po, "name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or("phase missing \"name\"")?
+                        .to_string(),
+                    p50_ps: pget("p50_ps")?,
+                    p99_ps: pget("p99_ps")?,
+                });
+            }
+            cells.push(CellMetrics {
+                scheme: sfield("scheme")?,
+                workload: sfield("workload")?,
+                slowdown_pct: nfield("slowdown_pct")?,
+                migrations_per_epoch: nfield("migrations_per_epoch")?,
+                attribution: CellAttribution {
+                    migration_pct: afield("migration_pct")?,
+                    lookup_pct: afield("lookup_pct")?,
+                    table_traffic_pct: afield("table_traffic_pct")?,
+                    residual_pct: afield("residual_pct")?,
+                },
+                phases,
+            });
+        }
+        Ok(GateReport {
+            t_rh: field_u64("t_rh")?,
+            epochs: field_u64("epochs")?,
+            seed: field_u64("seed")?,
+            telemetry: json::get(obj, "telemetry")
+                .and_then(JsonValue::as_bool)
+                .ok_or("missing boolean field \"telemetry\"")?,
+            cells,
+        })
+    }
+}
+
+/// Compares `current` against the committed `baseline` and returns one
+/// human-readable line per violated tolerance (empty = gate passes).
+///
+/// Span-phase latencies are only compared when **both** reports were
+/// produced with telemetry compiled in; a feature-off build gates on the
+/// behavioral metrics alone.
+pub fn compare(baseline: &GateReport, current: &GateReport) -> Vec<String> {
+    use tolerance::*;
+    let mut failures = Vec::new();
+    if (baseline.t_rh, baseline.epochs, baseline.seed)
+        != (current.t_rh, current.epochs, current.seed)
+    {
+        failures.push(format!(
+            "canary configuration changed: baseline (t_rh={}, epochs={}, seed={}) \
+             vs current (t_rh={}, epochs={}, seed={}) — regenerate the baseline",
+            baseline.t_rh,
+            baseline.epochs,
+            baseline.seed,
+            current.t_rh,
+            current.epochs,
+            current.seed
+        ));
+        return failures;
+    }
+    for b in &baseline.cells {
+        let id = format!("{}/{}", b.scheme, b.workload);
+        let Some(c) = current
+            .cells
+            .iter()
+            .find(|c| c.scheme == b.scheme && c.workload == b.workload)
+        else {
+            failures.push(format!("{id}: cell missing from current run"));
+            continue;
+        };
+        if c.slowdown_pct > b.slowdown_pct + SLOWDOWN_PP {
+            failures.push(format!(
+                "{id}: slowdown {:.2}% exceeds baseline {:.2}% by more than {SLOWDOWN_PP} pp",
+                c.slowdown_pct, b.slowdown_pct
+            ));
+        }
+        let mig_bound = b.migrations_per_epoch.abs().max(1.0) * MIGRATIONS_REL;
+        if (c.migrations_per_epoch - b.migrations_per_epoch).abs() > mig_bound {
+            failures.push(format!(
+                "{id}: migrations/epoch {:.1} drifted from baseline {:.1} by more than {:.0}%",
+                c.migrations_per_epoch,
+                b.migrations_per_epoch,
+                MIGRATIONS_REL * 100.0
+            ));
+        }
+        if c.attribution.residual_pct.abs() > RESIDUAL_PP {
+            failures.push(format!(
+                "{id}: attribution residual {:.2} pp exceeds the {RESIDUAL_PP} pp tolerance \
+                 (components no longer explain the slowdown)",
+                c.attribution.residual_pct
+            ));
+        }
+        if baseline.telemetry && current.telemetry {
+            for bp in &b.phases {
+                let Some(cp) = c.phases.iter().find(|p| p.name == bp.name) else {
+                    failures.push(format!("{id}: phase {} missing from current run", bp.name));
+                    continue;
+                };
+                for (metric, bv, cv) in
+                    [("p50", bp.p50_ps, cp.p50_ps), ("p99", bp.p99_ps, cp.p99_ps)]
+                {
+                    if bv < PHASE_FLOOR_PS && cv < PHASE_FLOOR_PS {
+                        continue;
+                    }
+                    if cv > bv * (1.0 + PHASE_REL) + PHASE_FLOOR_PS {
+                        failures.push(format!(
+                            "{id}: {} {metric} {cv:.0} ps exceeds baseline {bv:.0} ps \
+                             by more than {:.0}%",
+                            bp.name,
+                            PHASE_REL * 100.0
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    failures
+}
+
+/// Minimal JSON value for the baseline parser.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any finite number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order (duplicate keys keep the first).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value as an object's field list, if it is one.
+    pub fn as_obj(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// The hand-rolled JSON-subset parser (no external dependencies).
+pub mod json {
+    use super::JsonValue;
+
+    /// Looks up `name` in an object's field list.
+    pub fn get<'a>(obj: &'a [(String, JsonValue)], name: &str) -> Option<&'a JsonValue> {
+        obj.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek() == Some(b) {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!(
+                    "expected {:?} at byte {}, found {:?}",
+                    b as char,
+                    self.pos,
+                    self.peek().map(|c| c as char)
+                ))
+            }
+        }
+
+        fn eat_keyword(&mut self, word: &str) -> bool {
+            if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+                self.pos += word.len();
+                true
+            } else {
+                false
+            }
+        }
+
+        fn value(&mut self) -> Result<JsonValue, String> {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+                Some(b't') if self.eat_keyword("true") => Ok(JsonValue::Bool(true)),
+                Some(b'f') if self.eat_keyword("false") => Ok(JsonValue::Bool(false)),
+                Some(b'n') if self.eat_keyword("null") => Ok(JsonValue::Null),
+                Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+                other => Err(format!(
+                    "unexpected {:?} at byte {}",
+                    other.map(|c| c as char),
+                    self.pos
+                )),
+            }
+        }
+
+        fn object(&mut self) -> Result<JsonValue, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                let value = self.value()?;
+                fields.push((key, value));
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b'}') => {
+                        self.pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or '}}' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|c| c as char)
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<JsonValue, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.peek() {
+                    Some(b',') => self.pos += 1,
+                    Some(b']') => {
+                        self.pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected ',' or ']' at byte {}, found {:?}",
+                            self.pos,
+                            other.map(|c| c as char)
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.peek() {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.pos += 1;
+                        match self.peek() {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .bytes
+                                    .get(self.pos + 1..self.pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let hex = std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?;
+                                let code = u32::from_str_radix(hex, 16)
+                                    .map_err(|_| format!("bad \\u escape {hex:?}"))?;
+                                // Surrogate pairs are not emitted by the gate
+                                // writer; map them to the replacement char.
+                                out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                self.pos += 4;
+                            }
+                            other => {
+                                return Err(format!(
+                                    "bad escape {:?} at byte {}",
+                                    other.map(|c| c as char),
+                                    self.pos
+                                ))
+                            }
+                        }
+                        self.pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (the input is a &str, so
+                        // byte boundaries are safe to find this way).
+                        let start = self.pos;
+                        self.pos += 1;
+                        while self.pos < self.bytes.len()
+                            && (self.bytes[self.pos] & 0b1100_0000) == 0b1000_0000
+                        {
+                            self.pos += 1;
+                        }
+                        out.push_str(
+                            std::str::from_utf8(&self.bytes[start..self.pos])
+                                .map_err(|_| "invalid UTF-8 in string")?,
+                        );
+                    }
+                }
+            }
+        }
+
+        fn number(&mut self) -> Result<JsonValue, String> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+            {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| "invalid number bytes")?;
+            text.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GateReport {
+        GateReport {
+            t_rh: 1000,
+            epochs: 1,
+            seed: 42,
+            telemetry: true,
+            cells: vec![CellMetrics {
+                scheme: "aqua-sram".into(),
+                workload: "mcf".into(),
+                slowdown_pct: 1.25,
+                migrations_per_epoch: 37.0,
+                attribution: CellAttribution {
+                    migration_pct: 0.9,
+                    lookup_pct: 0.2,
+                    table_traffic_pct: 0.1,
+                    residual_pct: 0.05,
+                },
+                phases: vec![PhaseLatency {
+                    name: "span.migration.install".into(),
+                    p50_ps: 1_372_000.0,
+                    p99_ps: 1_372_000.0,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn report_roundtrips_through_json_exactly() {
+        let r = sample();
+        let parsed = GateReport::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parser_handles_escapes_nesting_and_rejects_garbage() {
+        let v = json::parse(r#"{"a\n\"b":[1,-2.5e3,true,null,{"x":[]}]}"#).unwrap();
+        let obj = v.as_obj().unwrap();
+        let arr = json::get(obj, "a\n\"b").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2500.0));
+        assert_eq!(arr[2].as_bool(), Some(true));
+        assert_eq!(arr[3], JsonValue::Null);
+        assert!(json::parse("{\"a\":1}x").is_err());
+        assert!(json::parse("[1,]").is_err());
+        assert!(json::parse("").is_err());
+        assert_eq!(
+            json::parse("\"caf\\u00e9\"").unwrap().as_str(),
+            Some("café")
+        );
+    }
+
+    #[test]
+    fn identical_reports_pass_the_gate() {
+        let r = sample();
+        assert!(compare(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn injected_slowdown_and_residual_fail_the_gate() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.cells[0].slowdown_pct += 10.0;
+        cur.cells[0].attribution.residual_pct += 10.0;
+        let failures = compare(&base, &cur);
+        assert_eq!(failures.len(), 2, "{failures:?}");
+        assert!(failures[0].contains("slowdown"), "{failures:?}");
+        assert!(failures[1].contains("residual"), "{failures:?}");
+    }
+
+    #[test]
+    fn migration_drift_fails_in_both_directions() {
+        let base = sample();
+        for factor in [0.5, 2.0] {
+            let mut cur = base.clone();
+            cur.cells[0].migrations_per_epoch *= factor;
+            let failures = compare(&base, &cur);
+            assert!(
+                failures.iter().any(|f| f.contains("migrations/epoch")),
+                "factor {factor}: {failures:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_latencies_gate_only_when_both_sides_have_telemetry() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.cells[0].phases[0].p99_ps *= 2.0;
+        assert!(compare(&base, &cur)
+            .iter()
+            .any(|f| f.contains("span.migration.install")));
+        // Telemetry off on one side: the phase comparison is skipped.
+        let mut cur_off = cur.clone();
+        cur_off.telemetry = false;
+        assert!(compare(&base, &cur_off).is_empty());
+    }
+
+    #[test]
+    fn missing_cell_and_changed_config_fail() {
+        let base = sample();
+        let mut empty = base.clone();
+        empty.cells.clear();
+        assert!(compare(&base, &empty)[0].contains("missing"));
+        let mut retuned = base.clone();
+        retuned.t_rh = 500;
+        assert!(compare(&base, &retuned)[0].contains("configuration changed"));
+    }
+
+    #[test]
+    fn sub_nanosecond_phases_are_never_compared() {
+        let mut base = sample();
+        base.cells[0].phases[0].p50_ps = 10.0;
+        base.cells[0].phases[0].p99_ps = 10.0;
+        let mut cur = base.clone();
+        cur.cells[0].phases[0].p50_ps = 900.0; // 90x, but below the floor
+        cur.cells[0].phases[0].p99_ps = 900.0;
+        assert!(compare(&base, &cur).is_empty());
+    }
+}

@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod gate;
 mod matrix;
 pub mod output;
 pub mod pool;
@@ -39,7 +40,7 @@ use aqua_dram::mitigation::{Mitigation, NoMitigation};
 use aqua_dram::BaselineConfig;
 use aqua_faults::{derive_cell_seed, FaultSpec};
 use aqua_rrs::{RrsConfig, RrsEngine};
-use aqua_sim::{RunReport, SimConfig, Simulation};
+use aqua_sim::{CostAblation, RunReport, SimConfig, Simulation};
 use aqua_telemetry::Telemetry;
 use aqua_workload::{mix_table, spec, AddressSpace, RequestGenerator};
 
@@ -96,6 +97,10 @@ pub struct Harness {
     /// inside its pool job (`DramError::WatchdogExpired`) and surfaces as a
     /// failed matrix cell instead of hanging the campaign.
     pub watchdog: Option<std::time::Duration>,
+    /// Cost-ablation knobs applied to every simulation this harness runs
+    /// (the attribution report's what-if re-runs). `CostAblation::NONE`
+    /// is the normal, fully-costed configuration.
+    pub ablate: CostAblation,
 }
 
 /// Parses an integer environment value, warning — instead of silently
@@ -144,6 +149,7 @@ impl Harness {
             jobs,
             faults: None,
             watchdog: None,
+            ablate: CostAblation::NONE,
         }
     }
 
@@ -240,7 +246,8 @@ impl Harness {
     fn sim_config(&self, scheme_name: &str, workload: &str) -> SimConfig {
         let mut cfg = SimConfig::new(self.base)
             .epochs(self.epochs)
-            .t_rh(self.t_rh);
+            .t_rh(self.t_rh)
+            .ablate(self.ablate);
         if let Some(spec) = self.faults {
             cfg = cfg.faults(FaultSpec {
                 seed: derive_cell_seed(spec.seed, scheme_name, workload),
@@ -442,6 +449,7 @@ mod tests {
             jobs: 1,
             faults: None,
             watchdog: None,
+            ablate: CostAblation::NONE,
         }
     }
 
@@ -455,6 +463,7 @@ mod tests {
             jobs,
             faults: None,
             watchdog: None,
+            ablate: CostAblation::NONE,
         }
     }
 
@@ -578,6 +587,77 @@ mod tests {
             assert_eq!(hub_serial.summary(), hub_parallel.summary());
             assert_eq!(hub_serial.epochs(), hub_parallel.epochs());
             assert!(hub_serial.summary().unwrap().counter("sim.activations") > Some(0));
+        }
+    }
+
+    /// A reduced AQUA configuration that fits `BaselineConfig::tiny` (the
+    /// paper-scale table sizing does not), so whole fault campaigns run in
+    /// a unit test.
+    fn tiny_aqua_engine(base: &BaselineConfig) -> AquaEngine {
+        let mut cfg = AquaConfig::for_rowhammer_threshold(20, base);
+        cfg.tracker_entries_per_bank = 64;
+        cfg.rqa_rows = 8;
+        cfg.fpt_entries = 64;
+        AquaEngine::new(cfg).expect("tiny AQUA config is valid")
+    }
+
+    /// Satellite check for the span layer: span **and** fault telemetry
+    /// recorded through per-job [`Telemetry::fork`]s and merged back with
+    /// [`Telemetry::merge_from`] must be identical whether the campaign ran
+    /// serially or on two workers — while the engines actually pass through
+    /// degraded-mode epochs (fault-heavy tiny AQUA cells).
+    #[test]
+    fn span_and_fault_telemetry_merge_survives_degraded_epochs() {
+        fn run(jobs: usize) -> (Telemetry, Vec<RunReport>) {
+            let mut h = sim_harness(jobs);
+            h.faults = Some(FaultSpec {
+                seed: 11,
+                events_per_epoch: 24,
+            });
+            let hub = Telemetry::new(Default::default());
+            // Workloads without Table II hot rows: their hot-row indices
+            // would fall outside BaselineConfig::tiny's address space.
+            let workloads = ["povray", "namd", "leela"];
+            let outcomes = pool::run_indexed(jobs, &workloads, |_, w| {
+                let fork = hub.fork();
+                let engine = tiny_aqua_engine(&h.base);
+                let (report, _) = h.run_engine(engine, w, Some(&fork));
+                (report, fork)
+            });
+            let reports = outcomes
+                .into_iter()
+                .map(|outcome| {
+                    let (report, fork) = outcome.expect("cell completes");
+                    hub.merge_from(&fork);
+                    report
+                })
+                .collect();
+            (hub, reports)
+        }
+        let (hub_serial, reports_serial) = run(1);
+        let (hub_parallel, reports_parallel) = run(2);
+        assert_eq!(reports_serial, reports_parallel);
+        // The campaign actually exercised what it claims to: faults were
+        // injected and at least one bank spent epochs in degraded mode.
+        let degraded: u64 = reports_serial
+            .iter()
+            .map(|r| r.faults.degraded_epochs)
+            .sum();
+        let injected: u64 = reports_serial.iter().map(|r| r.faults.injected).sum();
+        assert!(injected > 0, "no faults dispatched");
+        assert!(
+            degraded > 0,
+            "no degraded-mode epochs; raise the fault rate"
+        );
+        if hub_serial.is_enabled() {
+            let serial = hub_serial.summary().unwrap();
+            assert_eq!(Some(&serial), hub_parallel.summary().as_ref());
+            assert!(serial.spans_recorded > 0, "no spans crossed the merge");
+            assert!(
+                serial.histogram("span.sim.mitigation").is_some(),
+                "merged span stats must keep per-name histograms"
+            );
+            assert!(serial.counter("aqua.faults_injected") > Some(0));
         }
     }
 

@@ -148,6 +148,9 @@ impl RrsEngine {
                 self.stats.violations += 1;
             }
             self.counters.unswaps.inc();
+            self.telemetry
+                .span_start("rrs.unswap", now.as_ps())
+                .end(now.as_ps());
             if let Some((a, b)) = self.last_unswapped {
                 self.telemetry.record(
                     now.as_ps(),
@@ -262,6 +265,7 @@ impl Mitigation for RrsEngine {
                 self.stats.violations += 1;
                 return actions;
             }
+            let sp = self.telemetry.span_start("rrs.reswap", now.as_ps());
             self.make_room(now, &mut actions);
             let a = self.random_unswapped(&[logical, phys_id]);
             self.rit.insert_pair(logical, a, self.epoch);
@@ -303,8 +307,10 @@ impl Mitigation for RrsEngine {
             }
             self.stats.reswaps += 1;
             self.counters.reswaps.inc();
+            sp.end(now.as_ps());
         } else {
             // First swap of an unswapped row: two row migrations.
+            let sp = self.telemetry.span_start("rrs.swap", now.as_ps());
             self.make_room(now, &mut actions);
             let dest = self.random_unswapped(&[phys_id]);
             self.rit.insert_pair(phys_id, dest, self.epoch);
@@ -328,6 +334,7 @@ impl Mitigation for RrsEngine {
             }
             self.stats.swaps += 1;
             self.counters.swaps.inc();
+            sp.end(now.as_ps());
         }
         actions
     }

@@ -1,0 +1,88 @@
+//! Causal cost ablation: what-if knobs for slowdown attribution.
+//!
+//! The paper's §IV-G explains a mitigation's slowdown as the sum of
+//! first-order costs (exclusive channel blocking during migrations, table
+//! lookups on the access critical path, extra table traffic queueing on the
+//! bus). Measuring those costs from one run is unreliable — the MLP-limited
+//! cores absorb part of every stall — so the attribution report instead
+//! *re-runs* the identical seeded simulation with one cost zeroed at a time
+//! and measures how much work comes back. Each knob removes one cost's
+//! timing effect while leaving the mitigation's behavior (which rows
+//! migrate, what the tables contain, what the tracker sees) untouched.
+
+/// Which mitigation costs the simulator should pretend are free.
+///
+/// All false (the default) is the normal, fully-costed simulation.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CostAblation {
+    /// Row migrations (`BlockChannel` actions) hold the channel for zero
+    /// time: quarantine/swap decisions still happen, data still moves in the
+    /// shadow memory, but demand traffic never waits behind a migration.
+    pub free_migration_blocking: bool,
+    /// Mapping-table lookups cost zero critical-path latency: the SRAM
+    /// lookup is instant and any in-DRAM table walk happens off the access's
+    /// critical path (its bus/bank traffic still occurs).
+    pub free_lookup_latency: bool,
+    /// The mitigation's extra table traffic (in-DRAM FPT/RPT reads and
+    /// `TableWrites`) occupies the bus for zero time, removing the queueing
+    /// pressure that traffic adds to demand bursts.
+    pub free_table_traffic: bool,
+}
+
+impl CostAblation {
+    /// No cost is ablated (the fully-costed run).
+    pub const NONE: CostAblation = CostAblation {
+        free_migration_blocking: false,
+        free_lookup_latency: false,
+        free_table_traffic: false,
+    };
+
+    /// Only migration blocking is free.
+    pub const FREE_MIGRATION: CostAblation = CostAblation {
+        free_migration_blocking: true,
+        ..Self::NONE
+    };
+
+    /// Only lookup latency is free.
+    pub const FREE_LOOKUP: CostAblation = CostAblation {
+        free_lookup_latency: true,
+        ..Self::NONE
+    };
+
+    /// Only table traffic is free.
+    pub const FREE_TABLE_TRAFFIC: CostAblation = CostAblation {
+        free_table_traffic: true,
+        ..Self::NONE
+    };
+
+    /// Whether any cost is ablated.
+    pub fn any(&self) -> bool {
+        self.free_migration_blocking || self.free_lookup_latency || self.free_table_traffic
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_flip_exactly_one_knob() {
+        assert!(!CostAblation::NONE.any());
+        assert!(CostAblation::default() == CostAblation::NONE);
+        for (preset, expect) in [
+            (CostAblation::FREE_MIGRATION, (true, false, false)),
+            (CostAblation::FREE_LOOKUP, (false, true, false)),
+            (CostAblation::FREE_TABLE_TRAFFIC, (false, false, true)),
+        ] {
+            assert!(preset.any());
+            assert_eq!(
+                (
+                    preset.free_migration_blocking,
+                    preset.free_lookup_latency,
+                    preset.free_table_traffic
+                ),
+                expect
+            );
+        }
+    }
+}

@@ -50,12 +50,14 @@
 // failing).
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod ablation;
 mod core_model;
 mod oracle;
 mod report;
 mod shadow;
 mod system;
 
+pub use ablation::CostAblation;
 pub use core_model::CoreState;
 pub use oracle::{ActivationOracle, OracleSummary};
 pub use report::{gmean, RunReport};

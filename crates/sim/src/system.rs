@@ -1,7 +1,9 @@
 //! The system simulator: cores + channel + banks + mitigation + oracle.
 
-use crate::{ActivationOracle, CoreState, RunReport, ShadowMemory};
-use aqua_dram::mitigation::{DegradedMode, Mitigation, MitigationAction, MitigationStats};
+use crate::{ActivationOracle, CoreState, CostAblation, RunReport, ShadowMemory};
+use aqua_dram::mitigation::{
+    DegradedMode, MigrationKind, Mitigation, MitigationAction, MitigationStats,
+};
 use aqua_dram::{
     Bank, BaselineConfig, Channel, ChannelStats, DramError, Duration, GlobalRowId,
     RefreshScheduler, Time,
@@ -29,6 +31,9 @@ pub struct SimConfig {
     /// catches the unwind and converts the hung cell into a failed cell
     /// instead of stalling the campaign.
     pub watchdog: Option<std::time::Duration>,
+    /// Which mitigation costs to pretend are free (slowdown attribution's
+    /// what-if runs; [`CostAblation::NONE`] is the normal simulation).
+    pub ablate: CostAblation,
 }
 
 impl SimConfig {
@@ -40,6 +45,7 @@ impl SimConfig {
             t_rh: 1000,
             faults: None,
             watchdog: None,
+            ablate: CostAblation::NONE,
         }
     }
 
@@ -64,6 +70,12 @@ impl SimConfig {
     /// Sets the per-run wall-clock watchdog budget.
     pub fn watchdog(mut self, budget: std::time::Duration) -> Self {
         self.watchdog = Some(budget);
+        self
+    }
+
+    /// Marks mitigation costs as free for a what-if attribution run.
+    pub fn ablate(mut self, ablate: CostAblation) -> Self {
+        self.ablate = ablate;
         self
     }
 }
@@ -209,6 +221,19 @@ impl<M: Mitigation> Simulation<M> {
         &self.oracle
     }
 
+    /// Chrome-trace span name for one migration kind.
+    fn migration_span_name(kind: MigrationKind) -> &'static str {
+        match kind {
+            MigrationKind::QuarantineInstall => "migration.install",
+            MigrationKind::QuarantineInternal => "migration.internal",
+            MigrationKind::QuarantineEvict => "migration.evict",
+            MigrationKind::Swap => "migration.swap",
+            MigrationKind::Unswap => "migration.unswap",
+        }
+    }
+
+    /// Applies `actions`, opening a child span per action; returns the
+    /// (possibly throttle-delayed) request completion time.
     fn apply_actions(
         &mut self,
         actions: Vec<MitigationAction>,
@@ -218,13 +243,24 @@ impl<M: Mitigation> Simulation<M> {
         for action in actions {
             match action {
                 MitigationAction::BlockChannel {
-                    duration, movement, ..
+                    duration,
+                    kind,
+                    movement,
                 } => {
-                    self.channel.reserve_migration(at, duration);
+                    let duration = if self.cfg.ablate.free_migration_blocking {
+                        Duration::ZERO
+                    } else {
+                        duration
+                    };
+                    let start = self.channel.reserve_migration(at, duration);
+                    self.telemetry
+                        .span_start(Self::migration_span_name(kind), start.as_ps())
+                        .end((start + duration).as_ps());
                     self.migration_hist.record(duration.as_ps());
                     self.shadow.apply(movement);
                 }
                 MitigationAction::RefreshRows(rows) => {
+                    let sp = self.telemetry.span_start("sim.victim_refresh", at.as_ps());
                     for r in rows {
                         self.banks[r.bank.index() as usize].refresh_row(r.row, at);
                         // Victim refreshes are activations the *oracle* sees
@@ -232,17 +268,47 @@ impl<M: Mitigation> Simulation<M> {
                         // blind spot.
                         self.oracle.record_refresh(r);
                     }
+                    sp.end(at.as_ps());
                 }
                 MitigationAction::Throttle { delay } => {
+                    self.telemetry
+                        .span_start("sim.throttle", completion.as_ps())
+                        .end((completion + delay).as_ps());
                     completion += delay;
                 }
                 MitigationAction::TableWrites { count } => {
+                    let dur = if self.cfg.ablate.free_table_traffic {
+                        Duration::ZERO
+                    } else {
+                        self.burst
+                    };
+                    let sp = self.telemetry.span_start("sim.table_writes", at.as_ps());
+                    let mut last = at;
                     for _ in 0..count {
-                        self.channel.reserve_table_access(at, self.burst);
+                        last = self.channel.reserve_table_access(at, dur) + dur;
                     }
+                    sp.end(last.as_ps());
                 }
             }
         }
+        completion
+    }
+
+    /// Consults the mitigation about an activation of `phys` at `at` and
+    /// applies whatever it orders, wrapped in a `sim.mitigation` root span
+    /// so the engine's decision spans and the per-action migration spans
+    /// nest under one causal record. The root is committed only when the
+    /// consultation did something (returned actions or opened child spans).
+    fn consult_mitigation(&mut self, phys: aqua_dram::RowAddr, at: Time, completion: Time) -> Time {
+        let sp = self.telemetry.span_start("sim.mitigation", at.as_ps());
+        let actions = self.notify_activation(phys, at);
+        if actions.is_empty() {
+            sp.end_if_used(at.as_ps());
+            return completion;
+        }
+        let completion = self.apply_actions(actions, at, completion);
+        let busy_until = self.channel.blocked_until().max(completion).max(at);
+        sp.end(busy_until.as_ps());
         completion
     }
 
@@ -320,31 +386,69 @@ impl<M: Mitigation> Simulation<M> {
         }
     }
 
+    /// Records a `sim.bank_block` span when a bank access had to wait for an
+    /// exclusive migration to release the channel.
+    fn note_bank_block(&self, t: Time, blocked: Time) {
+        if blocked > t {
+            self.telemetry
+                .span_start("sim.bank_block", t.as_ps())
+                .end(blocked.as_ps());
+        }
+    }
+
+    /// Records a `sim.queue_wait` span when ready data had to queue behind
+    /// other bus traffic before its burst slot.
+    fn note_queue_wait(&self, ready: Time, slot: Time) {
+        if slot > ready {
+            self.telemetry
+                .span_start("sim.queue_wait", ready.as_ps())
+                .end(slot.as_ps());
+        }
+    }
+
     /// Serves one request from core `ci` issued at `t0`; returns completion.
     fn serve(&mut self, ci: usize, t0: Time) {
+        let ablate = self.cfg.ablate;
         let req = self.cores[ci].pending();
         let tr = self.mitigation.translate(req.row, t0);
-        let lookup_start = self.refresh.next_available(t0 + tr.lookup_latency);
+        let lookup_latency = if ablate.free_lookup_latency {
+            Duration::ZERO
+        } else {
+            tr.lookup_latency
+        };
+        let lookup_start = self.refresh.next_available(t0 + lookup_latency);
         let mut t = lookup_start;
 
         // Extra in-DRAM mapping-table read on the critical path.
         if let Some(trow) = tr.table_row {
-            let start = t.max(self.channel.blocked_until());
+            let blocked = self.channel.blocked_until();
+            self.note_bank_block(t, blocked);
+            let start = t.max(blocked);
             let res = self.banks[trow.bank.index() as usize].access(trow.row, start);
+            let table_burst = if ablate.free_table_traffic {
+                Duration::ZERO
+            } else {
+                self.burst
+            };
             let slot = self
                 .channel
-                .reserve_table_access(res.data_ready, self.burst);
+                .reserve_table_access(res.data_ready, table_burst);
+            self.note_queue_wait(res.data_ready, slot);
             if res.activated {
                 self.record_activation(trow, res.data_ready);
-                let actions = self.notify_activation(trow, res.data_ready);
-                self.apply_actions(actions, res.data_ready, res.data_ready);
+                self.consult_mitigation(trow, res.data_ready, res.data_ready);
             }
-            t = slot + self.burst;
+            if !ablate.free_lookup_latency {
+                // The access's critical path waits for the table read; under
+                // the lookup ablation the walk happens off the critical path
+                // (its bank and bus occupancy above still stand).
+                t = slot + table_burst;
+            }
         }
         // Table-lookup latency: the scheme's SRAM lookup plus any in-DRAM
         // table walk that just happened on the critical path.
         self.lookup_hist
-            .record(tr.lookup_latency.as_ps() + t.saturating_since(lookup_start).as_ps());
+            .record(lookup_latency.as_ps() + t.saturating_since(lookup_start).as_ps());
 
         let phys = tr.phys;
         // End-to-end integrity: the translation must resolve to the physical
@@ -355,14 +459,16 @@ impl<M: Mitigation> Simulation<M> {
             // accounted for.
             self.integrity_escapes.inc();
         }
-        let start = t.max(self.channel.blocked_until());
+        let blocked = self.channel.blocked_until();
+        self.note_bank_block(t, blocked);
+        let start = t.max(blocked);
         let res = self.banks[phys.bank.index() as usize].access(phys.row, start);
         let slot = self.channel.reserve_burst(res.data_ready, self.burst);
+        self.note_queue_wait(res.data_ready, slot);
         let mut completion = slot + self.burst;
         if res.activated {
             self.record_activation(phys, completion);
-            let actions = self.notify_activation(phys, completion);
-            completion = self.apply_actions(actions, completion, completion);
+            completion = self.consult_mitigation(phys, completion, completion);
         }
         self.access_hist
             .record(completion.saturating_since(t0).as_ps());
@@ -453,9 +559,17 @@ impl<M: Mitigation> Simulation<M> {
                 self.apply_fault(ev, t);
             }
             while t >= next_tick {
+                // Background work (lazy RQA drain, pending unswaps) gets its
+                // own root span, separate from demand-path consultations.
+                let sp = self
+                    .telemetry
+                    .span_start("sim.refresh_tick", next_tick.as_ps());
                 let actions = self.mitigation.on_refresh_tick(next_tick);
-                if !actions.is_empty() {
+                if actions.is_empty() {
+                    sp.end_if_used(next_tick.as_ps());
+                } else {
                     self.apply_actions(actions, next_tick, next_tick);
+                    sp.end(self.channel.blocked_until().max(next_tick).as_ps());
                 }
                 next_tick += t_refi;
             }
@@ -745,6 +859,103 @@ mod tests {
         let mut protected = Simulation::new(closed_cfg, aqua_engine(1000), [gen()]);
         let protected_report = protected.run();
         assert_eq!(protected_report.oracle.rows_over_trh, 0);
+    }
+
+    #[test]
+    fn migration_ablation_recovers_throughput_without_changing_behavior() {
+        use aqua_workload::attack::MigrationFlood;
+        let mk = || Box::new(MigrationFlood::new(&space(), 4, 500)) as Box<dyn RequestGenerator>;
+        let full = {
+            let mut sim = Simulation::new(sim_config(1000), aqua_engine(1000), [mk()]);
+            sim.run()
+        };
+        let ablated = {
+            let cfg = sim_config(1000).ablate(CostAblation::FREE_MIGRATION);
+            let mut sim = Simulation::new(cfg, aqua_engine(1000), [mk()]);
+            sim.run()
+        };
+        // Free migrations: rows still quarantine (the run is time-bounded,
+        // so the faster ablated run sees at least as many trigger-worthy
+        // activations), but demand traffic no longer waits behind them.
+        assert!(
+            ablated.mitigation.row_migrations >= full.mitigation.row_migrations,
+            "ablated {} vs full {}",
+            ablated.mitigation.row_migrations,
+            full.mitigation.row_migrations
+        );
+        assert!(
+            ablated.requests_done > full.requests_done,
+            "ablated {} vs full {}",
+            ablated.requests_done,
+            full.requests_done
+        );
+        assert_eq!(ablated.migration_busy, Duration::ZERO);
+        assert_eq!(ablated.integrity_violations, 0);
+    }
+
+    #[test]
+    fn no_op_ablation_is_identical_to_the_plain_run() {
+        let mk = || Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut plain = Simulation::new(sim_config(1000), aqua_engine(1000), [mk()]);
+        let cfg = sim_config(1000).ablate(CostAblation::NONE);
+        let mut wired = Simulation::new(cfg, aqua_engine(1000), [mk()]);
+        assert_eq!(plain.run(), wired.run());
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn migration_lifecycle_emits_nested_spans() {
+        use aqua_telemetry::{Telemetry, TelemetryConfig};
+        let gen = Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+        let mut sim = Simulation::new(sim_config(1000), aqua_engine(1000), [gen]);
+        let hub = Telemetry::new(TelemetryConfig::default());
+        sim.attach_telemetry(hub.clone());
+        let report = sim.run();
+        assert!(report.mitigation.row_migrations > 0);
+        let spans = hub.spans();
+        let roots: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "sim.mitigation")
+            .collect();
+        assert!(!roots.is_empty(), "no mitigation root spans");
+        let installs: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == "migration.install")
+            .collect();
+        assert!(!installs.is_empty(), "no install spans");
+        // Every migration span nests under a root and spans real time.
+        let root_ids: std::collections::BTreeSet<u64> = roots.iter().map(|s| s.id).collect();
+        for m in &installs {
+            let parent = m.parent.expect("install span must have a parent");
+            assert!(
+                spans.iter().any(|s| s.id == parent),
+                "parent of install span missing from trace"
+            );
+            assert!(m.duration_ps() > 0, "install spans real channel time");
+            // The parent chain reaches a sim.mitigation or sim.refresh_tick
+            // root within two hops (engine decision span in between).
+            let mut cur = parent;
+            let mut hops = 0;
+            while hops < 3 {
+                if root_ids.contains(&cur) {
+                    break;
+                }
+                let Some(p) = spans.iter().find(|s| s.id == cur).and_then(|s| s.parent) else {
+                    break;
+                };
+                cur = p;
+                hops += 1;
+            }
+        }
+        // Waiting spans appear: the flood of migrations must have blocked
+        // at least one demand access.
+        assert!(
+            spans.iter().any(|s| s.name == "sim.bank_block"),
+            "no bank-block spans despite migrations"
+        );
+        let summary = report.telemetry.unwrap();
+        assert!(summary.histogram("span.sim.mitigation").is_some());
+        assert!(summary.spans_recorded > 0);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::epoch::EpochSeries;
 use crate::event::Event;
 use crate::hist::HistogramData;
 use crate::json;
+use crate::span::Span;
 
 /// Picoseconds → Chrome-trace microseconds.
 fn ps_to_us(ps: u64) -> f64 {
@@ -24,11 +25,26 @@ where
     W: Write,
     I: IntoIterator<Item = &'a Event>,
 {
+    write_chrome_trace_full(w, events, &[])
+}
+
+/// Writes instant events plus completed spans as one Chrome-loadable trace.
+///
+/// Spans become complete events (`"ph":"X"`) carrying their id and parent
+/// id in `args`, so the causal tree survives the export; instant events keep
+/// the `"ph":"i"` shape [`write_chrome_trace`] emits.
+pub fn write_chrome_trace_full<'a, W, I>(w: &mut W, events: I, spans: &[Span]) -> io::Result<()>
+where
+    W: Write,
+    I: IntoIterator<Item = &'a Event>,
+{
     write!(w, "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[")?;
-    for (i, ev) in events.into_iter().enumerate() {
-        if i > 0 {
+    let mut first = true;
+    for ev in events {
+        if !first {
             write!(w, ",")?;
         }
+        first = false;
         let mut name = String::new();
         json::push_str(&mut name, ev.kind.name());
         write!(
@@ -39,7 +55,53 @@ where
             ev.kind.args_json()
         )?;
     }
+    for s in spans {
+        if !first {
+            write!(w, ",")?;
+        }
+        first = false;
+        let mut name = String::new();
+        json::push_str(&mut name, s.name);
+        let parent = match s.parent {
+            Some(p) => p.to_string(),
+            None => "null".into(),
+        };
+        write!(
+            w,
+            "{{\"name\":{},\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1,\
+             \"args\":{{\"id\":{},\"parent\":{}}}}}",
+            name,
+            json::num(ps_to_us(s.start_ps)),
+            json::num(ps_to_us(s.duration_ps())),
+            s.id,
+            parent
+        )?;
+    }
     writeln!(w, "]}}")
+}
+
+/// Writes spans as JSONL: one `{id, parent, name, start_ps, end_ps, dur_ps}`
+/// object per line, oldest first.
+pub fn write_spans_jsonl<W: Write>(w: &mut W, spans: &[Span]) -> io::Result<()> {
+    for s in spans {
+        let mut name = String::new();
+        json::push_str(&mut name, s.name);
+        let parent = match s.parent {
+            Some(p) => p.to_string(),
+            None => "null".into(),
+        };
+        writeln!(
+            w,
+            "{{\"id\":{},\"parent\":{},\"name\":{},\"start_ps\":{},\"end_ps\":{},\"dur_ps\":{}}}",
+            s.id,
+            parent,
+            name,
+            s.start_ps,
+            s.end_ps,
+            s.duration_ps()
+        )?;
+    }
+    Ok(())
 }
 
 /// Writes events as JSONL: one `{ts_ps, name, args}` object per line.
@@ -158,6 +220,60 @@ mod tests {
         assert!(s.contains("\"name\":\"QuarantineIn\""), "{s}");
         assert!(s.contains("\"ts\":1"), "{s}");
         assert!(s.trim_end().ends_with("]}"), "{s}");
+    }
+
+    fn spans() -> Vec<Span> {
+        vec![
+            Span {
+                id: 2,
+                parent: Some(1),
+                name: "migration.install",
+                start_ps: 1_000_000,
+                end_ps: 2_370_000,
+            },
+            Span {
+                id: 1,
+                parent: None,
+                name: "sim.mitigation",
+                start_ps: 1_000_000,
+                end_ps: 2_500_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_full_mixes_instants_and_complete_events() {
+        let mut out = Vec::new();
+        write_chrome_trace_full(&mut out, events().iter(), &spans()).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("\"ph\":\"i\""), "{s}");
+        assert!(s.contains("\"ph\":\"X\""), "{s}");
+        assert!(s.contains("\"name\":\"migration.install\""), "{s}");
+        assert!(s.contains("\"dur\":1.37"), "{s}");
+        assert!(s.contains("\"args\":{\"id\":2,\"parent\":1}"), "{s}");
+        assert!(s.contains("\"parent\":null"), "{s}");
+        assert!(s.trim_end().ends_with("]}"), "{s}");
+    }
+
+    #[test]
+    fn spans_only_trace_is_valid() {
+        let none: Vec<Event> = Vec::new();
+        let mut out = Vec::new();
+        write_chrome_trace_full(&mut out, none.iter(), &spans()).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("{\"displayTimeUnit\""), "{s}");
+        assert!(!s.contains("[,"), "{s}");
+    }
+
+    #[test]
+    fn spans_jsonl_is_one_object_per_line() {
+        let mut out = Vec::new();
+        write_spans_jsonl(&mut out, &spans()).unwrap();
+        let s = String::from_utf8(out).unwrap();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"dur_ps\":1370000"), "{}", lines[0]);
+        assert!(lines[1].contains("\"parent\":null"), "{}", lines[1]);
     }
 
     #[test]

@@ -145,6 +145,21 @@ impl HistogramData {
         self.max as f64
     }
 
+    /// Median shorthand for [`HistogramData::percentile`]`(0.50)`.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile shorthand for [`HistogramData::percentile`]`(0.95)`.
+    pub fn p95(&self) -> f64 {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile shorthand for [`HistogramData::percentile`]`(0.99)`.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+
     /// Adds every sample of `other` into `self`.
     pub fn merge(&mut self, other: &HistogramData) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -220,6 +235,43 @@ mod tests {
         let p99 = h.percentile(0.99);
         assert!(p50 <= p95 && p95 <= p99);
         assert!(p99 <= h.max() as f64);
+    }
+
+    #[test]
+    fn percentile_helpers_on_empty_histogram_are_zero() {
+        let h = HistogramData::new();
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p95(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.percentile(1.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_helpers_on_single_sample_return_it() {
+        let mut h = HistogramData::new();
+        h.record(777);
+        assert_eq!(h.p50(), 777.0);
+        assert_eq!(h.p95(), 777.0);
+        assert_eq!(h.p99(), 777.0);
+    }
+
+    #[test]
+    fn percentiles_in_the_saturating_top_bucket_stay_clamped() {
+        // Bucket 64 spans [2^63, u64::MAX]; interpolation must not escape
+        // the exact observed range even in this widest bucket.
+        let mut h = HistogramData::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(1u64 << 63);
+        assert_eq!(HistogramData::bucket_index(u64::MAX), 64);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            let p = h.percentile(q);
+            assert!(
+                ((1u64 << 63) as f64..=u64::MAX as f64).contains(&p),
+                "q={q} escaped: {p}"
+            );
+        }
+        assert!(h.p99() >= h.p50());
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::epoch::{EpochRecord, EpochSeries};
 use crate::event::EventKind;
+use crate::span::Span;
 use crate::summary::TelemetrySummary;
 
 #[cfg(feature = "enabled")]
@@ -31,6 +32,8 @@ pub struct TelemetryConfig {
     pub trace_capacity: usize,
     /// Whether high-volume `Activate` events enter the trace at all.
     pub trace_activates: bool,
+    /// Maximum completed spans retained (oldest dropped first).
+    pub span_capacity: usize,
 }
 
 impl Default for TelemetryConfig {
@@ -38,6 +41,7 @@ impl Default for TelemetryConfig {
         TelemetryConfig {
             trace_capacity: 65_536,
             trace_activates: false,
+            span_capacity: 65_536,
         }
     }
 }
@@ -54,6 +58,48 @@ struct Inner {
     histograms: Mutex<BTreeMap<&'static str, Arc<Mutex<HistogramData>>>>,
     trace: Mutex<RingBuffer<Event>>,
     epochs: Mutex<EpochSeries>,
+    spans: Mutex<SpanTrack>,
+}
+
+/// A span currently open on the hub's causal stack.
+#[cfg(feature = "enabled")]
+struct OpenSpan {
+    id: u64,
+    parent: Option<u64>,
+    /// Whether any child span started while this one was innermost — the
+    /// signal [`ActiveSpan::end_if_used`] keys on, letting the simulator
+    /// open a speculative root around every mitigation consultation and
+    /// commit it only when the engine actually did something.
+    used: bool,
+}
+
+/// All mutable span state, behind one lock so begin/end stay atomic.
+#[cfg(feature = "enabled")]
+struct SpanTrack {
+    ring: RingBuffer<Span>,
+    stack: Vec<OpenSpan>,
+    next_id: u64,
+    /// Per-name duration histograms over committed spans.
+    stats: BTreeMap<&'static str, HistogramData>,
+}
+
+#[cfg(feature = "enabled")]
+impl SpanTrack {
+    fn new(capacity: usize) -> Self {
+        SpanTrack {
+            ring: RingBuffer::new(capacity),
+            stack: Vec::new(),
+            next_id: 1,
+            stats: BTreeMap::new(),
+        }
+    }
+
+    /// Removes the innermost open entry with `id` (spans normally close
+    /// LIFO; searching from the top tolerates out-of-order ends).
+    fn remove_open(&mut self, id: u64) -> Option<OpenSpan> {
+        let idx = self.stack.iter().rposition(|o| o.id == id)?;
+        Some(self.stack.remove(idx))
+    }
 }
 
 /// Cheap-to-clone handle to the telemetry hub (or to nothing, when
@@ -85,6 +131,7 @@ impl Telemetry {
                 histograms: Mutex::new(BTreeMap::new()),
                 trace: Mutex::new(RingBuffer::new(cfg.trace_capacity)),
                 epochs: Mutex::new(EpochSeries::new()),
+                spans: Mutex::new(SpanTrack::new(cfg.span_capacity)),
             })),
         }
     }
@@ -141,6 +188,21 @@ impl Telemetry {
             .unwrap()
             .merge_from(&b.epochs.lock().unwrap());
         a.trace.lock().unwrap().merge_from(&b.trace.lock().unwrap());
+        let mut mine = a.spans.lock().unwrap();
+        let theirs = b.spans.lock().unwrap();
+        // Offset the other hub's span ids past every id this hub has ever
+        // issued, so ids (and parent links) stay unique after the merge and
+        // the result depends only on merge order, never on scheduling.
+        let base = mine.next_id;
+        mine.ring.merge_from_with(&theirs.ring, |s| Span {
+            id: base + s.id,
+            parent: s.parent.map(|p| base + p),
+            ..*s
+        });
+        mine.next_id = base + theirs.next_id;
+        for (&name, data) in theirs.stats.iter() {
+            mine.stats.entry(name).or_default().merge(data);
+        }
     }
 
     /// Whether this handle feeds a live hub.
@@ -200,6 +262,52 @@ impl Telemetry {
         }
     }
 
+    /// Opens a span named `name` starting at simulated time `start_ps`.
+    ///
+    /// The span's parent is whatever span is innermost on this hub's causal
+    /// stack at call time; the returned guard closes it via
+    /// [`ActiveSpan::end`] (commit), [`ActiveSpan::cancel`] (discard), or
+    /// [`ActiveSpan::end_if_used`] (commit only if a child attached).
+    /// Dropping the guard without ending it cancels the span, so early
+    /// returns never wedge the stack.
+    pub fn span_start(&self, name: &'static str, start_ps: u64) -> ActiveSpan {
+        let Some(i) = &self.inner else {
+            return ActiveSpan {
+                inner: None,
+                id: 0,
+                name,
+                start_ps,
+            };
+        };
+        let mut sp = i.spans.lock().unwrap();
+        let id = sp.next_id;
+        sp.next_id += 1;
+        let parent = sp.stack.last().map(|o| o.id);
+        if let Some(top) = sp.stack.last_mut() {
+            top.used = true;
+        }
+        sp.stack.push(OpenSpan {
+            id,
+            parent,
+            used: false,
+        });
+        ActiveSpan {
+            inner: Some(Arc::clone(i)),
+            id,
+            name,
+            start_ps,
+        }
+    }
+
+    /// Clones the retained completed spans, oldest first (empty when
+    /// disabled).
+    pub fn spans(&self) -> Vec<Span> {
+        self.inner
+            .as_ref()
+            .map(|i| i.spans.lock().unwrap().ring.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
     /// Appends one epoch sample to the time series.
     pub fn push_epoch(&self, record: EpochRecord) {
         if let Some(i) = &self.inner {
@@ -240,21 +348,29 @@ impl Telemetry {
             .iter()
             .map(|(n, g)| (n.to_string(), f64::from_bits(g.load(Ordering::Relaxed))))
             .collect();
-        let histograms = i
+        // Span duration stats fold in as `span.<name>` histograms so every
+        // consumer (reports, JSONL, the regression gate) reads one table.
+        let mut hists: BTreeMap<String, crate::hist::HistogramSummary> = i
             .histograms
             .lock()
             .unwrap()
             .iter()
             .map(|(n, h)| (n.to_string(), h.lock().unwrap().summary()))
             .collect();
+        let sp = i.spans.lock().unwrap();
+        for (name, data) in sp.stats.iter() {
+            hists.insert(format!("span.{name}"), data.summary());
+        }
         let trace = i.trace.lock().unwrap();
         Some(TelemetrySummary {
             counters,
             gauges,
-            histograms,
+            histograms: hists.into_iter().collect(),
             events_recorded: trace.offered(),
             events_dropped: trace.dropped(),
             epochs_recorded: i.epochs.lock().unwrap().len() as u64,
+            spans_recorded: sp.ring.offered(),
+            spans_dropped: sp.ring.dropped(),
         })
     }
 }
@@ -335,6 +451,108 @@ impl Histogram {
             .map(|h| h.lock().unwrap().clone())
             .unwrap_or_default()
     }
+
+    /// The `q`-quantile of recorded samples (0 for detached handles).
+    pub fn percentile(&self, q: f64) -> f64 {
+        self.0
+            .as_ref()
+            .map(|h| h.lock().unwrap().percentile(q))
+            .unwrap_or(0.0)
+    }
+
+    /// Median shorthand for [`Histogram::percentile`]`(0.50)`.
+    pub fn p50(&self) -> f64 {
+        self.percentile(0.50)
+    }
+
+    /// 99th-percentile shorthand for [`Histogram::percentile`]`(0.99)`.
+    pub fn p99(&self) -> f64 {
+        self.percentile(0.99)
+    }
+}
+
+/// Guard for a span opened with [`Telemetry::span_start`].
+///
+/// Exactly one of [`ActiveSpan::end`], [`ActiveSpan::end_if_used`], or
+/// [`ActiveSpan::cancel`] should close it; dropping the guard unclosed is
+/// equivalent to `cancel` (nothing is recorded).
+#[cfg(feature = "enabled")]
+#[must_use = "bind the span and close it with end()/end_if_used()/cancel()"]
+pub struct ActiveSpan {
+    inner: Option<Arc<Inner>>,
+    id: u64,
+    name: &'static str,
+    start_ps: u64,
+}
+
+#[cfg(feature = "enabled")]
+impl std::fmt::Debug for ActiveSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActiveSpan")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("start_ps", &self.start_ps)
+            .finish()
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl ActiveSpan {
+    /// Hub-unique id of this span (0 when the hub is disabled).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Commits the span, ending at `end_ps` (clamped to the start time).
+    pub fn end(mut self, end_ps: u64) {
+        self.close(Some(end_ps), false);
+    }
+
+    /// Commits the span only if a child span attached while it was open;
+    /// discards it otherwise.
+    pub fn end_if_used(mut self, end_ps: u64) {
+        self.close(Some(end_ps), true);
+    }
+
+    /// Discards the span without recording anything.
+    pub fn cancel(mut self) {
+        self.close(None, false);
+    }
+
+    fn close(&mut self, end_ps: Option<u64>, require_used: bool) {
+        let Some(i) = self.inner.take() else {
+            return;
+        };
+        let mut sp = i.spans.lock().unwrap();
+        let Some(open) = sp.remove_open(self.id) else {
+            return;
+        };
+        let Some(end_ps) = end_ps else {
+            return;
+        };
+        if require_used && !open.used {
+            return;
+        }
+        let span = Span {
+            id: self.id,
+            parent: open.parent,
+            name: self.name,
+            start_ps: self.start_ps,
+            end_ps: end_ps.max(self.start_ps),
+        };
+        sp.stats
+            .entry(self.name)
+            .or_default()
+            .record(span.duration_ps());
+        sp.ring.push(span);
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        self.close(None, false);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -389,6 +607,17 @@ impl Telemetry {
     /// No-op.
     #[inline]
     pub fn record(&self, _ts_ps: u64, _kind: EventKind) {}
+
+    /// Returns an inert span guard.
+    #[inline]
+    pub fn span_start(&self, _name: &'static str, _start_ps: u64) -> ActiveSpan {
+        ActiveSpan
+    }
+
+    /// Always empty in this mode.
+    pub fn spans(&self) -> Vec<Span> {
+        Vec::new()
+    }
 
     /// No-op.
     #[inline]
@@ -469,6 +698,47 @@ impl Histogram {
     pub fn snapshot(&self) -> crate::hist::HistogramData {
         crate::hist::HistogramData::new()
     }
+
+    /// Always 0 in this mode.
+    pub fn percentile(&self, _q: f64) -> f64 {
+        0.0
+    }
+
+    /// Always 0 in this mode.
+    pub fn p50(&self) -> f64 {
+        0.0
+    }
+
+    /// Always 0 in this mode.
+    pub fn p99(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Inert span guard (feature off): every close is a no-op.
+#[cfg(not(feature = "enabled"))]
+#[must_use = "bind the span and close it with end()/end_if_used()/cancel()"]
+#[derive(Debug)]
+pub struct ActiveSpan;
+
+#[cfg(not(feature = "enabled"))]
+impl ActiveSpan {
+    /// Always 0 in this mode.
+    pub fn id(&self) -> u64 {
+        0
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn end(self, _end_ps: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn end_if_used(self, _end_ps: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn cancel(self) {}
 }
 
 #[cfg(test)]
@@ -562,6 +832,120 @@ mod tests {
         assert_eq!(s.events_recorded, 2);
         let epochs: Vec<u64> = parent.epochs().records().iter().map(|r| r.epoch).collect();
         assert_eq!(epochs, vec![0, 1]);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn spans_nest_and_record_duration_stats() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let root = t.span_start("root", 100);
+        let child = t.span_start("child", 120);
+        child.end(150);
+        root.end(200);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        // Children commit before their parent (end order), parent links hold.
+        assert_eq!(spans[0].name, "child");
+        assert_eq!(spans[0].parent, Some(spans[1].id));
+        assert_eq!(spans[1].name, "root");
+        assert_eq!(spans[1].parent, None);
+        assert_eq!(spans[0].duration_ps(), 30);
+        let s = t.summary().unwrap();
+        assert_eq!(s.spans_recorded, 2);
+        assert_eq!(s.histogram("span.root").unwrap().count, 1);
+        assert_eq!(s.histogram("span.child").unwrap().max, 30);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn end_if_used_commits_only_with_children() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let unused = t.span_start("speculative", 0);
+        unused.end_if_used(10);
+        assert!(t.spans().is_empty());
+
+        let used = t.span_start("speculative", 20);
+        let child = t.span_start("work", 21);
+        child.end(25);
+        used.end_if_used(30);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[1].name, "speculative");
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn cancel_and_drop_record_nothing() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        t.span_start("a", 0).cancel();
+        {
+            let _dropped = t.span_start("b", 0);
+        }
+        assert!(t.spans().is_empty());
+        // The stack is clean: a new root has no parent.
+        let root = t.span_start("c", 5);
+        root.end(9);
+        assert_eq!(t.spans()[0].parent, None);
+        assert_eq!(t.summary().unwrap().spans_recorded, 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn end_clamps_backwards_time() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        t.span_start("x", 100).end(40);
+        let s = t.spans()[0];
+        assert_eq!((s.start_ps, s.end_ps), (100, 100));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn merge_remaps_span_ids_and_parents() {
+        let parent = Telemetry::new(TelemetryConfig::default());
+        let r = parent.span_start("r", 0);
+        r.end(1);
+        let job = parent.fork();
+        let root = job.span_start("jr", 10);
+        let child = job.span_start("jc", 11);
+        child.end(12);
+        root.end(20);
+        parent.merge_from(&job);
+        let spans = parent.spans();
+        assert_eq!(spans.len(), 3);
+        let mut ids = std::collections::BTreeSet::new();
+        for s in &spans {
+            assert!(ids.insert(s.id), "duplicate span id after merge");
+        }
+        let jc = spans.iter().find(|s| s.name == "jc").unwrap();
+        let jr = spans.iter().find(|s| s.name == "jr").unwrap();
+        assert_eq!(jc.parent, Some(jr.id));
+        let s = parent.summary().unwrap();
+        assert_eq!(s.spans_recorded, 3);
+        assert_eq!(s.histogram("span.jc").unwrap().count, 1);
+        // A span opened after the merge still gets a fresh id.
+        let post = parent.span_start("post", 30);
+        let post_id = post.id();
+        post.end(31);
+        assert!(!ids.contains(&post_id));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn zero_capacity_span_ring_never_panics() {
+        let t = Telemetry::new(TelemetryConfig {
+            span_capacity: 0,
+            ..Default::default()
+        });
+        let a = t.span_start("a", 0);
+        let b = t.span_start("b", 1);
+        b.end(2);
+        a.end(3);
+        assert!(t.spans().is_empty());
+        let s = t.summary().unwrap();
+        assert_eq!(s.spans_recorded, 2);
+        assert_eq!(s.spans_dropped, 2);
+        // Duration stats still accumulate even when the ring retains nothing.
+        assert_eq!(s.histogram("span.a").unwrap().count, 1);
     }
 
     #[cfg(feature = "enabled")]

@@ -14,6 +14,10 @@
 //!   epoch rollovers, throttle stalls, threshold crossings).
 //! * [`EpochSeries`] — a per-epoch time-series recorder (migrations, RQA
 //!   occupancy, FPT-cache hit rate, channel busy fractions, ...).
+//! * [`Span`] + [`ActiveSpan`] — causal begin/end spans over simulated
+//!   time with parent links and per-name duration histograms, covering the
+//!   full migration lifecycle (quarantine decision → channel blocking →
+//!   table update) plus the intervals where demand traffic pays for it.
 //! * [`export`] — JSONL and Chrome `about:tracing` writers for all of the
 //!   above, hand-rolled so no serialization dependency is required.
 //! * [`stat_struct!`] — the declarative macro behind the workspace's plain
@@ -31,12 +35,14 @@ pub mod hist;
 pub mod hub;
 mod json;
 pub mod ring;
+pub mod span;
 mod stats;
 pub mod summary;
 
 pub use epoch::{EpochRecord, EpochSeries};
 pub use event::{Event, EventKind};
 pub use hist::{HistogramData, HistogramSummary};
-pub use hub::{Counter, Gauge, Histogram, Telemetry, TelemetryConfig};
+pub use hub::{ActiveSpan, Counter, Gauge, Histogram, Telemetry, TelemetryConfig};
 pub use ring::RingBuffer;
+pub use span::Span;
 pub use summary::TelemetrySummary;

@@ -77,8 +77,20 @@ impl<T> RingBuffer<T> {
     where
         T: Clone,
     {
+        self.merge_from_with(other, T::clone);
+    }
+
+    /// Like [`RingBuffer::merge_from`] but passes every replayed entry
+    /// through `map` first (used to remap span ids when per-job traces are
+    /// folded into a parent hub). Accounting is identical: `map` runs only
+    /// on entries `other` still retains; entries `other` already dropped are
+    /// carried over as dropped counts.
+    pub fn merge_from_with<F>(&mut self, other: &RingBuffer<T>, mut map: F)
+    where
+        F: FnMut(&T) -> T,
+    {
         for entry in other.iter() {
-            self.push(entry.clone());
+            self.push(map(entry));
         }
         let pre_dropped = other.offered - other.buf.len() as u64;
         self.offered += pre_dropped;
@@ -141,6 +153,20 @@ mod tests {
         assert_eq!(a.iter().copied().collect::<Vec<_>>(), vec![2, 3]);
         assert_eq!(a.offered(), 3);
         assert_eq!(a.dropped(), 1);
+    }
+
+    #[test]
+    fn mapped_merge_transforms_only_retained_entries() {
+        let mut a = RingBuffer::new(8);
+        a.push(100);
+        let mut b = RingBuffer::new(2);
+        for v in 1..=4 {
+            b.push(v); // retains [3, 4], dropped 2
+        }
+        a.merge_from_with(&b, |v| v + 1000);
+        assert_eq!(a.iter().copied().collect::<Vec<_>>(), vec![100, 1003, 1004]);
+        assert_eq!(a.offered(), 5);
+        assert_eq!(a.dropped(), 2);
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! Causal spans: named begin/end intervals in simulated time.
+//!
+//! A span covers a half-open interval `[start_ps, end_ps]` of *simulated*
+//! picoseconds (never wall-clock, so traces are bit-identical across runs)
+//! and may link to a parent span, forming a causal tree: the simulator opens
+//! a root span around each mitigation consultation, the mitigation engines
+//! open children around their decisions (quarantine, swap, repair), and the
+//! simulator's channel model opens children around the intervals where
+//! demand traffic actually pays (bank blocking, queue wait). Completed spans
+//! land in a bounded ring inside the telemetry hub ([`crate::Telemetry`])
+//! and can be exported to Chrome `about:tracing` alongside instant events.
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Hub-unique id (remapped on [`crate::Telemetry::merge_from`]).
+    pub id: u64,
+    /// Id of the enclosing span open at start time, if any.
+    pub parent: Option<u64>,
+    /// Static phase name, dot-namespaced (`"sim.mitigation"`,
+    /// `"aqua.quarantine"`, `"migration.install"`, ...).
+    pub name: &'static str,
+    /// Start of the interval, simulated picoseconds.
+    pub start_ps: u64,
+    /// End of the interval, simulated picoseconds (`>= start_ps`).
+    pub end_ps: u64,
+}
+
+impl Span {
+    /// Length of the interval in picoseconds (0 for instant spans).
+    pub fn duration_ps(&self) -> u64 {
+        self.end_ps.saturating_sub(self.start_ps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_saturates() {
+        let s = Span {
+            id: 1,
+            parent: None,
+            name: "x",
+            start_ps: 10,
+            end_ps: 25,
+        };
+        assert_eq!(s.duration_ps(), 15);
+        let backwards = Span { end_ps: 5, ..s };
+        assert_eq!(backwards.duration_ps(), 0);
+    }
+}

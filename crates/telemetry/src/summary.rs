@@ -18,6 +18,11 @@ pub struct TelemetrySummary {
     pub events_dropped: u64,
     /// Epoch samples captured in the time series.
     pub epochs_recorded: u64,
+    /// Completed spans offered to the span ring (kept + dropped). Per-name
+    /// duration stats appear in `histograms` under `span.<name>`.
+    pub spans_recorded: u64,
+    /// Completed spans the span ring had to drop.
+    pub spans_dropped: u64,
 }
 
 impl TelemetrySummary {
@@ -79,8 +84,13 @@ impl TelemetrySummary {
             ));
         }
         out.push_str(&format!(
-            "}},\"events_recorded\":{},\"events_dropped\":{},\"epochs_recorded\":{}}}",
-            self.events_recorded, self.events_dropped, self.epochs_recorded
+            "}},\"events_recorded\":{},\"events_dropped\":{},\"epochs_recorded\":{},\
+             \"spans_recorded\":{},\"spans_dropped\":{}}}",
+            self.events_recorded,
+            self.events_dropped,
+            self.epochs_recorded,
+            self.spans_recorded,
+            self.spans_dropped
         ));
         out
     }
@@ -109,12 +119,15 @@ mod tests {
             events_recorded: 5,
             events_dropped: 1,
             epochs_recorded: 2,
+            spans_recorded: 4,
+            spans_dropped: 0,
         };
         assert_eq!(s.counter("aqua.installs"), Some(3));
         assert_eq!(s.histogram("mem.access_ps").unwrap().max, 12);
         let j = s.to_json();
         assert!(j.contains("\"aqua.installs\":3"), "{j}");
         assert!(j.contains("\"events_dropped\":1"), "{j}");
+        assert!(j.contains("\"spans_recorded\":4"), "{j}");
         assert!(j.starts_with('{') && j.ends_with('}'));
     }
 }

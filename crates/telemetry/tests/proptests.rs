@@ -5,7 +5,7 @@
 //! the same properties.
 
 use aqua_telemetry::hist::BUCKET_COUNT;
-use aqua_telemetry::{HistogramData, RingBuffer};
+use aqua_telemetry::{HistogramData, RingBuffer, Span};
 use proptest::prelude::*;
 
 proptest! {
@@ -179,6 +179,121 @@ proptest! {
         let retained = a.len() as u64;
         prop_assert_eq!(a.dropped(), a.offered() - retained);
     }
+
+    /// Merge accounting holds at *any* capacity, including zero on either
+    /// side: `offered` always counts every entry either ring ever saw and
+    /// `dropped` is exactly `offered - retained`.
+    #[test]
+    fn ring_merge_accounting_covers_zero_capacity(
+        a_values in prop::collection::vec(any::<u32>(), 0..40),
+        b_values in prop::collection::vec(any::<u32>(), 0..40),
+        cap_a in 0usize..8,
+        cap_b in 0usize..8,
+    ) {
+        let mut a = RingBuffer::new(cap_a);
+        for &v in &a_values {
+            a.push(v);
+        }
+        let mut b = RingBuffer::new(cap_b);
+        for &v in &b_values {
+            b.push(v);
+        }
+        let b_offered = b.offered();
+        let b_dropped = b.dropped();
+        prop_assert_eq!(b_offered, b_values.len() as u64);
+        prop_assert_eq!(b_dropped, b_offered - b.len() as u64);
+        a.merge_from(&b);
+        prop_assert_eq!(a.offered(), (a_values.len() + b_values.len()) as u64);
+        prop_assert_eq!(a.dropped(), a.offered() - a.len() as u64);
+        prop_assert!(a.len() <= cap_a);
+        // The donor ring is untouched by the merge.
+        prop_assert_eq!((b.offered(), b.dropped()), (b_offered, b_dropped));
+    }
+
+    /// Mapped merge is plain merge composed with the map on retained
+    /// entries; the offered/dropped accounting is identical.
+    #[test]
+    fn ring_mapped_merge_matches_plain_merge(
+        a_values in prop::collection::vec(any::<u32>(), 0..40),
+        b_values in prop::collection::vec(any::<u32>(), 0..40),
+        cap in 0usize..8,
+        offset in 0u32..1000,
+    ) {
+        let mut plain = RingBuffer::new(cap);
+        let mut mapped = RingBuffer::new(cap);
+        for &v in &a_values {
+            plain.push(v);
+            mapped.push(v);
+        }
+        let mut b = RingBuffer::new(4);
+        for &v in &b_values {
+            b.push(v % 1000);
+        }
+        let mut b_shifted = RingBuffer::new(4);
+        for &v in &b_values {
+            b_shifted.push(v % 1000 + offset);
+        }
+        plain.merge_from(&b_shifted);
+        mapped.merge_from_with(&b, |&v| v + offset);
+        prop_assert_eq!(plain.iter().collect::<Vec<_>>(), mapped.iter().collect::<Vec<_>>());
+        prop_assert_eq!(plain.offered(), mapped.offered());
+        prop_assert_eq!(plain.dropped(), mapped.dropped());
+    }
+
+    /// Span rings never panic at capacity zero: pushes and merges (mapped
+    /// or not) are safe, retain nothing, and count everything as dropped.
+    #[test]
+    fn span_ring_capacity_zero_never_panics(n in 0u64..60, m in 0u64..60) {
+        let span = |id: u64| Span {
+            id,
+            parent: id.checked_sub(1).filter(|&p| p > 0),
+            name: "sim.mitigation",
+            start_ps: id * 10,
+            end_ps: id * 10 + 5,
+        };
+        let mut zero = RingBuffer::new(0);
+        for id in 1..=n {
+            zero.push(span(id));
+        }
+        let mut donor = RingBuffer::new(8);
+        for id in 1..=m {
+            donor.push(span(id));
+        }
+        zero.merge_from_with(&donor, |s| Span { id: s.id + n, ..*s });
+        prop_assert!(zero.is_empty());
+        prop_assert_eq!(zero.offered(), n + m);
+        prop_assert_eq!(zero.dropped(), n + m);
+        // And merging *from* a zero-capacity ring only carries counts.
+        let mut sink = RingBuffer::new(4);
+        sink.merge_from(&zero);
+        prop_assert!(sink.is_empty());
+        prop_assert_eq!(sink.dropped(), n + m);
+    }
+}
+
+/// Nested spans through the hub never panic when the span ring has
+/// capacity zero, and the drop accounting stays exact (feature-gated: the
+/// hub only exists with `enabled`).
+#[cfg(feature = "enabled")]
+#[test]
+fn hub_span_stack_survives_zero_capacity_ring() {
+    use aqua_telemetry::{Telemetry, TelemetryConfig};
+    let t = Telemetry::new(TelemetryConfig {
+        span_capacity: 0,
+        ..Default::default()
+    });
+    for depth in 0..5usize {
+        let guards: Vec<_> = (0..depth)
+            .map(|d| t.span_start("nested", d as u64))
+            .collect();
+        for g in guards.into_iter().rev() {
+            g.end(100);
+        }
+    }
+    assert!(t.spans().is_empty());
+    let s = t.summary().unwrap();
+    assert_eq!(s.spans_recorded, 10); // 0+1+2+3+4
+    assert_eq!(s.spans_dropped, 10);
 }
 
 /// The 65 buckets tile the full `u64` range with no gaps or overlaps.
