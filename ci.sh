@@ -25,6 +25,21 @@ run cargo test --offline --workspace -q
 run cargo clippy --offline --workspace --all-targets --no-default-features -- -D warnings
 run cargo test --offline --workspace -q --no-default-features
 
+# Wallclock zero-cost smoke: with telemetry compiled out, the phase guard
+# must be a ZST (no Instant read, no Drop) — assert the dedicated test ran
+# and passed rather than silently matching nothing.
+echo
+echo "==> wallclock zero-cost smoke (feature off: PhaseGuard is a ZST)"
+zero_cost_out=$(cargo test --offline -q -p aqua-telemetry --no-default-features \
+    feature_off_phase_guard_is_zero_sized 2>&1)
+grep -q "1 passed" <<<"$zero_cost_out"
+echo "phase guard is zero-sized with telemetry compiled out"
+
+# Criterion benches in check mode: every bench body must still execute
+# (one iteration, no timing) so `cargo bench` stays runnable without
+# paying for a measurement run.
+run cargo bench --offline -q -p aqua-bench -- --test
+
 # Parallel-runner determinism smoke test: one figure binary on a two-workload
 # subset, serial vs two workers, must emit byte-identical CSVs.
 smoke() {
@@ -52,10 +67,27 @@ fault_smoke fault_smoke_first
 fault_smoke fault_smoke_replay
 run diff target/experiments/fault_smoke_first.csv target/experiments/fault_smoke_replay.csv
 
+# Host-time profiler smoke: with telemetry on the folded-stacks output must
+# be non-empty and contain the sim.run root (flamegraph.pl-consumable);
+# with telemetry off the binary must exit 0 and report nothing to profile.
+echo
+echo "==> profile smoke (telemetry on)"
+cargo run --offline -q --release -p aqua-bench --bin profile -- \
+    --folded target/experiments/profile_smoke.folded \
+    --jsonl target/experiments/profile_smoke.jsonl >/dev/null
+run grep -q '^sim\.run' target/experiments/profile_smoke.folded
+echo
+echo "==> profile smoke (telemetry off)"
+profile_off_out=$(cargo run --offline -q --release -p aqua-bench \
+    --no-default-features --bin profile)
+grep -q 'without the `telemetry` feature' <<<"$profile_off_out"
+
 # Performance-regression gate: the deterministic canary matrix must stay
-# within tolerance of the committed BENCH_5.json baseline, in both telemetry
-# feature modes (span-phase latencies are only gated when telemetry is on;
-# the attribution residual is gated in both). Exit nonzero = regression.
+# within tolerance of the committed BENCH_6.json baseline — behavioral
+# metrics exactly-reproducible, the throughput canary within its generous
+# host-noise factor — in both telemetry feature modes (span-phase latencies
+# are only gated when telemetry is on; the attribution residual is gated in
+# both). Exit nonzero = regression.
 echo
 echo "==> regression gate (telemetry on)"
 cargo run --offline -q --release -p aqua-bench --bin regression_gate

@@ -876,6 +876,10 @@ impl Mitigation for AquaEngine {
     }
 
     fn end_epoch(&mut self) {
+        // Host-time phase for the engine's end-of-epoch work (table audit,
+        // tracker reset, RQA epoch advance); nests under the simulator's
+        // `sim.epoch_end` phase on the shared hub.
+        let _phase = self.telemetry.phase("aqua.end_epoch");
         if self.faults_active {
             let sp = self.telemetry.span_start("aqua.audit", self.last_ps);
             self.audit_tables();

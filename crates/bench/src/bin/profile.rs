@@ -1,0 +1,191 @@
+//! Host-time profiler over a canary simulation matrix.
+//!
+//! ```text
+//! profile [--scheme NAME] [--workload NAME] [--trh N] [--epochs N]
+//!         [--folded FILE] [--jsonl FILE]
+//! ```
+//!
+//! Runs the selected `(scheme, workload)` cell through the instrumented
+//! matrix runner with a telemetry hub attached, then reports **where the
+//! host wallclock went** — not simulated time, see DESIGN.md §12 — across
+//! the coarse phases the stack instruments (`bench.setup`/`run`/`merge`,
+//! `sim.run` > `sim.epoch`, `sim.refresh_drain`, `sim.epoch_end` >
+//! `aqua.end_epoch`, `bench.csv`):
+//!
+//! - a per-phase table on stdout: call count, total/self time, min/max,
+//!   and share of the total host wallclock;
+//! - **folded-stacks** text (default `target/experiments/profile.folded`),
+//!   one `path self_ns` line per phase path, directly consumable by
+//!   `flamegraph.pl` or `inferno-flamegraph`;
+//! - the same data as JSONL (default `target/experiments/profile.jsonl`)
+//!   plus a trailer record with the throughput metrics;
+//! - a CSV via the instrumented writer, so the CSV write itself lands in
+//!   the hub as a `bench.csv` phase.
+//!
+//! Defaults: aqua-sram on mcf, `T_RH=1000`, 1 epoch. Built without the
+//! `telemetry` feature the binary still runs the simulation but prints a
+//! note and exits 0 — there is nothing to profile, by design (the phase
+//! guards compile to nothing).
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use aqua_bench::output::write_csv_instrumented;
+use aqua_bench::{Harness, Scheme};
+use aqua_telemetry::{PhaseStats, Telemetry};
+
+fn arg(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Nesting depth of a `;`-joined phase path (root = 0).
+fn depth(path: &str) -> usize {
+    path.matches(';').count()
+}
+
+/// The leaf phase name of a `;`-joined path.
+fn leaf(path: &str) -> &str {
+    path.rsplit(';').next().unwrap_or(path)
+}
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+fn print_phase_table(paths: &[(String, PhaseStats)], host_ns: u64) {
+    println!(
+        "\n{:<34} {:>8} {:>12} {:>12} {:>11} {:>11} {:>7}",
+        "phase", "count", "total(ms)", "self(ms)", "min(us)", "max(us)", "self%"
+    );
+    for (path, stats) in paths {
+        let label = format!("{}{}", "  ".repeat(depth(path)), leaf(path));
+        let share = if host_ns > 0 {
+            stats.self_ns() as f64 / host_ns as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:<34} {:>8} {:>12.3} {:>12.3} {:>11.1} {:>11.1} {:>6.1}%",
+            label,
+            stats.count,
+            ms(stats.total_ns),
+            ms(stats.self_ns()),
+            stats.min_ns as f64 / 1e3,
+            stats.max_ns as f64 / 1e3,
+            share
+        );
+    }
+}
+
+fn main() {
+    let scheme = match arg("--scheme").as_deref().unwrap_or("aqua-sram") {
+        "baseline" => Scheme::Baseline,
+        "aqua-sram" => Scheme::AquaSram,
+        "aqua-mapped" => Scheme::AquaMapped,
+        "rrs" => Scheme::Rrs,
+        "victim-refresh" => Scheme::VictimRefresh,
+        "blockhammer" => Scheme::Blockhammer,
+        other => {
+            eprintln!("unknown scheme {other}");
+            std::process::exit(2);
+        }
+    };
+    let workload = arg("--workload").unwrap_or_else(|| "mcf".into());
+    let t_rh: u64 = arg("--trh").and_then(|v| v.parse().ok()).unwrap_or(1000);
+    let folded_path = arg("--folded").unwrap_or_else(|| "target/experiments/profile.folded".into());
+    let jsonl_path = arg("--jsonl").unwrap_or_else(|| "target/experiments/profile.jsonl".into());
+
+    let mut harness = Harness::new(t_rh);
+    harness.epochs = arg("--epochs").and_then(|v| v.parse().ok()).unwrap_or(1);
+
+    let hub = Telemetry::new(Default::default());
+    println!(
+        "profiling {} on {workload} at T_RH={t_rh} for {} epoch(s)...",
+        scheme.name(),
+        harness.epochs
+    );
+    let results =
+        harness.run_matrix_instrumented(&[scheme], std::slice::from_ref(&workload), Some(&hub));
+    let report = results
+        .expect_complete()
+        .reports()
+        .next()
+        .expect("one cell");
+    println!(
+        "simulation done: {} requests completed",
+        report.requests_done
+    );
+
+    let wall = hub
+        .summary()
+        .and_then(|summary| summary.wallclock)
+        .filter(|_| hub.is_enabled());
+    let Some(wall) = wall else {
+        println!(
+            "built without the `telemetry` feature: phase guards compile \
+             to nothing, so there is no host-time profile to report"
+        );
+        return;
+    };
+
+    print_phase_table(&wall.paths, wall.host_wallclock_ns);
+    // Per-job sim phases merge back as *sibling* roots of the coordinator's
+    // bench.* phases, so — exactly like perf samples folded across threads —
+    // root totals sum CPU-side time and can exceed elapsed wallclock.
+    println!(
+        "\nhost time      : {:.3} ms across {} phase paths (summed over threads)",
+        ms(wall.host_wallclock_ns),
+        wall.paths.len()
+    );
+    println!("accesses       : {}", wall.accesses_simulated);
+    println!(
+        "throughput     : {:.0} accesses per host-second",
+        wall.accesses_per_sec
+    );
+
+    // CSV through the instrumented writer: the write itself records a
+    // `bench.csv` phase into the hub (visible on the *next* profile run or
+    // to any longer-lived consumer of this hub).
+    let rows: Vec<Vec<String>> = wall
+        .paths
+        .iter()
+        .map(|(path, s)| {
+            vec![
+                path.clone(),
+                s.count.to_string(),
+                s.total_ns.to_string(),
+                s.self_ns().to_string(),
+                s.min_ns.to_string(),
+                s.max_ns.to_string(),
+            ]
+        })
+        .collect();
+    write_csv_instrumented(
+        &hub,
+        "profile",
+        &["path", "count", "total_ns", "self_ns", "min_ns", "max_ns"],
+        &rows,
+    );
+
+    let mut folded = create_output(&folded_path);
+    wall.write_folded(&mut folded).expect("write folded stacks");
+    folded.flush().expect("flush folded stacks");
+    println!("wrote {folded_path}");
+
+    let mut jsonl = create_output(&jsonl_path);
+    wall.write_jsonl(&mut jsonl).expect("write profile JSONL");
+    jsonl.flush().expect("flush profile JSONL");
+    println!("wrote {jsonl_path}");
+
+    println!("render a flamegraph with: flamegraph.pl {folded_path} > profile.svg");
+}
+
+fn create_output(path: &str) -> BufWriter<File> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    BufWriter::new(File::create(path).expect("create profile output file"))
+}

@@ -18,12 +18,19 @@
 //! - **span-derived phase latencies** (p50/p99 of every `span.*` duration
 //!   histogram) when the `telemetry` feature is compiled in.
 //!
+//! After the behavioral matrix it also times a **throughput canary**:
+//! `THROUGHPUT_REPEATS` (>= 5) serial repeats of the aqua-sram/mcf cell
+//! against the host clock, reporting the median/min/max accesses per
+//! wallclock second. The gate fails only when the median collapses below
+//! `baseline / THROUGHPUT_FACTOR` — a hot-loop floor, not a noise detector.
+//!
 //! The result is written to `--out` (default
-//! `target/experiments/BENCH_5.json`) and compared against the committed
-//! baseline (`--baseline`, default `BENCH_5.json`) with the per-metric
-//! tolerances of `aqua_bench::gate::tolerance`. Exit status: 0 = pass,
-//! 1 = regression (one line per violated tolerance on stderr), 2 = usage
-//! or I/O error.
+//! `target/experiments/BENCH_6.json`) and compared against the committed
+//! baseline (`--baseline`, default `BENCH_6.json`) with the per-metric
+//! tolerances of `aqua_bench::gate::tolerance`. Pre-throughput (v1)
+//! baselines are still accepted; the throughput gate simply skips. Exit
+//! status: 0 = pass, 1 = regression (one line per violated tolerance on
+//! stderr), 2 = usage or I/O error.
 //!
 //! `--write-baseline` re-measures and overwrites the baseline file
 //! instead of comparing (use after an intentional perf change).
@@ -31,12 +38,16 @@
 //! slowdown and residual after measurement — a synthetic regression used
 //! by CI to prove the gate actually fails.
 //!
-//! The simulator is deterministic (seeded streams, no wall-clock in
-//! results), so a re-run on unchanged code reproduces the baseline
-//! numbers exactly; `AQUA_BENCH_JOBS` only changes wall-clock time.
+//! The behavioral part of the report is deterministic (seeded streams, no
+//! wall-clock in results), so a re-run on unchanged code reproduces the
+//! baseline numbers exactly; only the throughput block carries host-time
+//! noise, which is why its tolerance is a factor, not a percentage.
+//! `AQUA_BENCH_JOBS` only changes wall-clock time.
 
 use aqua_analysis::attribution::{AblationCounts, Attribution};
-use aqua_bench::gate::{self, CellAttribution, CellMetrics, GateReport, PhaseLatency};
+use aqua_bench::gate::{
+    self, CellAttribution, CellMetrics, GateReport, PhaseLatency, ThroughputMetrics,
+};
 use aqua_bench::{pool, Harness, Scheme};
 use aqua_sim::CostAblation;
 use aqua_telemetry::Telemetry;
@@ -46,6 +57,12 @@ const EPOCHS: u64 = 1;
 const SEED: u64 = 42;
 const SCHEMES: [Scheme; 3] = [Scheme::AquaSram, Scheme::AquaMapped, Scheme::Rrs];
 const WORKLOADS: [&str; 2] = ["mcf", "povray"];
+
+/// Timed repeats of the throughput canary cell. Odd and >= 5 so the median
+/// is a real sample and shrugs off a couple of noisy repeats.
+const THROUGHPUT_REPEATS: u64 = 5;
+const THROUGHPUT_SCHEME: Scheme = Scheme::AquaSram;
+const THROUGHPUT_WORKLOAD: &str = "mcf";
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -106,6 +123,35 @@ fn run_job(harness: &Harness, job: &Job) -> JobResult {
         requests_done: report.requests_done,
         migrations_per_epoch: report.migrations_per_epoch(),
         phases,
+    }
+}
+
+/// Times `THROUGHPUT_REPEATS` serial runs of the canary cell against the
+/// host clock. Serial on purpose: concurrent cells would contend for cores
+/// and shift the timing for no benefit. The simulated work is identical
+/// every repeat (deterministic seed), so only the denominator varies.
+fn measure_throughput(harness: &Harness) -> ThroughputMetrics {
+    let mut per_sec = Vec::with_capacity(THROUGHPUT_REPEATS as usize);
+    let mut accesses = 0u64;
+    for _ in 0..THROUGHPUT_REPEATS {
+        let mut h = *harness;
+        h.ablate = CostAblation::NONE;
+        let start = std::time::Instant::now();
+        let report = h.run(THROUGHPUT_SCHEME, THROUGHPUT_WORKLOAD);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        accesses = report.requests_done;
+        per_sec.push(report.requests_done as f64 / secs);
+    }
+    let min = per_sec.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_sec.iter().cloned().fold(0.0f64, f64::max);
+    ThroughputMetrics {
+        scheme: THROUGHPUT_SCHEME.name().to_string(),
+        workload: THROUGHPUT_WORKLOAD.to_string(),
+        repeats: THROUGHPUT_REPEATS,
+        accesses_per_run: accesses,
+        median_accesses_per_sec: gate::median_of(per_sec),
+        min_accesses_per_sec: min,
+        max_accesses_per_sec: max,
     }
 }
 
@@ -188,11 +234,17 @@ fn measure(inject_pp: f64) -> Result<GateReport, String> {
             });
         }
     }
+    eprintln!(
+        "regression gate: timing throughput canary ({THROUGHPUT_REPEATS} repeats, serial)..."
+    );
+    let throughput = measure_throughput(&harness);
+
     Ok(GateReport {
         t_rh: T_RH,
         epochs: EPOCHS,
         seed: SEED,
         telemetry: Telemetry::new(Default::default()).is_enabled(),
+        throughput: Some(throughput),
         cells,
     })
 }
@@ -227,11 +279,24 @@ fn print_report(report: &GateReport) {
             );
         }
     }
+    if let Some(t) = &report.throughput {
+        println!(
+            "throughput canary: {}/{} x{} repeats, {} accesses/run -> \
+             median {:.0} accesses/sec (min {:.0}, max {:.0})",
+            t.scheme,
+            t.workload,
+            t.repeats,
+            t.accesses_per_run,
+            t.median_accesses_per_sec,
+            t.min_accesses_per_sec,
+            t.max_accesses_per_sec
+        );
+    }
 }
 
 fn main() {
-    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_5.json".into());
-    let out_path = arg("--out").unwrap_or_else(|| "target/experiments/BENCH_5.json".into());
+    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_6.json".into());
+    let out_path = arg("--out").unwrap_or_else(|| "target/experiments/BENCH_6.json".into());
     let inject_pp: f64 = match arg("--inject-slowdown").map(|v| v.parse()) {
         None => 0.0,
         Some(Ok(v)) => v,

@@ -25,8 +25,10 @@
 //! - `--trace-capacity`: ring-buffer size of the event trace (default 65536;
 //!   oldest events are dropped first)
 //!
-//! Prints the full run report, including the security-oracle verdict and the
-//! shadow-memory integrity check. Telemetry flags require the default
+//! Prints the full run report, including the security-oracle verdict, the
+//! shadow-memory integrity check, and — when a hub is attached — a
+//! host-throughput section (accesses per wallclock second; see DESIGN.md
+//! §12 on host vs simulated time). Telemetry flags require the default
 //! `telemetry` cargo feature; without it the output files are empty shells.
 
 use std::fs::File;
@@ -156,6 +158,17 @@ fn main() {
                 "{name:<21}: n={} p50={:.0} p95={:.0} p99={:.0} max={} (ps)",
                 h.count, h.p50, h.p95, h.p99, h.max
             );
+        }
+        // Host-time throughput (wallclock seconds, not simulated time —
+        // see DESIGN.md §12). Present whenever the run opened phases.
+        if let Some(w) = &summary.wallclock {
+            println!("\n-- host throughput --");
+            println!("accesses simulated   : {}", w.accesses_simulated);
+            println!(
+                "host wallclock       : {:.3} ms",
+                w.host_wallclock_ns as f64 / 1e6
+            );
+            println!("accesses/sec (host)  : {:.0}", w.accesses_per_sec);
         }
     }
 

@@ -5,10 +5,17 @@
 //! two workloads at pinned epochs/threshold/seed), measures slowdown,
 //! migration rate, the causal attribution decomposition, and span-derived
 //! phase latencies, and compares them against the committed baseline
-//! (`BENCH_5.json` at the repo root). The simulator is fully deterministic,
+//! (`BENCH_6.json` at the repo root). The simulator is fully deterministic,
 //! so an identical re-run reproduces the baseline exactly; the tolerances
 //! below exist to absorb intentional small drift (a retuned constant, an
 //! extra bookkeeping access) while still catching real regressions.
+//!
+//! On top of the behavioral metrics, the gate times repeated runs of one
+//! canary cell against the host clock and gates on the **median accesses
+//! per wallclock second** ([`ThroughputMetrics`]): a performance floor for
+//! the hot loop, with a tolerance generous enough
+//! ([`tolerance::THROUGHPUT_FACTOR`]) to survive machine-to-machine noise.
+//! Pre-throughput (v1) baselines parse fine and simply skip that gate.
 //!
 //! The baseline file is JSON. The workspace has no JSON dependency, so this
 //! module carries a small recursive-descent parser for the subset the gate
@@ -31,6 +38,14 @@ pub mod tolerance {
     /// Phase latencies below this floor (in ps) are never compared: at
     /// sub-nanosecond scale a one-bucket histogram shift is pure noise.
     pub const PHASE_FLOOR_PS: f64 = 1_000.0;
+    /// Median canary throughput (accesses per host wallclock second) may
+    /// fall to no less than `baseline / THROUGHPUT_FACTOR`. Host wallclock
+    /// varies across machines, schedulers, and build flags far more than
+    /// any simulated metric, so the factor is deliberately generous: the
+    /// gate catches order-of-magnitude collapses (an accidental
+    /// per-access `Instant`, quadratic bookkeeping), not percent-level
+    /// noise. Faster-than-baseline is always fine.
+    pub const THROUGHPUT_FACTOR: f64 = 4.0;
 }
 
 /// Span-derived latency of one migration phase, from the full run's
@@ -76,6 +91,28 @@ pub struct CellMetrics {
     pub phases: Vec<PhaseLatency>,
 }
 
+/// Host-throughput measurement of the timing canary: one cell run
+/// repeatedly under a wallclock timer. Medians over `repeats >= 5` runs
+/// absorb scheduler noise; [`compare`] gates with the generous
+/// [`tolerance::THROUGHPUT_FACTOR`] on top of that.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputMetrics {
+    /// Scheme of the timed canary cell.
+    pub scheme: String,
+    /// Workload of the timed canary cell.
+    pub workload: String,
+    /// Timed repetitions the median was taken over.
+    pub repeats: u64,
+    /// Accesses simulated by one canary run (deterministic).
+    pub accesses_per_run: u64,
+    /// Median accesses per host wallclock second — the gated metric.
+    pub median_accesses_per_sec: f64,
+    /// Slowest repetition's accesses/sec (diagnostic only).
+    pub min_accesses_per_sec: f64,
+    /// Fastest repetition's accesses/sec (diagnostic only).
+    pub max_accesses_per_sec: f64,
+}
+
 /// The whole gate report / baseline file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateReport {
@@ -88,8 +125,27 @@ pub struct GateReport {
     /// Whether the producing build had telemetry compiled in (controls
     /// whether phase latencies are compared).
     pub telemetry: bool,
+    /// Host-throughput measurement, `None` in baselines produced before
+    /// the throughput gate existed (they still parse and gate on the
+    /// behavioral metrics alone).
+    pub throughput: Option<ThroughputMetrics>,
     /// One entry per canary cell, in matrix order.
     pub cells: Vec<CellMetrics>,
+}
+
+/// Median of a sample set (mean of the middle pair for even sizes; 0 for
+/// an empty set).
+pub fn median_of(mut xs: Vec<f64>) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let mid = xs.len() / 2;
+    if xs.len() % 2 == 1 {
+        xs[mid]
+    } else {
+        (xs[mid - 1] + xs[mid]) / 2.0
+    }
 }
 
 /// Formats a float so that parsing it back yields the identical `f64`
@@ -128,9 +184,30 @@ impl GateReport {
         let _ = write!(
             out,
             "{{\n  \"schema\": \"aqua-bench-gate-v1\",\n  \"t_rh\": {},\n  \
-             \"epochs\": {},\n  \"seed\": {},\n  \"telemetry\": {},\n  \"cells\": [",
+             \"epochs\": {},\n  \"seed\": {},\n  \"telemetry\": {},\n  \"throughput\": ",
             self.t_rh, self.epochs, self.seed, self.telemetry
         );
+        match &self.throughput {
+            None => out.push_str("null"),
+            Some(t) => {
+                out.push_str("{\n    \"scheme\": ");
+                push_json_str(&mut out, &t.scheme);
+                out.push_str(",\n    \"workload\": ");
+                push_json_str(&mut out, &t.workload);
+                let _ = write!(
+                    out,
+                    ",\n    \"repeats\": {},\n    \"accesses_per_run\": {},\n    \
+                     \"median_accesses_per_sec\": {},\n    \"min_accesses_per_sec\": {},\n    \
+                     \"max_accesses_per_sec\": {}\n  }}",
+                    t.repeats,
+                    t.accesses_per_run,
+                    num(t.median_accesses_per_sec),
+                    num(t.min_accesses_per_sec),
+                    num(t.max_accesses_per_sec)
+                );
+            }
+        }
+        out.push_str(",\n  \"cells\": [");
         for (i, c) in self.cells.iter().enumerate() {
             if i > 0 {
                 out.push(',');
@@ -247,6 +324,34 @@ impl GateReport {
                 phases,
             });
         }
+        // Absent or null in pre-throughput (v1) baselines: still parses,
+        // and [`compare`] simply skips the throughput gate.
+        let throughput = match json::get(obj, "throughput") {
+            None | Some(JsonValue::Null) => None,
+            Some(tv) => {
+                let to = tv.as_obj().ok_or("\"throughput\" is not an object")?;
+                let tnum = |name: &str| -> Result<f64, String> {
+                    json::get(to, name)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("throughput missing numeric field {name:?}"))
+                };
+                let tstr = |name: &str| -> Result<String, String> {
+                    json::get(to, name)
+                        .and_then(JsonValue::as_str)
+                        .map(String::from)
+                        .ok_or_else(|| format!("throughput missing string field {name:?}"))
+                };
+                Some(ThroughputMetrics {
+                    scheme: tstr("scheme")?,
+                    workload: tstr("workload")?,
+                    repeats: tnum("repeats")? as u64,
+                    accesses_per_run: tnum("accesses_per_run")? as u64,
+                    median_accesses_per_sec: tnum("median_accesses_per_sec")?,
+                    min_accesses_per_sec: tnum("min_accesses_per_sec")?,
+                    max_accesses_per_sec: tnum("max_accesses_per_sec")?,
+                })
+            }
+        };
         Ok(GateReport {
             t_rh: field_u64("t_rh")?,
             epochs: field_u64("epochs")?,
@@ -254,6 +359,7 @@ impl GateReport {
             telemetry: json::get(obj, "telemetry")
                 .and_then(JsonValue::as_bool)
                 .ok_or("missing boolean field \"telemetry\"")?,
+            throughput,
             cells,
         })
     }
@@ -282,6 +388,23 @@ pub fn compare(baseline: &GateReport, current: &GateReport) -> Vec<String> {
             current.seed
         ));
         return failures;
+    }
+    // The throughput gate is downward-only (slower fails, faster is fine)
+    // and needs both sides: a pre-throughput baseline, or a current run
+    // that skipped the timing canary, gates on behavior alone.
+    if let (Some(bt), Some(ct)) = (&baseline.throughput, &current.throughput) {
+        let floor = bt.median_accesses_per_sec / THROUGHPUT_FACTOR;
+        if bt.median_accesses_per_sec > 0.0 && ct.median_accesses_per_sec < floor {
+            failures.push(format!(
+                "throughput: median {:.0} accesses/sec fell below {:.0} \
+                 (baseline {:.0} / tolerance factor {THROUGHPUT_FACTOR}) on {}/{}",
+                ct.median_accesses_per_sec,
+                floor,
+                bt.median_accesses_per_sec,
+                bt.scheme,
+                bt.workload
+            ));
+        }
     }
     for b in &baseline.cells {
         let id = format!("{}/{}", b.scheme, b.workload);
@@ -630,6 +753,15 @@ mod tests {
             epochs: 1,
             seed: 42,
             telemetry: true,
+            throughput: Some(ThroughputMetrics {
+                scheme: "aqua-sram".into(),
+                workload: "mcf".into(),
+                repeats: 5,
+                accesses_per_run: 1_400_000,
+                median_accesses_per_sec: 2_000_000.0,
+                min_accesses_per_sec: 1_800_000.0,
+                max_accesses_per_sec: 2_200_000.0,
+            }),
             cells: vec![CellMetrics {
                 scheme: "aqua-sram".into(),
                 workload: "mcf".into(),
@@ -730,6 +862,97 @@ mod tests {
         let mut retuned = base.clone();
         retuned.t_rh = 500;
         assert!(compare(&base, &retuned)[0].contains("configuration changed"));
+    }
+
+    #[test]
+    fn median_of_handles_odd_even_and_empty() {
+        assert_eq!(median_of(vec![]), 0.0);
+        assert_eq!(median_of(vec![3.0]), 3.0);
+        assert_eq!(median_of(vec![9.0, 1.0, 5.0]), 5.0);
+        assert_eq!(median_of(vec![4.0, 1.0, 2.0, 8.0]), 3.0);
+    }
+
+    #[test]
+    fn throughput_gates_on_collapse_only() {
+        let base = sample();
+        // Modest slowdown (within the generous factor): passes.
+        let mut slower = base.clone();
+        slower.throughput.as_mut().unwrap().median_accesses_per_sec /= 2.0;
+        assert!(compare(&base, &slower).is_empty());
+        // Faster: always passes.
+        let mut faster = base.clone();
+        faster.throughput.as_mut().unwrap().median_accesses_per_sec *= 10.0;
+        assert!(compare(&base, &faster).is_empty());
+        // Collapse beyond the factor: fails, and says by how much.
+        let mut collapsed = base.clone();
+        collapsed
+            .throughput
+            .as_mut()
+            .unwrap()
+            .median_accesses_per_sec /= 10.0;
+        let failures = compare(&base, &collapsed);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("throughput"), "{failures:?}");
+        assert!(failures[0].contains("aqua-sram/mcf"), "{failures:?}");
+    }
+
+    #[test]
+    fn throughput_gate_skips_when_either_side_lacks_it() {
+        let base = sample();
+        let mut old_baseline = base.clone();
+        old_baseline.throughput = None;
+        let mut collapsed = base.clone();
+        collapsed
+            .throughput
+            .as_mut()
+            .unwrap()
+            .median_accesses_per_sec = 1.0;
+        // v1 baseline without throughput: current's numbers are reported
+        // but not gated.
+        assert!(compare(&old_baseline, &collapsed).is_empty());
+        // Current run skipped the timing canary: also no gate.
+        let mut no_timing = base.clone();
+        no_timing.throughput = None;
+        assert!(compare(&base, &no_timing).is_empty());
+    }
+
+    #[test]
+    fn throughput_roundtrips_and_null_parses_as_none() {
+        let with = sample();
+        assert_eq!(GateReport::from_json(&with.to_json()).unwrap(), with);
+        let mut without = sample();
+        without.throughput = None;
+        let j = without.to_json();
+        assert!(j.contains("\"throughput\": null"), "{j}");
+        assert_eq!(GateReport::from_json(&j).unwrap(), without);
+    }
+
+    #[test]
+    fn parser_tolerates_unknown_fields() {
+        // A future schema revision may add fields; today's parser must
+        // look up what it knows and ignore the rest — at every level.
+        let mut r = sample();
+        r.throughput = None;
+        let j = r
+            .to_json()
+            .replacen("\"t_rh\"", "\"future_top\": {\"x\": [1,2]},\n  \"t_rh\"", 1)
+            .replacen("\"scheme\"", "\"future_cell\": true,\n      \"scheme\"", 1)
+            .replacen("\"p50_ps\"", "\"future_phase\": null, \"p50_ps\"", 1);
+        assert_eq!(GateReport::from_json(&j).unwrap(), r);
+    }
+
+    #[test]
+    fn v1_committed_baseline_still_parses() {
+        // BENCH_5.json predates the throughput block; it must keep parsing
+        // (backward compatibility for old baselines and external readers).
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_5.json");
+        let r = GateReport::from_json(&text).expect("v1 baseline parses");
+        assert_eq!((r.t_rh, r.epochs, r.seed), (1000, 1, 42));
+        assert!(r.throughput.is_none());
+        assert!(!r.cells.is_empty());
+        // And it still gates cleanly against itself.
+        assert!(compare(&r, &r).is_empty());
     }
 
     #[test]

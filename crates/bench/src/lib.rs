@@ -376,12 +376,19 @@ impl Harness {
         workloads: &[String],
         telemetry: Option<&Telemetry>,
     ) -> MatrixResults {
+        // Wallclock phases on the *parent* hub bracket the coordinator's
+        // three stages; per-job sim phases land in the per-job forks and
+        // merge back underneath.
+        let parent = telemetry.cloned().unwrap_or_default();
+        let setup_phase = parent.phase("bench.setup");
         let jobs: Vec<(Scheme, &String)> = workloads
             .iter()
             .flat_map(|w| schemes.iter().map(move |&s| (s, w)))
             .collect();
         let total = jobs.len();
         let done = AtomicUsize::new(0);
+        setup_phase.finish();
+        let run_phase = parent.phase("bench.run");
         let outcomes = pool::run_indexed(self.jobs, &jobs, |_, &(scheme, workload)| {
             let hub = telemetry.map(Telemetry::fork);
             let report = self.run_instrumented(scheme, workload, hub.as_ref());
@@ -389,6 +396,8 @@ impl Harness {
             eprintln!("[{finished}/{total}] {}/{workload} done", scheme.name());
             (report, hub)
         });
+        run_phase.finish();
+        let merge_phase = parent.phase("bench.merge");
         let cells = jobs
             .into_iter()
             .zip(outcomes)
@@ -412,6 +421,7 @@ impl Harness {
                 }
             })
             .collect();
+        merge_phase.finish();
         MatrixResults::new(cells)
     }
 

@@ -3,6 +3,8 @@
 use std::fs;
 use std::path::PathBuf;
 
+use aqua_telemetry::Telemetry;
+
 /// Prints a fixed-width table to stdout.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n== {title} ==");
@@ -50,6 +52,25 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
     path
 }
 
+/// [`write_csv`] bracketed by a `bench.csv` wallclock phase on `telemetry`,
+/// so CSV serialization shows up in host-time profiles next to
+/// `bench.setup`/`bench.run`/`bench.merge`. Identical output to
+/// [`write_csv`]; with the `telemetry` feature off (or a disabled hub) the
+/// phase guard is inert.
+///
+/// # Panics
+///
+/// Panics if the experiments directory cannot be created or written.
+pub fn write_csv_instrumented(
+    telemetry: &Telemetry,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> PathBuf {
+    let _phase = telemetry.phase("bench.csv");
+    write_csv(name, header, rows)
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
@@ -75,5 +96,22 @@ mod tests {
         let p = write_csv("unit-test", &["a", "b"], &[vec!["1".into(), "2".into()]]);
         let body = std::fs::read_to_string(p).unwrap();
         assert_eq!(body, "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn instrumented_csv_matches_plain_and_records_a_phase() {
+        let hub = Telemetry::new(Default::default());
+        let p = write_csv_instrumented(
+            &hub,
+            "unit-test-instrumented",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        assert_eq!(std::fs::read_to_string(p).unwrap(), "a,b\n1,2\n");
+        if hub.is_enabled() {
+            let summary = hub.summary().unwrap();
+            let wall = summary.wallclock.expect("csv phase recorded");
+            assert_eq!(wall.phase("bench.csv").map(|s| s.count), Some(1));
+        }
     }
 }

@@ -10,24 +10,74 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Optional progress reporting for long matrix runs, enabled by
+/// `AQUA_BENCH_PROGRESS=1` and off by default (so default stderr output —
+/// and every CSV diff driven by it — stays byte-identical). Writes one
+/// jobs-done/total line with elapsed wallclock and a linear ETA to stderr
+/// after each job completes.
+struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    start: std::time::Instant,
+}
+
+impl Progress {
+    /// A live reporter when `AQUA_BENCH_PROGRESS=1`, `None` otherwise. The
+    /// `Instant` is only read when the reporter is live.
+    fn from_env(total: usize) -> Option<Progress> {
+        let on = std::env::var("AQUA_BENCH_PROGRESS").is_ok_and(|v| v.trim() == "1");
+        (on && total > 0).then(|| Progress {
+            total,
+            done: AtomicUsize::new(0),
+            start: std::time::Instant::now(),
+        })
+    }
+
+    fn note(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let elapsed = self.start.elapsed().as_secs_f64();
+        eprintln!("{}", progress_line(done, self.total, elapsed));
+    }
+}
+
+/// Formats one progress report line: jobs done / total, elapsed wallclock
+/// seconds, and a linear-extrapolation ETA for the remaining jobs.
+pub fn progress_line(done: usize, total: usize, elapsed_s: f64) -> String {
+    let remaining = total.saturating_sub(done);
+    let eta_s = if done > 0 {
+        elapsed_s / done as f64 * remaining as f64
+    } else {
+        0.0
+    };
+    format!("[pool] {done}/{total} jobs done, elapsed {elapsed_s:.1}s, eta {eta_s:.1}s")
+}
+
 /// Runs `f(index, item)` over every item with at most `jobs` running
 /// concurrently, returning results in input order.
 ///
 /// `jobs <= 1` (or a single item) recovers strictly serial behaviour: every
 /// job runs inline on the caller's thread and no threads are spawned.
 /// A job that panics yields `Err` carrying the panic message; the remaining
-/// jobs still run to completion.
+/// jobs still run to completion. Set `AQUA_BENCH_PROGRESS=1` for a
+/// per-completion progress line on stderr.
 pub fn run_indexed<I, T, F>(jobs: usize, items: &[I], f: F) -> Vec<Result<T, String>>
 where
     I: Sync,
     T: Send,
     F: Fn(usize, &I) -> T + Sync,
 {
+    let progress = Progress::from_env(items.len());
     if jobs <= 1 || items.len() <= 1 {
         return items
             .iter()
             .enumerate()
-            .map(|(i, item)| run_one(i, item, &f))
+            .map(|(i, item)| {
+                let outcome = run_one(i, item, &f);
+                if let Some(p) = &progress {
+                    p.note();
+                }
+                outcome
+            })
             .collect();
     }
     let workers = jobs.min(items.len());
@@ -43,6 +93,9 @@ where
                 }
                 let outcome = run_one(i, &items[i], &f);
                 *slots[i].lock().unwrap() = Some(outcome);
+                if let Some(p) = &progress {
+                    p.note();
+                }
             });
         }
     });
@@ -136,5 +189,29 @@ mod tests {
     fn empty_input_yields_empty_output() {
         let out: Vec<Result<u8, String>> = run_indexed(4, &[], |_, _: &u8| unreachable!());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn progress_lines_report_elapsed_and_linear_eta() {
+        // 3 of 12 jobs in 6 s -> 2 s/job -> 18 s for the remaining 9.
+        assert_eq!(
+            progress_line(3, 12, 6.0),
+            "[pool] 3/12 jobs done, elapsed 6.0s, eta 18.0s"
+        );
+        // Completion reports zero ETA.
+        assert_eq!(
+            progress_line(12, 12, 24.5),
+            "[pool] 12/12 jobs done, elapsed 24.5s, eta 0.0s"
+        );
+    }
+
+    #[test]
+    fn progress_reporter_is_off_by_default() {
+        // Tests run with AQUA_BENCH_PROGRESS unset (or not "1"); the
+        // reporter must stay dormant so stderr-sensitive diffs hold.
+        if std::env::var("AQUA_BENCH_PROGRESS").map(|v| v == "1") != Ok(true) {
+            assert!(Progress::from_env(10).is_none());
+        }
+        assert!(Progress::from_env(0).is_none(), "empty pools never report");
     }
 }

@@ -107,6 +107,8 @@ pub struct Simulation<M: Mitigation> {
     /// Mapping-table lookup latency on the access critical path, ps.
     lookup_hist: Histogram,
     activations: Counter,
+    /// Requests served, feeding the wallclock layer's accesses/sec metric.
+    requests: Counter,
     /// Replay cursor over the generated fault plan (`None`: no campaign).
     injector: Option<FaultInjector>,
     /// Rows whose translation an injected fault corrupted, pending
@@ -173,6 +175,7 @@ impl<M: Mitigation> Simulation<M> {
             migration_hist: detached.histogram("migration.stall_ps"),
             lookup_hist: detached.histogram("table.lookup_ps"),
             activations: detached.counter("sim.activations"),
+            requests: detached.counter("sim.requests"),
             injector,
             watch: BTreeSet::new(),
             escaped: BTreeSet::new(),
@@ -192,6 +195,7 @@ impl<M: Mitigation> Simulation<M> {
         self.migration_hist = telemetry.histogram("migration.stall_ps");
         self.lookup_hist = telemetry.histogram("table.lookup_ps");
         self.activations = telemetry.counter("sim.activations");
+        self.requests = telemetry.counter("sim.requests");
         self.faults_injected = telemetry.counter("sim.faults_injected");
         self.integrity_escapes = telemetry.counter("sim.integrity_escapes");
         self.degraded_epochs = telemetry.counter("sim.degraded_epochs");
@@ -472,6 +476,7 @@ impl<M: Mitigation> Simulation<M> {
         }
         self.access_hist
             .record(completion.saturating_since(t0).as_ps());
+        self.requests.inc();
         self.cores[ci].commit(t0, completion);
     }
 
@@ -534,6 +539,11 @@ impl<M: Mitigation> Simulation<M> {
         let mut baseline = EpochBaseline::default();
         let started = std::time::Instant::now();
         let mut watchdog_check: u32 = 0;
+        // Wallclock phases bracket coarse units only (the whole run, one
+        // epoch, one refresh drain) — never the per-access serve path, so
+        // the profiler cannot perturb what it measures.
+        let run_phase = self.telemetry.phase("sim.run");
+        let mut epoch_phase = self.telemetry.phase("sim.epoch");
         while let Some((ci, t)) = self
             .cores
             .iter()
@@ -558,30 +568,42 @@ impl<M: Mitigation> Simulation<M> {
             while let Some(ev) = self.injector.as_mut().and_then(|inj| inj.due(t.as_ps())) {
                 self.apply_fault(ev, t);
             }
-            while t >= next_tick {
-                // Background work (lazy RQA drain, pending unswaps) gets its
-                // own root span, separate from demand-path consultations.
-                let sp = self
-                    .telemetry
-                    .span_start("sim.refresh_tick", next_tick.as_ps());
-                let actions = self.mitigation.on_refresh_tick(next_tick);
-                if actions.is_empty() {
-                    sp.end_if_used(next_tick.as_ps());
-                } else {
-                    self.apply_actions(actions, next_tick, next_tick);
-                    sp.end(self.channel.blocked_until().max(next_tick).as_ps());
+            if t >= next_tick {
+                // The phase opens only when at least one tick is due, so an
+                // idle check costs no clock read.
+                let _drain = self.telemetry.phase("sim.refresh_drain");
+                while t >= next_tick {
+                    // Background work (lazy RQA drain, pending unswaps) gets
+                    // its own root span, separate from demand-path
+                    // consultations.
+                    let sp = self
+                        .telemetry
+                        .span_start("sim.refresh_tick", next_tick.as_ps());
+                    let actions = self.mitigation.on_refresh_tick(next_tick);
+                    if actions.is_empty() {
+                        sp.end_if_used(next_tick.as_ps());
+                    } else {
+                        self.apply_actions(actions, next_tick, next_tick);
+                        sp.end(self.channel.blocked_until().max(next_tick).as_ps());
+                    }
+                    next_tick += t_refi;
                 }
-                next_tick += t_refi;
             }
             while t >= next_epoch {
-                self.sample_epoch(epoch_idx, next_epoch, &mut baseline);
-                self.mitigation.end_epoch();
-                self.oracle.end_epoch();
+                epoch_phase.finish();
+                {
+                    let _end = self.telemetry.phase("sim.epoch_end");
+                    self.sample_epoch(epoch_idx, next_epoch, &mut baseline);
+                    self.mitigation.end_epoch();
+                    self.oracle.end_epoch();
+                }
+                epoch_phase = self.telemetry.phase("sim.epoch");
                 next_epoch += epoch_len;
                 epoch_idx += 1;
             }
             self.serve(ci, t);
         }
+        epoch_phase.finish();
         // Close out remaining epoch boundaries. Any still-undelivered fault
         // events fire first, so every scheduled fault is accounted for even
         // when the cores drained early.
@@ -589,12 +611,16 @@ impl<M: Mitigation> Simulation<M> {
             self.apply_fault(ev, end);
         }
         while next_epoch <= end {
+            let _end = self.telemetry.phase("sim.epoch_end");
             self.sample_epoch(epoch_idx, next_epoch, &mut baseline);
             self.mitigation.end_epoch();
             self.oracle.end_epoch();
             next_epoch += epoch_len;
             epoch_idx += 1;
         }
+        // Close the run phase before the summary is taken so the whole
+        // profile (including this run's root total) lands in the report.
+        run_phase.finish();
         let faults = self.close_fault_accounting(end);
         let stats = self.channel.stats();
         RunReport {

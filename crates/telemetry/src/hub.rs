@@ -13,6 +13,9 @@ use crate::span::Span;
 use crate::summary::TelemetrySummary;
 
 #[cfg(feature = "enabled")]
+use crate::wallclock::{WallProfile, WallclockSummary};
+
+#[cfg(feature = "enabled")]
 use crate::event::Event;
 #[cfg(feature = "enabled")]
 use crate::hist::HistogramData;
@@ -59,6 +62,62 @@ struct Inner {
     trace: Mutex<RingBuffer<Event>>,
     epochs: Mutex<EpochSeries>,
     spans: Mutex<SpanTrack>,
+    wall: Mutex<WallTrack>,
+}
+
+/// A wallclock phase currently open on the hub's phase stack.
+#[cfg(feature = "enabled")]
+struct OpenPhase {
+    token: u64,
+    name: &'static str,
+    start: std::time::Instant,
+    /// Host time already attributed to child phases closed under this one.
+    child_ns: u64,
+}
+
+/// All mutable wallclock-profiling state, behind one lock so open/close
+/// stay atomic. Unlike [`SpanTrack`] this measures *host* nanoseconds via
+/// `Instant`, not simulated picoseconds.
+#[cfg(feature = "enabled")]
+struct WallTrack {
+    profile: WallProfile,
+    stack: Vec<OpenPhase>,
+    next_token: u64,
+}
+
+#[cfg(feature = "enabled")]
+impl WallTrack {
+    fn new() -> Self {
+        WallTrack {
+            profile: WallProfile::new(),
+            stack: Vec::new(),
+            next_token: 1,
+        }
+    }
+
+    /// Closes the open phase identified by `token`: measures its elapsed
+    /// host time, attributes it to the parent's child time, and records it
+    /// under its `;`-joined stack path. Phases normally close LIFO;
+    /// searching from the top tolerates out-of-order drops.
+    fn close(&mut self, token: u64) {
+        let Some(idx) = self.stack.iter().rposition(|o| o.token == token) else {
+            return;
+        };
+        let elapsed = self.stack[idx].start.elapsed().as_nanos() as u64;
+        let mut path = String::new();
+        for (k, open) in self.stack[..=idx].iter().enumerate() {
+            if k > 0 {
+                path.push(';');
+            }
+            path.push_str(open.name);
+        }
+        let child_ns = self.stack[idx].child_ns;
+        if idx > 0 {
+            self.stack[idx - 1].child_ns += elapsed;
+        }
+        self.stack.remove(idx);
+        self.profile.record(&path, elapsed, child_ns);
+    }
 }
 
 /// A span currently open on the hub's causal stack.
@@ -132,6 +191,7 @@ impl Telemetry {
                 trace: Mutex::new(RingBuffer::new(cfg.trace_capacity)),
                 epochs: Mutex::new(EpochSeries::new()),
                 spans: Mutex::new(SpanTrack::new(cfg.span_capacity)),
+                wall: Mutex::new(WallTrack::new()),
             })),
         }
     }
@@ -203,6 +263,16 @@ impl Telemetry {
         for (&name, data) in theirs.stats.iter() {
             mine.stats.entry(name).or_default().merge(data);
         }
+        drop(mine);
+        drop(theirs);
+        // Completed wallclock phases merge path-wise (counts add
+        // deterministically); phases still open on either stack are not
+        // transferred.
+        a.wall
+            .lock()
+            .unwrap()
+            .profile
+            .merge(&b.wall.lock().unwrap().profile);
     }
 
     /// Whether this handle feeds a live hub.
@@ -299,6 +369,38 @@ impl Telemetry {
         }
     }
 
+    /// Opens a host-wallclock phase named `name` and returns the guard that
+    /// closes it (on drop or via [`PhaseGuard::finish`]).
+    ///
+    /// Phases nest on a per-hub stack: time measured for a phase is
+    /// attributed to the enclosing phase's child time, and the completed
+    /// occurrence is recorded under its `;`-joined stack path. Phases are
+    /// meant for *coarse* units of work (an epoch, a refresh drain, a bench
+    /// job batch) — each open/close takes a lock and reads `Instant`, so
+    /// never put one on a per-access path. On a disabled handle this reads
+    /// no clock and takes no lock.
+    pub fn phase(&self, name: &'static str) -> PhaseGuard {
+        let Some(i) = &self.inner else {
+            return PhaseGuard {
+                inner: None,
+                token: 0,
+            };
+        };
+        let mut w = i.wall.lock().unwrap();
+        let token = w.next_token;
+        w.next_token += 1;
+        w.stack.push(OpenPhase {
+            token,
+            name,
+            start: std::time::Instant::now(),
+            child_ns: 0,
+        });
+        PhaseGuard {
+            inner: Some(Arc::clone(i)),
+            token,
+        }
+    }
+
     /// Clones the retained completed spans, oldest first (empty when
     /// disabled).
     pub fn spans(&self) -> Vec<Span> {
@@ -334,7 +436,7 @@ impl Telemetry {
     /// Condenses everything recorded so far (None when disabled).
     pub fn summary(&self) -> Option<TelemetrySummary> {
         let i = self.inner.as_ref()?;
-        let counters = i
+        let counters: Vec<(String, u64)> = i
             .counters
             .lock()
             .unwrap()
@@ -361,6 +463,17 @@ impl Telemetry {
         for (name, data) in sp.stats.iter() {
             hists.insert(format!("span.{name}"), data.summary());
         }
+        let wall = i.wall.lock().unwrap();
+        let wallclock = if wall.profile.is_empty() {
+            None
+        } else {
+            let accesses = counters
+                .iter()
+                .find(|entry: &&(String, u64)| entry.0 == "sim.requests")
+                .map(|entry| entry.1)
+                .unwrap_or(0);
+            Some(WallclockSummary::from_profile(&wall.profile, accesses))
+        };
         let trace = i.trace.lock().unwrap();
         Some(TelemetrySummary {
             counters,
@@ -371,6 +484,7 @@ impl Telemetry {
             epochs_recorded: i.epochs.lock().unwrap().len() as u64,
             spans_recorded: sp.ring.offered(),
             spans_dropped: sp.ring.dropped(),
+            wallclock,
         })
     }
 }
@@ -555,6 +669,45 @@ impl Drop for ActiveSpan {
     }
 }
 
+/// Guard for a host-wallclock phase opened with [`Telemetry::phase`].
+///
+/// Dropping the guard closes the phase and records its elapsed host time;
+/// [`PhaseGuard::finish`] is the explicit-close spelling for call sites
+/// that reopen a phase in a loop. For a disabled handle the guard holds
+/// nothing and closing it is a no-op.
+#[cfg(feature = "enabled")]
+#[must_use = "bind the guard; the phase is timed until it drops"]
+pub struct PhaseGuard {
+    inner: Option<Arc<Inner>>,
+    token: u64,
+}
+
+#[cfg(feature = "enabled")]
+impl std::fmt::Debug for PhaseGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PhaseGuard")
+            .field("enabled", &self.inner.is_some())
+            .field("token", &self.token)
+            .finish()
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl PhaseGuard {
+    /// Closes the phase now (equivalent to dropping the guard).
+    #[inline]
+    pub fn finish(self) {}
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for PhaseGuard {
+    fn drop(&mut self) {
+        if let Some(i) = self.inner.take() {
+            i.wall.lock().unwrap().close(self.token);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Feature OFF: zero-cost stand-ins with the same API.
 // ---------------------------------------------------------------------------
@@ -612,6 +765,12 @@ impl Telemetry {
     #[inline]
     pub fn span_start(&self, _name: &'static str, _start_ps: u64) -> ActiveSpan {
         ActiveSpan
+    }
+
+    /// Returns an inert phase guard: no clock read, no lock, zero size.
+    #[inline]
+    pub fn phase(&self, _name: &'static str) -> PhaseGuard {
+        PhaseGuard
     }
 
     /// Always empty in this mode.
@@ -720,6 +879,21 @@ impl Histogram {
 #[must_use = "bind the span and close it with end()/end_if_used()/cancel()"]
 #[derive(Debug)]
 pub struct ActiveSpan;
+
+/// Inert phase guard (feature off): a zero-sized type with no `Drop`, so
+/// instrumented call sites compile to nothing — in particular, no
+/// `Instant` is ever read.
+#[cfg(not(feature = "enabled"))]
+#[must_use = "bind the guard; the phase is timed until it drops"]
+#[derive(Debug)]
+pub struct PhaseGuard;
+
+#[cfg(not(feature = "enabled"))]
+impl PhaseGuard {
+    /// No-op.
+    #[inline]
+    pub fn finish(self) {}
+}
 
 #[cfg(not(feature = "enabled"))]
 impl ActiveSpan {
@@ -985,6 +1159,111 @@ mod tests {
         let c = t.counter("x");
         c.inc();
         assert_eq!(c.get(), 0);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn phases_nest_and_account_self_vs_child() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        {
+            let _outer = t.phase("outer");
+            {
+                let _inner = t.phase("inner");
+            }
+            {
+                let _inner = t.phase("inner");
+            }
+        }
+        let w = t.summary().unwrap().wallclock.unwrap();
+        let outer = w.phase("outer").unwrap();
+        let inner = w.phase("inner").unwrap();
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 2);
+        // The two inner occurrences landed on the nested path and their
+        // time was attributed to outer's child time.
+        assert_eq!(w.path("outer;inner").unwrap().count, 2);
+        assert!(w.path("inner").is_none());
+        assert!(outer.child_ns >= inner.total_ns);
+        assert!(outer.total_ns >= outer.child_ns);
+        assert_eq!(outer.self_ns(), outer.total_ns - outer.child_ns);
+        // Root totals define the profiled wallclock.
+        assert_eq!(w.host_wallclock_ns, outer.total_ns);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn phase_finish_closes_early_and_loops_reopen() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let run = t.phase("run");
+        let mut epoch = t.phase("epoch");
+        for _ in 0..3 {
+            epoch.finish();
+            epoch = t.phase("epoch");
+        }
+        epoch.finish();
+        run.finish();
+        let w = t.summary().unwrap().wallclock.unwrap();
+        assert_eq!(w.phase("epoch").unwrap().count, 4);
+        assert_eq!(w.path("run;epoch").unwrap().count, 4);
+        assert_eq!(w.phase("run").unwrap().count, 1);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn open_phases_do_not_leak_into_summary_or_merge() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let _open = t.phase("still_open");
+        assert!(t.summary().unwrap().wallclock.is_none());
+
+        let job = t.fork();
+        let done = job.phase("job_work");
+        done.finish();
+        let _job_open = job.phase("job_open");
+        t.merge_from(&job);
+        let w = t.summary().unwrap().wallclock.unwrap();
+        assert_eq!(w.phase("job_work").unwrap().count, 1);
+        assert!(w.phase("job_open").is_none());
+        // The parent's own open phase is still unrecorded.
+        assert!(w.phase("still_open").is_none());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn phase_counts_merge_deterministically_across_forks() {
+        fn exercise(hub: &Telemetry) {
+            let r = hub.phase("r");
+            hub.phase("c").finish();
+            hub.phase("c").finish();
+            r.finish();
+        }
+        let whole = Telemetry::new(TelemetryConfig::default());
+        exercise(&whole);
+        let job = whole.fork();
+        exercise(&job);
+        whole.merge_from(&job);
+        let w = whole.summary().unwrap().wallclock.unwrap();
+        assert_eq!(w.phase("r").unwrap().count, 2);
+        assert_eq!(w.path("r;c").unwrap().count, 4);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn disabled_handle_phase_is_inert() {
+        let t = Telemetry::disabled();
+        let g = t.phase("x");
+        g.finish();
+        assert!(t.summary().is_none());
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn feature_off_phase_guard_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<PhaseGuard>(), 0);
+        let t = Telemetry::new(TelemetryConfig::default());
+        let g = t.phase("x");
+        g.finish();
+        let _held = t.phase("y");
+        assert!(t.summary().is_none());
     }
 
     #[cfg(not(feature = "enabled"))]

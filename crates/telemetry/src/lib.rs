@@ -18,6 +18,10 @@
 //!   time with parent links and per-name duration histograms, covering the
 //!   full migration lifecycle (quarantine decision → channel blocking →
 //!   table update) plus the intervals where demand traffic pays for it.
+//! * [`wallclock`] + [`PhaseGuard`] — scoped *host-time* phase timers over
+//!   `std::time::Instant` with a nesting stack, self/child accounting, and
+//!   folded-stacks export; the throughput instrument behind the hot-loop
+//!   speed campaign. Zero-cost (no clock reads) with the feature off.
 //! * [`export`] — JSONL and Chrome `about:tracing` writers for all of the
 //!   above, hand-rolled so no serialization dependency is required.
 //! * [`stat_struct!`] — the declarative macro behind the workspace's plain
@@ -38,11 +42,13 @@ pub mod ring;
 pub mod span;
 mod stats;
 pub mod summary;
+pub mod wallclock;
 
 pub use epoch::{EpochRecord, EpochSeries};
 pub use event::{Event, EventKind};
 pub use hist::{HistogramData, HistogramSummary};
-pub use hub::{ActiveSpan, Counter, Gauge, Histogram, Telemetry, TelemetryConfig};
+pub use hub::{ActiveSpan, Counter, Gauge, Histogram, PhaseGuard, Telemetry, TelemetryConfig};
 pub use ring::RingBuffer;
 pub use span::Span;
 pub use summary::TelemetrySummary;
+pub use wallclock::{PhaseStats, WallProfile, WallclockSummary};

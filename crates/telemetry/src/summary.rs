@@ -2,6 +2,7 @@
 
 use crate::hist::HistogramSummary;
 use crate::json;
+use crate::wallclock::WallclockSummary;
 
 /// Snapshot of all registered metrics at the end of a run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -23,6 +24,10 @@ pub struct TelemetrySummary {
     pub spans_recorded: u64,
     /// Completed spans the span ring had to drop.
     pub spans_dropped: u64,
+    /// Host-time phase profile and throughput, present when any wallclock
+    /// phase was recorded. Its equality ignores nanosecond values (host
+    /// noise), so summary comparisons stay deterministic.
+    pub wallclock: Option<WallclockSummary>,
 }
 
 impl TelemetrySummary {
@@ -85,13 +90,18 @@ impl TelemetrySummary {
         }
         out.push_str(&format!(
             "}},\"events_recorded\":{},\"events_dropped\":{},\"epochs_recorded\":{},\
-             \"spans_recorded\":{},\"spans_dropped\":{}}}",
+             \"spans_recorded\":{},\"spans_dropped\":{},\"wallclock\":",
             self.events_recorded,
             self.events_dropped,
             self.epochs_recorded,
             self.spans_recorded,
             self.spans_dropped
         ));
+        match &self.wallclock {
+            Some(w) => out.push_str(&w.to_json()),
+            None => out.push_str("null"),
+        }
+        out.push('}');
         out
     }
 }
@@ -121,6 +131,7 @@ mod tests {
             epochs_recorded: 2,
             spans_recorded: 4,
             spans_dropped: 0,
+            wallclock: None,
         };
         assert_eq!(s.counter("aqua.installs"), Some(3));
         assert_eq!(s.histogram("mem.access_ps").unwrap().max, 12);
@@ -128,6 +139,26 @@ mod tests {
         assert!(j.contains("\"aqua.installs\":3"), "{j}");
         assert!(j.contains("\"events_dropped\":1"), "{j}");
         assert!(j.contains("\"spans_recorded\":4"), "{j}");
+        assert!(j.contains("\"wallclock\":null"), "{j}");
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn json_embeds_wallclock_when_present() {
+        let mut profile = crate::wallclock::WallProfile::new();
+        profile.record("sim.run", 500, 0);
+        let s = TelemetrySummary {
+            wallclock: Some(crate::wallclock::WallclockSummary::from_profile(
+                &profile, 100,
+            )),
+            ..Default::default()
+        };
+        let j = s.to_json();
+        assert!(
+            j.contains("\"wallclock\":{\"host_wallclock_ns\":500"),
+            "{j}"
+        );
+        assert!(j.contains("\"accesses_simulated\":100"), "{j}");
+        assert!(j.ends_with("}}"), "{j}");
     }
 }

@@ -5,7 +5,7 @@
 //! the same properties.
 
 use aqua_telemetry::hist::BUCKET_COUNT;
-use aqua_telemetry::{HistogramData, RingBuffer, Span};
+use aqua_telemetry::{HistogramData, RingBuffer, Span, WallProfile};
 use proptest::prelude::*;
 
 proptest! {
@@ -238,6 +238,49 @@ proptest! {
         prop_assert_eq!(plain.iter().collect::<Vec<_>>(), mapped.iter().collect::<Vec<_>>());
         prop_assert_eq!(plain.offered(), mapped.offered());
         prop_assert_eq!(plain.dropped(), mapped.dropped());
+    }
+
+    /// Wallclock-profile merging is partition-independent: splitting the
+    /// same phase records across forked profiles and merging back (in
+    /// either fold order) reproduces counts, total/child nanoseconds, and
+    /// min/max exactly — the property the matrix runner's fork/merge path
+    /// relies on for deterministic phase counts.
+    #[test]
+    fn wall_profile_merge_is_partition_independent(
+        records in prop::collection::vec(
+            (0usize..4, 0u64..1_000_000, 0u64..1_000), 0..80),
+        cut_a in 0usize..80,
+        cut_b in 0usize..80,
+    ) {
+        const PATHS: [&str; 4] = [
+            "sim.run",
+            "sim.run;sim.epoch",
+            "sim.run;sim.epoch_end",
+            "bench.run",
+        ];
+        let cut_a = cut_a.min(records.len());
+        let cut_b = cut_b.min(records.len()).max(cut_a);
+        let mut whole = WallProfile::new();
+        let mut parts = [WallProfile::new(), WallProfile::new(), WallProfile::new()];
+        for (i, &(p, total, child)) in records.iter().enumerate() {
+            let child = child.min(total);
+            whole.record(PATHS[p], total, child);
+            let part = if i < cut_a { 0 } else if i < cut_b { 1 } else { 2 };
+            parts[part].record(PATHS[p], total, child);
+        }
+        // Left fold (0 <- 1 <- 2) vs right fold (1 <- 2 first).
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut right_tail = parts[1].clone();
+        right_tail.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&right_tail);
+        prop_assert_eq!(&left, &whole);
+        prop_assert_eq!(&right, &whole);
+        for (path, stats) in whole.paths() {
+            prop_assert_eq!(left.path(path), Some(stats));
+        }
     }
 
     /// Span rings never panic at capacity zero: pushes and merges (mapped

@@ -7,10 +7,21 @@
 //! iterations and prints mean wall-clock time per iteration. It exists so
 //! `cargo bench` compiles and produces useful ballpark numbers offline; it
 //! does no statistical analysis, outlier rejection, or HTML reporting.
+//!
+//! Like real criterion, `cargo bench -- --test` switches to **check mode**:
+//! every benchmark body runs exactly once with no warm-up and no timing
+//! report, so CI can prove the benches still execute without paying for a
+//! measurement run.
 
 #![forbid(unsafe_code)]
 
 use std::time::{Duration, Instant};
+
+/// True when the harness was invoked as `cargo bench -- --test` (criterion's
+/// check mode: run every benchmark once, skip measurement).
+fn check_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
 
 /// Prevents the optimizer from eliding a value (best-effort, safe-code only).
 #[inline]
@@ -22,12 +33,13 @@ pub fn black_box<T>(x: T) -> T {
 pub struct Bencher {
     measured: Option<Duration>,
     iters: u64,
+    warmup_iters: u64,
 }
 
 impl Bencher {
     /// Times `routine`, running warm-up passes then measured passes.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        for _ in 0..self.iters.min(2) {
+        for _ in 0..self.warmup_iters {
             black_box(routine());
         }
         let start = Instant::now();
@@ -91,9 +103,23 @@ impl BenchmarkGroup<'_> {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, iters: u64, mut f: F) {
+    if check_mode() {
+        // `--test`: execute the body once to prove it still runs; no
+        // warm-up, no timing claims.
+        let mut b = Bencher {
+            measured: None,
+            iters: 1,
+            warmup_iters: 0,
+        };
+        f(&mut b);
+        println!("  {name}: ok (check mode, 1 iter)");
+        return;
+    }
+    let iters = iters.max(1);
     let mut b = Bencher {
         measured: None,
-        iters: iters.max(1),
+        iters,
+        warmup_iters: iters.min(2),
     };
     f(&mut b);
     match b.measured {
@@ -143,5 +169,20 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn check_mode_bencher_runs_the_body_exactly_once() {
+        // The configuration run_one uses under `--test`: no warm-up, one
+        // measured pass.
+        let mut calls = 0;
+        let mut b = Bencher {
+            measured: None,
+            iters: 1,
+            warmup_iters: 0,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert!(b.measured.is_some());
     }
 }
