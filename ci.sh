@@ -83,11 +83,12 @@ profile_off_out=$(cargo run --offline -q --release -p aqua-bench \
 grep -q 'without the `telemetry` feature' <<<"$profile_off_out"
 
 # Performance-regression gate: the deterministic canary matrix must stay
-# within tolerance of the committed BENCH_6.json baseline — behavioral
-# metrics exactly-reproducible, the throughput canary within its generous
-# host-noise factor — in both telemetry feature modes (span-phase latencies
-# are only gated when telemetry is on; the attribution residual is gated in
-# both). Exit nonzero = regression.
+# within tolerance of the committed BENCH_7.json baseline — behavioral
+# metrics exactly-reproducible, the throughput canary within its tightened
+# 2x floor — in both telemetry feature modes (span-phase latencies are
+# only gated when telemetry is on; the attribution residual is gated in
+# both). BENCH_6.json stays committed as a v2-format parser fixture only.
+# Exit nonzero = regression.
 echo
 echo "==> regression gate (telemetry on)"
 cargo run --offline -q --release -p aqua-bench --bin regression_gate
@@ -105,6 +106,18 @@ if cargo run --offline -q --release -p aqua-bench --bin regression_gate -- \
     exit 1
 fi
 echo "gate correctly rejected the injected regression"
+
+# The throughput floor must also be a must-fail check: a synthetic 3x
+# collapse of the throughput canary (beyond the 2x tolerance factor) has
+# to exit nonzero, proving the hot-loop floor actually gates.
+echo
+echo "==> regression gate must FAIL on injected 3x throughput collapse"
+if cargo run --offline -q --release -p aqua-bench --bin regression_gate -- \
+    --inject-throttle 3 >/dev/null 2>&1; then
+    echo "ERROR: regression gate passed despite throttled throughput canary" >&2
+    exit 1
+fi
+echo "gate correctly rejected the throttled throughput canary"
 
 echo
 echo "ci.sh: all checks passed"

@@ -16,13 +16,16 @@ use std::fmt;
 const WAYS: usize = 16;
 const RELOCATION_DEPTH: usize = 24;
 
-#[derive(Debug, Clone, Copy)]
-struct Entry<V> {
-    key: u64,
-    value: V,
-}
-
 /// A two-skew, set-associative table with no practical set conflicts.
+///
+/// Storage is three parallel per-skew arrays — a 16-bit occupancy mask per
+/// set, a flat key array, and a flat value array — instead of an array of
+/// `Option<(key, value)>` slots. A lookup first loads the candidate set's
+/// mask (the whole mask array for a 32K-entry table is 4 KB, so it stays
+/// resident in L1) and only probes the key words of occupied ways; a miss on
+/// an empty set — the overwhelmingly common case, since the table sits on
+/// the per-access translate path while quarantines are rare — costs two mask
+/// loads and touches no key or value cache lines at all.
 ///
 /// # Example
 ///
@@ -38,8 +41,13 @@ struct Entry<V> {
 /// ```
 #[derive(Clone)]
 pub struct CollisionAvoidanceTable<V> {
-    /// `skews[s]` is a flat `sets_per_skew * WAYS` slot array.
-    skews: [Vec<Option<Entry<V>>>; 2],
+    /// `masks[s][set]`: bit `w` set iff way `w` of that set is occupied.
+    masks: [Vec<u16>; 2],
+    /// `keys[s]` is a flat `sets_per_skew * WAYS` key array; a slot's key is
+    /// meaningful iff its occupancy bit is set.
+    keys: [Vec<u64>; 2],
+    /// Values, parallel to `keys` (`None` iff the occupancy bit is clear).
+    values: [Vec<Option<V>>; 2],
     sets_per_skew: usize,
     len: usize,
     max_set_load: usize,
@@ -55,11 +63,11 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 2 * WAYS, "CAT capacity must be at least 32");
         let sets_per_skew = (capacity / (2 * WAYS)).next_power_of_two();
+        let slots = sets_per_skew * WAYS;
         CollisionAvoidanceTable {
-            skews: [
-                vec![None; sets_per_skew * WAYS],
-                vec![None; sets_per_skew * WAYS],
-            ],
+            masks: [vec![0; sets_per_skew], vec![0; sets_per_skew]],
+            keys: [vec![0; slots], vec![0; slots]],
+            values: [vec![None; slots], vec![None; slots]],
             sets_per_skew,
             len: 0,
             max_set_load: 0,
@@ -101,18 +109,19 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
         (x as usize) & (self.sets_per_skew - 1)
     }
 
-    fn set_slots(&self, _skew: usize, set: usize) -> std::ops::Range<usize> {
-        set * WAYS..(set + 1) * WAYS
-    }
-
+    /// Flat slot index of `(skew, set, way)`'s occupied key match, if any.
+    /// Iterates only the set bits of the occupancy mask.
+    #[inline]
     fn find(&self, key: u64) -> Option<(usize, usize)> {
         for skew in 0..2 {
             let set = self.hash(skew, key);
-            for i in self.set_slots(skew, set) {
-                if let Some(e) = &self.skews[skew][i] {
-                    if e.key == key {
-                        return Some((skew, i));
-                    }
+            let mut mask = self.masks[skew][set];
+            let base = set * WAYS;
+            while mask != 0 {
+                let way = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                if self.keys[skew][base + way] == key {
+                    return Some((skew, base + way));
                 }
             }
         }
@@ -122,8 +131,7 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
     /// Looks up `key`.
     pub fn get(&self, key: u64) -> Option<&V> {
         self.find(key)
-            .and_then(|(skew, i)| self.skews[skew][i].as_ref())
-            .map(|e| &e.value)
+            .and_then(|(skew, i)| self.values[skew][i].as_ref())
     }
 
     /// Whether `key` is present.
@@ -139,7 +147,7 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
     /// bounded relocation cannot free a slot (indicates under-provisioning).
     pub fn insert(&mut self, key: u64, value: V) -> Result<(), AquaError> {
         if let Some((skew, i)) = self.find(key) {
-            self.skews[skew][i] = Some(Entry { key, value });
+            self.values[skew][i] = Some(value);
             return Ok(());
         }
         if self.try_place(key, value, 0) {
@@ -152,9 +160,15 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
     }
 
     fn set_load(&self, skew: usize, set: usize) -> usize {
-        self.set_slots(skew, set)
-            .filter(|&i| self.skews[skew][i].is_some())
-            .count()
+        self.masks[skew][set].count_ones() as usize
+    }
+
+    /// Installs `(key, value)` at flat slot `i` of `skew`, marking the way
+    /// occupied.
+    fn install(&mut self, skew: usize, i: usize, key: u64, value: V) {
+        self.keys[skew][i] = key;
+        self.values[skew][i] = Some(value);
+        self.masks[skew][i / WAYS] |= 1 << (i % WAYS);
     }
 
     fn try_place(&mut self, key: u64, value: V, depth: usize) -> bool {
@@ -166,13 +180,13 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
         let order = if loads[0] <= loads[1] { [0, 1] } else { [1, 0] };
         for skew in order {
             let set = self.hash(skew, key);
-            for i in self.set_slots(skew, set) {
-                if self.skews[skew][i].is_none() {
-                    self.skews[skew][i] = Some(Entry { key, value });
-                    let load = self.set_load(skew, set);
-                    self.max_set_load = self.max_set_load.max(load);
-                    return true;
-                }
+            let mask = self.masks[skew][set];
+            if mask != u16::MAX {
+                let way = (!mask).trailing_zeros() as usize;
+                self.install(skew, set * WAYS + way, key, value);
+                let load = self.set_load(skew, set);
+                self.max_set_load = self.max_set_load.max(load);
+                return true;
             }
         }
         if depth >= RELOCATION_DEPTH {
@@ -181,19 +195,21 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
         // Both sets full: cuckoo-relocate one victim to its alternate skew.
         let skew = order[0];
         let set = self.hash(skew, key);
-        let slot = set * WAYS + depth % WAYS;
-        let Some(victim) = self.skews[skew][slot].take() else {
+        let way = depth % WAYS;
+        let slot = set * WAYS + way;
+        let Some(victim_value) = self.values[skew][slot].take() else {
             // The set scanned as full above, so this slot cannot be vacant;
             // if it somehow is, installing here is the correct outcome.
-            self.skews[skew][slot] = Some(Entry { key, value });
+            self.install(skew, slot, key, value);
             return true;
         };
-        self.skews[skew][slot] = Some(Entry { key, value });
-        if self.try_place(victim.key, victim.value, depth + 1) {
+        let victim_key = self.keys[skew][slot];
+        self.install(skew, slot, key, value);
+        if self.try_place(victim_key, victim_value, depth + 1) {
             true
         } else {
             // Undo: restore the victim and fail the insert.
-            self.skews[skew][slot] = Some(victim);
+            self.install(skew, slot, victim_key, victim_value);
             false
         }
     }
@@ -201,17 +217,22 @@ impl<V: Copy> CollisionAvoidanceTable<V> {
     /// Removes `key`, returning its value if present.
     pub fn remove(&mut self, key: u64) -> Option<V> {
         let (skew, i) = self.find(key)?;
-        let e = self.skews[skew][i].take()?;
+        let v = self.values[skew][i].take()?;
+        self.masks[skew][i / WAYS] &= !(1 << (i % WAYS));
         self.len -= 1;
-        Some(e.value)
+        Some(v)
     }
 
     /// Iterates over `(key, value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
-        self.skews
+        self.keys
             .iter()
-            .flatten()
-            .filter_map(|slot| slot.as_ref().map(|e| (e.key, &e.value)))
+            .zip(self.values.iter())
+            .flat_map(|(keys, values)| {
+                keys.iter()
+                    .zip(values.iter())
+                    .filter_map(|(&k, v)| v.as_ref().map(|v| (k, v)))
+            })
     }
 }
 

@@ -473,12 +473,11 @@ impl AquaEngine {
     /// sweep step (the paper's "periodically draining old entries"
     /// optimization that takes evictions off the critical path). Invoked via
     /// [`Mitigation::on_refresh_tick`] at every refresh command.
-    fn background_drain(&mut self, now: Time) -> Vec<MitigationAction> {
+    fn background_drain(&mut self, now: Time, actions: &mut Vec<MitigationAction>) {
         let n = self.config.drain_per_refresh;
         if n == 0 {
-            return Vec::new();
+            return;
         }
-        let mut actions = Vec::new();
         let slots = self.rqa.slots();
         for _ in 0..n {
             let slot = RqaSlot::new(self.drain_cursor);
@@ -486,12 +485,11 @@ impl AquaEngine {
             if self.rqa.allocated_this_epoch(slot) {
                 continue;
             }
-            if self.evict_slot(slot, now, &mut actions) {
+            if self.evict_slot(slot, now, actions) {
                 self.stats.background_drains += 1;
                 self.counters.background_drains.inc();
             }
         }
-        actions
     }
 
     /// Marks a bank's tables unrecoverable; it runs under victim refresh
@@ -830,10 +828,15 @@ impl Mitigation for AquaEngine {
         }
     }
 
-    fn on_activation(&mut self, phys: RowAddr, now: Time) -> Vec<MitigationAction> {
+    fn on_activation_into(
+        &mut self,
+        phys: RowAddr,
+        now: Time,
+        actions: &mut Vec<MitigationAction>,
+    ) {
         self.last_ps = now.as_ps();
         if !self.tracker.on_activation(phys).mitigate() {
-            return Vec::new();
+            return;
         }
         self.stats.mitigations += 1;
         self.counters.mitigations.inc();
@@ -846,15 +849,15 @@ impl Mitigation for AquaEngine {
                 .end(now.as_ps());
             let rows = self.victim_rows(phys);
             self.victim_refreshes += rows.len() as u64;
-            return vec![MitigationAction::RefreshRows(rows)];
+            actions.push(MitigationAction::RefreshRows(rows));
+            return;
         }
         let sp = self.telemetry.span_start("aqua.quarantine", now.as_ps());
-        let mut actions = Vec::new();
         if let Some(slot) = self.config.rqa_slot_of(phys) {
             // A quarantined row is hot at its RQA location: move it within
             // the quarantine area (section IV-D internal migration).
             if let Some(entry) = self.rpt.get(slot) {
-                self.quarantine(entry.original, Some(RqaSlot::new(slot)), now, &mut actions);
+                self.quarantine(entry.original, Some(RqaSlot::new(slot)), now, actions);
             }
             // An RQA location with no valid occupant cannot be addressed by
             // software; stale tracker state is ignored.
@@ -863,7 +866,7 @@ impl Mitigation for AquaEngine {
             // is its physical location, which equals its OS-visible id here
             // because non-quarantined rows are identity-mapped.
             match self.config.geometry.flatten(phys) {
-                Ok(row) => self.quarantine(row, None, now, &mut actions),
+                Ok(row) => self.quarantine(row, None, now, actions),
                 Err(_) => {
                     // Not a real row (only reachable through injected
                     // corruption); nothing to quarantine.
@@ -872,7 +875,6 @@ impl Mitigation for AquaEngine {
             }
         }
         sp.end(now.as_ps());
-        actions
     }
 
     fn end_epoch(&mut self) {
@@ -898,8 +900,8 @@ impl Mitigation for AquaEngine {
         }
     }
 
-    fn on_refresh_tick(&mut self, now: Time) -> Vec<MitigationAction> {
-        self.background_drain(now)
+    fn on_refresh_tick_into(&mut self, now: Time, actions: &mut Vec<MitigationAction>) {
+        self.background_drain(now, actions);
     }
 
     fn attach_telemetry(&mut self, telemetry: Telemetry) {

@@ -16,8 +16,9 @@
 
 use crate::{FptCache, ResettableBloomFilter, RqaSlot};
 use aqua_dram::GlobalRowId;
+use aqua_fastmap::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeSet;
 
 /// How a memory-mapped FPT lookup was resolved (Figure 10 categories).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -89,13 +90,19 @@ pub struct MappedLookup {
 #[derive(Debug, Clone)]
 pub struct MappedTables {
     /// Model of the flat in-DRAM FPT (one entry per memory row).
-    fpt: HashMap<u64, RqaSlot>,
+    fpt: FxHashMap<u64, RqaSlot>,
     /// Valid FPT entries per group (drives bloom reset + singleton bits).
-    group_valid: HashMap<u64, u32>,
+    group_valid: FxHashMap<u64, u32>,
     bloom: ResettableBloomFilter,
     cache: FptCache,
     /// Pinned SRAM entries for table-storing rows (anti-recursion).
-    pinned: HashMap<u64, Option<RqaSlot>>,
+    pinned: FxHashMap<u64, Option<RqaSlot>>,
+    /// Inverted index: bloom bit → mapped FPT rows hashing to it, kept in
+    /// sync by [`map`](Self::map) / [`unmap`](Self::unmap). Lets
+    /// [`fault_clear_filter`](Self::fault_clear_filter) report the rows a
+    /// cleared bit affects in O(affected) instead of scanning the whole FPT;
+    /// `BTreeSet` keeps each bit's rows sorted for free.
+    bit_rows: FxHashMap<usize, BTreeSet<u64>>,
     breakdown: LookupBreakdown,
     dram_writes: u64,
 }
@@ -106,11 +113,12 @@ impl MappedTables {
     /// FPT line half (16 for the baseline).
     pub fn new(bloom_bits: usize, cache_entries: usize, rows_per_group: u32) -> Self {
         MappedTables {
-            fpt: HashMap::new(),
-            group_valid: HashMap::new(),
+            fpt: FxHashMap::default(),
+            group_valid: FxHashMap::default(),
             bloom: ResettableBloomFilter::new(bloom_bits, rows_per_group),
             cache: FptCache::new(cache_entries),
-            pinned: HashMap::new(),
+            pinned: FxHashMap::default(),
+            bit_rows: FxHashMap::default(),
             breakdown: LookupBreakdown::default(),
             dram_writes: 0,
         }
@@ -233,6 +241,10 @@ impl MappedTables {
             if *count == 2 {
                 self.cache.set_group_singleton(group, false);
             }
+            self.bit_rows
+                .entry(self.bloom.bit_of(group))
+                .or_default()
+                .insert(row.index());
         }
         let singleton = self.group_valid.get(&group).copied() == Some(1);
         self.cache.insert(row.index(), group, slot, singleton);
@@ -264,6 +276,13 @@ impl MappedTables {
                 }
             }
             self.bloom.remove(group);
+            let bit = self.bloom.bit_of(group);
+            if let Some(rows) = self.bit_rows.get_mut(&bit) {
+                rows.remove(&row.index());
+                if rows.is_empty() {
+                    self.bit_rows.remove(&bit);
+                }
+            }
             self.dram_writes += 2;
             (slot, 2)
         } else {
@@ -326,14 +345,13 @@ impl MappedTables {
         let Some(bit) = self.bloom.fault_clear_bit(entropy) else {
             return Vec::new();
         };
-        let mut rows: Vec<u64> = self
-            .fpt
-            .keys()
-            .copied()
-            .filter(|&r| self.bloom.bit_of(self.bloom.group_of(r)) == bit)
-            .collect();
-        rows.sort_unstable();
-        rows
+        // The inverted index holds exactly the mapped rows hashing to `bit`
+        // (in ascending order), so this is O(affected rows) — no whole-FPT
+        // scan-filter-sort per injected fault.
+        self.bit_rows
+            .get(&bit)
+            .map(|rows| rows.iter().copied().collect())
+            .unwrap_or_default()
     }
 
     /// End-of-epoch audit rebuild: recomputes the group-valid counts and
@@ -341,23 +359,31 @@ impl MappedTables {
     /// the FPT-Cache, which may hold poisoned entries. Returns whether any
     /// SRAM state actually changed.
     pub fn fault_audit_rebuild(&mut self) -> bool {
-        let mut groups: HashMap<u64, u32> = HashMap::new();
+        let mut groups: FxHashMap<u64, u32> = FxHashMap::default();
         for &row in self.fpt.keys() {
             *groups.entry(self.bloom.group_of(row)).or_insert(0) += 1;
         }
         let groups_changed = groups != self.group_valid;
         self.group_valid = groups;
-        let bloom_changed = self
-            .bloom
-            .rebuild(self.group_valid.iter().map(|(&g, &c)| (g, c)));
+        // Feed the rebuild in sorted group order: the filter's final counts
+        // are a sum and thus order-independent, but sorting makes the whole
+        // audit path — including any tracing or debugging inside rebuild —
+        // a pure function of the mapping set rather than of hash-iteration
+        // order.
+        let mut sorted: Vec<(u64, u32)> = self.group_valid.iter().map(|(&g, &c)| (g, c)).collect();
+        sorted.sort_unstable_by_key(|&(g, _)| g);
+        let bloom_changed = self.bloom.rebuild(sorted);
         let cache_dirty = !self.cache.is_empty();
         self.cache.purge();
         groups_changed || bloom_changed || cache_dirty
     }
 
-    /// All current `(row, slot)` quarantine mappings (flat FPT plus pinned).
+    /// All current `(row, slot)` quarantine mappings (flat FPT plus pinned),
+    /// sorted by row id so the output is observably deterministic — audit
+    /// logs and consistency dumps never depend on hash-iteration order.
     pub fn mappings(&self) -> Vec<(GlobalRowId, RqaSlot)> {
-        self.fpt
+        let mut all: Vec<(GlobalRowId, RqaSlot)> = self
+            .fpt
             .iter()
             .map(|(&r, &s)| (GlobalRowId::new(r), s))
             .chain(
@@ -365,7 +391,9 @@ impl MappedTables {
                     .iter()
                     .filter_map(|(&r, s)| s.map(|s| (GlobalRowId::new(r), s))),
             )
-            .collect()
+            .collect();
+        all.sort_unstable_by_key(|&(r, _)| r.index());
+        all
     }
 
     /// SRAM bits: bloom filter + FPT-Cache + pinned entries (16 bits each).

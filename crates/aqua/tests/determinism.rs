@@ -1,0 +1,122 @@
+//! Cross-instance determinism regression tests.
+//!
+//! Every unordered container feeding observable state (the FPT map, the
+//! pinned set, the fault-audit rebuild, the per-bit fault index) must be
+//! deterministic: two independent instances driven by byte-identical input
+//! streams have to produce byte-identical mapping and audit output. Before
+//! the seedless-hash migration this held only by accident of SipHash's
+//! per-process keys *within* one process — these tests pin the stronger
+//! guarantee the deterministic containers now provide.
+
+use aqua::{AquaConfig, AquaEngine, MappedTables, RqaSlot};
+use aqua_dram::mitigation::Mitigation;
+use aqua_dram::{BankId, BaselineConfig, GlobalRowId, RowAddr, Time};
+
+/// Tiny deterministic LCG so the drive sequence is identical everywhere.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+/// Drives a mixed map/unmap/lookup sequence: enough churn that the hash
+/// maps rehash a few times and the per-bit index sees removals.
+fn drive(tables: &mut MappedTables) {
+    let mut rng = 0xA0_5EEDu64;
+    for _ in 0..5_000 {
+        let row = GlobalRowId::new(lcg(&mut rng) % 4_096);
+        match lcg(&mut rng) % 3 {
+            0 => {
+                tables.map(row, RqaSlot::new(lcg(&mut rng) % 512));
+            }
+            1 => {
+                tables.unmap(row);
+            }
+            _ => {
+                tables.lookup(row);
+            }
+        }
+    }
+}
+
+fn fresh_tables() -> MappedTables {
+    MappedTables::new(4 * 1024, 256, 16)
+}
+
+#[test]
+fn identical_streams_yield_byte_identical_mappings() {
+    let mut a = fresh_tables();
+    let mut b = fresh_tables();
+    drive(&mut a);
+    drive(&mut b);
+    let ma = a.mappings();
+    assert_eq!(format!("{ma:?}"), format!("{:?}", b.mappings()));
+    // The mapping dump itself is in a canonical (sorted) order, not
+    // whatever the hash map happened to iterate.
+    assert!(ma.windows(2).all(|w| w[0].0.index() < w[1].0.index()));
+    assert!(!ma.is_empty(), "drive sequence must leave live mappings");
+}
+
+#[test]
+fn identical_streams_yield_byte_identical_audit_output() {
+    let mut a = fresh_tables();
+    let mut b = fresh_tables();
+    drive(&mut a);
+    drive(&mut b);
+    // Fault path: knock out one filter bit, then audit-rebuild. Affected
+    // rows and the rebuilt filter state must match byte for byte.
+    let hit_a = a.fault_clear_filter(777);
+    let hit_b = b.fault_clear_filter(777);
+    assert_eq!(format!("{hit_a:?}"), format!("{hit_b:?}"));
+    assert!(
+        hit_a.windows(2).all(|w| w[0] < w[1]),
+        "fault-audit row list must come back sorted"
+    );
+    assert!(a.fault_audit_rebuild());
+    assert!(b.fault_audit_rebuild());
+    assert_eq!(format!("{:?}", a.bloom()), format!("{:?}", b.bloom()));
+    assert_eq!(format!("{:?}", a.mappings()), format!("{:?}", b.mappings()));
+    // The rebuild actually restored the cleared rows' filter bits: every
+    // still-mapped row must resolve again.
+    for (row, slot) in a.mappings() {
+        assert_eq!(a.peek(row), Some(slot));
+    }
+}
+
+#[test]
+fn two_engines_with_identical_access_streams_agree_exactly() {
+    let base = BaselineConfig::paper_table1();
+    let cfg = AquaConfig::for_rowhammer_threshold(1000, &base).with_mapped_tables();
+    let mut a = AquaEngine::new(cfg).expect("valid config");
+    let mut b = AquaEngine::new(cfg).expect("valid config");
+    let mut rng = 0xBEEFu64;
+    let mut t = Time::ZERO;
+    for i in 0..200_000u64 {
+        // A few hammered rows (cross the threshold, force quarantines)
+        // plus background noise.
+        let row = if i % 4 == 0 {
+            8 + (i % 3) * 2
+        } else {
+            lcg(&mut rng) % 100_000
+        };
+        let phys = RowAddr {
+            bank: BankId::new((row % 16) as u32),
+            row: (row / 16) as u32,
+        };
+        t += aqua_dram::Duration::from_ns(50);
+        let acts_a = a.on_activation(phys, t);
+        let acts_b = b.on_activation(phys, t);
+        assert_eq!(acts_a, acts_b, "diverged at activation {i}");
+    }
+    assert_eq!(a.stats(), b.stats());
+    assert!(
+        a.stats().row_migrations() > 0,
+        "stream must actually trigger quarantines"
+    );
+    // Translations agree for every row the stream touched.
+    for row in 0..100_000u64 {
+        let gid = GlobalRowId::new(row);
+        assert_eq!(a.translate(gid, t).phys, b.translate(gid, t).phys);
+    }
+}

@@ -2,9 +2,9 @@
 
 use aqua_dram::mitigation::{Mitigation, MitigationAction, MitigationStats, Translation};
 use aqua_dram::{DramGeometry, Duration, GlobalRowId, RowAddr, Time};
+use aqua_fastmap::FxHashMap;
 use aqua_telemetry::{EventKind, Telemetry};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Blockhammer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,11 +53,11 @@ impl BlockhammerConfig {
 pub struct Blockhammer {
     config: BlockhammerConfig,
     geometry: DramGeometry,
-    counts: HashMap<RowAddr, u64>,
+    counts: FxHashMap<RowAddr, u64>,
     /// Earliest time each blacklisted row's next activation may take effect.
     /// Cumulative scheduling: each activation books the next slot, so the
     /// quota holds even when several requests are in flight concurrently.
-    next_allowed: HashMap<RowAddr, Time>,
+    next_allowed: FxHashMap<RowAddr, Time>,
     stats: MitigationStats,
     telemetry: Telemetry,
 }
@@ -68,8 +68,8 @@ impl Blockhammer {
         Blockhammer {
             config,
             geometry,
-            counts: HashMap::new(),
-            next_allowed: HashMap::new(),
+            counts: FxHashMap::default(),
+            next_allowed: FxHashMap::default(),
             stats: MitigationStats::default(),
             telemetry: Telemetry::disabled(),
         }
@@ -99,12 +99,17 @@ impl Mitigation for Blockhammer {
         )
     }
 
-    fn on_activation(&mut self, phys: RowAddr, now: Time) -> Vec<MitigationAction> {
+    fn on_activation_into(
+        &mut self,
+        phys: RowAddr,
+        now: Time,
+        actions: &mut Vec<MitigationAction>,
+    ) {
         let count = self.counts.entry(phys).or_insert(0);
         *count += 1;
         let count = *count;
         if count <= self.config.blacklist_threshold {
-            return Vec::new();
+            return;
         }
         // Blacklisted: book the next allowed slot on the row's schedule.
         let interval = self.config.throttle_interval();
@@ -125,9 +130,7 @@ impl Mitigation for Blockhammer {
                     delay_ps: delay.as_ps(),
                 },
             );
-            vec![MitigationAction::Throttle { delay }]
-        } else {
-            Vec::new()
+            actions.push(MitigationAction::Throttle { delay });
         }
     }
 

@@ -109,15 +109,20 @@ impl Mitigation for VictimRefresh {
         )
     }
 
-    fn on_activation(&mut self, phys: RowAddr, _now: Time) -> Vec<MitigationAction> {
+    fn on_activation_into(
+        &mut self,
+        phys: RowAddr,
+        _now: Time,
+        actions: &mut Vec<MitigationAction>,
+    ) {
         if !self.tracker.on_activation(phys).mitigate() {
-            return Vec::new();
+            return;
         }
         self.stats.mitigations_triggered += 1;
         let victims = self.victims_of(phys);
         self.stats.victim_refreshes += victims.len() as u64;
         self.refresh_counter.add(victims.len() as u64);
-        vec![MitigationAction::RefreshRows(victims)]
+        actions.push(MitigationAction::RefreshRows(victims));
     }
 
     fn end_epoch(&mut self) {

@@ -1,10 +1,11 @@
 //! Criterion micro-benchmarks for the hot structures on AQUA's critical
-//! path: CAT/FPT lookup, bloom-filter check, FPT-Cache access, Misra-Gries
-//! update, and the quarantine operation itself.
+//! path: CAT/FPT lookup, bloom-filter check, FPT-Cache access, RQA slot
+//! allocation, the deterministic fast-hash map against std's SipHash map,
+//! Misra-Gries update, and the quarantine operation itself.
 
 use aqua::{
-    AquaConfig, AquaEngine, CollisionAvoidanceTable, FptCache, MappedTables, ResettableBloomFilter,
-    RqaSlot,
+    AquaConfig, AquaEngine, CollisionAvoidanceTable, FptCache, MappedTables, QuarantineArea,
+    ResettableBloomFilter, RqaSlot,
 };
 use aqua_dram::mitigation::Mitigation;
 use aqua_dram::{BaselineConfig, GlobalRowId, Time};
@@ -74,6 +75,44 @@ fn bench_mapped_lookup(c: &mut Criterion) {
     });
 }
 
+fn bench_rqa(c: &mut Criterion) {
+    let mut rqa = QuarantineArea::new(4096);
+    let mut n = 0u64;
+    c.bench_function("rqa_allocate", |b| {
+        b.iter(|| {
+            n += 1;
+            if n.is_multiple_of(4096) {
+                rqa.advance_epoch();
+            }
+            black_box(rqa.allocate())
+        })
+    });
+}
+
+fn bench_fastmap(c: &mut Criterion) {
+    let mut map = aqua_fastmap::FxHashMap::<u64, u64>::default();
+    for k in 0..23_000u64 {
+        map.insert(k.wrapping_mul(0x9e37_79b9_7f4a_7c15), k);
+    }
+    let mut k = 0u64;
+    c.bench_function("fastmap_lookup_hit", |b| {
+        b.iter(|| {
+            k = (k + 1) % 23_000;
+            black_box(map.get(&k.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        })
+    });
+    let mut std_map = std::collections::HashMap::<u64, u64>::new();
+    for k in 0..23_000u64 {
+        std_map.insert(k.wrapping_mul(0x9e37_79b9_7f4a_7c15), k);
+    }
+    c.bench_function("sip_hashmap_lookup_hit", |b| {
+        b.iter(|| {
+            k = (k + 1) % 23_000;
+            black_box(std_map.get(&k.wrapping_mul(0x9e37_79b9_7f4a_7c15)))
+        })
+    });
+}
+
 fn bench_tracker(c: &mut Criterion) {
     let cfg = TrackerConfig::for_rowhammer_threshold(1000);
     let mut tracker = MisraGriesTracker::new(cfg, 16);
@@ -108,6 +147,8 @@ criterion_group!(
     bench_bloom,
     bench_fpt_cache,
     bench_mapped_lookup,
+    bench_rqa,
+    bench_fastmap,
     bench_tracker,
     bench_translate
 );

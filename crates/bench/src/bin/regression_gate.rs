@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! regression_gate [--baseline FILE] [--out FILE] [--write-baseline]
-//!                 [--inject-slowdown PP]
+//!                 [--inject-slowdown PP] [--inject-throttle FACTOR]
 //! ```
 //!
 //! Runs three schemes (aqua-sram, aqua-mapped, rrs) x two workloads
@@ -25,18 +25,22 @@
 //! `baseline / THROUGHPUT_FACTOR` — a hot-loop floor, not a noise detector.
 //!
 //! The result is written to `--out` (default
-//! `target/experiments/BENCH_6.json`) and compared against the committed
-//! baseline (`--baseline`, default `BENCH_6.json`) with the per-metric
+//! `target/experiments/BENCH_7.json`) and compared against the committed
+//! baseline (`--baseline`, default `BENCH_7.json`) with the per-metric
 //! tolerances of `aqua_bench::gate::tolerance`. Pre-throughput (v1)
 //! baselines are still accepted; the throughput gate simply skips. Exit
 //! status: 0 = pass, 1 = regression (one line per violated tolerance on
 //! stderr), 2 = usage or I/O error.
 //!
 //! `--write-baseline` re-measures and overwrites the baseline file
-//! instead of comparing (use after an intentional perf change).
+//! instead of comparing (use after an intentional perf change); when
+//! `--out` is also given the new baseline is written there instead.
 //! `--inject-slowdown PP` adds PP percentage points to every cell's
 //! slowdown and residual after measurement — a synthetic regression used
-//! by CI to prove the gate actually fails.
+//! by CI to prove the gate actually fails. `--inject-throttle FACTOR`
+//! divides the measured throughput canary by FACTOR after measurement,
+//! the synthetic hot-loop collapse CI uses to prove the throughput floor
+//! is a must-fail check, not advisory.
 //!
 //! The behavioral part of the report is deterministic (seeded streams, no
 //! wall-clock in results), so a re-run on unchanged code reproduces the
@@ -295,8 +299,8 @@ fn print_report(report: &GateReport) {
 }
 
 fn main() {
-    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_6.json".into());
-    let out_path = arg("--out").unwrap_or_else(|| "target/experiments/BENCH_6.json".into());
+    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_7.json".into());
+    let out_path = arg("--out").unwrap_or_else(|| "target/experiments/BENCH_7.json".into());
     let inject_pp: f64 = match arg("--inject-slowdown").map(|v| v.parse()) {
         None => 0.0,
         Some(Ok(v)) => v,
@@ -305,22 +309,38 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let inject_throttle: f64 = match arg("--inject-throttle").map(|v| v.parse()) {
+        None => 1.0,
+        Some(Ok(v)) if v > 0.0 => v,
+        Some(_) => {
+            eprintln!("--inject-throttle takes a positive throughput divisor");
+            std::process::exit(2);
+        }
+    };
 
-    let report = match measure(inject_pp) {
+    let mut report = match measure(inject_pp) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("regression gate: canary run failed: {e}");
             std::process::exit(2);
         }
     };
+    if let Some(t) = report.throughput.as_mut() {
+        t.median_accesses_per_sec /= inject_throttle;
+        t.min_accesses_per_sec /= inject_throttle;
+        t.max_accesses_per_sec /= inject_throttle;
+    }
     print_report(&report);
 
     if flag("--write-baseline") {
-        if let Err(e) = std::fs::write(&baseline_path, report.to_json()) {
-            eprintln!("regression gate: cannot write {baseline_path}: {e}");
+        // An explicit --out redirects the new baseline (e.g. writing
+        // BENCH_7.json at the repo root without clobbering the old file).
+        let dest = arg("--out").unwrap_or(baseline_path);
+        if let Err(e) = std::fs::write(&dest, report.to_json()) {
+            eprintln!("regression gate: cannot write {dest}: {e}");
             std::process::exit(2);
         }
-        println!("\nwrote new baseline to {baseline_path}");
+        println!("\nwrote new baseline to {dest}");
         return;
     }
 

@@ -600,6 +600,66 @@ mod tests {
         }
     }
 
+    /// Hot-loop campaign regression: after the hasher/container swap and
+    /// the allocation-free serve path, JOBS=1 and JOBS=2 must still emit
+    /// **byte-identical** artifacts — both the rendered CSV rows and the
+    /// merged span stream, not just summary-level equality.
+    #[test]
+    fn jobs_one_vs_two_emit_byte_identical_csv_and_spans() {
+        fn render_csv(results: &MatrixResults) -> String {
+            let mut out = String::from("scheme,workload,requests_done,migrations\n");
+            for report in results.reports() {
+                out.push_str(&format!(
+                    "{},{},{},{}\n",
+                    report.scheme,
+                    report.workload,
+                    report.requests_done,
+                    report.mitigation.row_migrations
+                ));
+            }
+            out
+        }
+        let hub_serial = Telemetry::new(Default::default());
+        let hub_parallel = Telemetry::new(Default::default());
+        let serial = small_matrix(1, Some(&hub_serial));
+        let parallel = small_matrix(2, Some(&hub_parallel));
+        assert_eq!(serial.failures().count(), 0);
+        let csv_serial = render_csv(&serial);
+        assert_eq!(csv_serial.as_bytes(), render_csv(&parallel).as_bytes());
+        assert!(csv_serial.lines().count() > 1, "matrix produced no rows");
+
+        // The quiet matrix above exercises the CSV path but emits no spans;
+        // span byte-identity needs cells that actually mitigate. Same
+        // fault-heavy tiny-AQUA campaign as the degraded-epoch test.
+        fn span_run(jobs: usize) -> Telemetry {
+            let mut h = sim_harness(jobs);
+            h.faults = Some(FaultSpec {
+                seed: 11,
+                events_per_epoch: 24,
+            });
+            let hub = Telemetry::new(Default::default());
+            let workloads = ["povray", "namd", "leela"];
+            let outcomes = pool::run_indexed(jobs, &workloads, |_, w| {
+                let fork = hub.fork();
+                let engine = tiny_aqua_engine(&h.base);
+                h.run_engine(engine, w, Some(&fork));
+                fork
+            });
+            for outcome in outcomes {
+                hub.merge_from(&outcome.expect("cell completes"));
+            }
+            hub
+        }
+        let hub_serial = span_run(1);
+        let hub_parallel = span_run(2);
+        if hub_serial.is_enabled() {
+            let spans_serial = format!("{:?}", hub_serial.spans());
+            let spans_parallel = format!("{:?}", hub_parallel.spans());
+            assert!(!hub_serial.spans().is_empty(), "no spans recorded");
+            assert_eq!(spans_serial.as_bytes(), spans_parallel.as_bytes());
+        }
+    }
+
     /// A reduced AQUA configuration that fits `BaselineConfig::tiny` (the
     /// paper-scale table sizing does not), so whole fault campaigns run in
     /// a unit test.

@@ -176,19 +176,43 @@ pub trait Mitigation: Send {
     /// Translates an OS-visible row id to the physical row to access.
     fn translate(&mut self, row: GlobalRowId, now: Time) -> Translation;
 
-    /// Notifies the scheme that `phys` was activated at `now`; returns the
-    /// mitigative actions to apply.
-    fn on_activation(&mut self, phys: RowAddr, now: Time) -> Vec<MitigationAction>;
+    /// Notifies the scheme that `phys` was activated at `now`, appending the
+    /// mitigative actions to apply onto `actions`.
+    ///
+    /// This is the hot-path entry point: the simulator calls it once per row
+    /// activation with a reused scratch buffer, so implementations must only
+    /// *push* onto `actions` (never clear it) and should not allocate on the
+    /// no-action path. The allocating [`on_activation`](Self::on_activation)
+    /// wrapper exists for tests and one-shot callers.
+    fn on_activation_into(&mut self, phys: RowAddr, now: Time, actions: &mut Vec<MitigationAction>);
+
+    /// Allocating convenience wrapper around
+    /// [`on_activation_into`](Self::on_activation_into): returns the actions
+    /// as a fresh `Vec`. Prefer the `_into` form anywhere called per access.
+    fn on_activation(&mut self, phys: RowAddr, now: Time) -> Vec<MitigationAction> {
+        let mut actions = Vec::new();
+        self.on_activation_into(phys, now, &mut actions);
+        actions
+    }
 
     /// Called at every 64 ms epoch boundary (tracker reset point).
     fn end_epoch(&mut self);
 
     /// Called at every refresh command (`tREFI`); schemes may piggyback
-    /// background work (AQUA's optional stale-entry draining). The returned
-    /// actions are applied at the tick time `now`.
+    /// background work (AQUA's optional stale-entry draining), pushing the
+    /// actions to apply at the tick time `now` onto `actions`. Like
+    /// [`on_activation_into`](Self::on_activation_into) this runs with a
+    /// reused scratch buffer — push, don't clear.
+    fn on_refresh_tick_into(&mut self, now: Time, actions: &mut Vec<MitigationAction>) {
+        let _ = (now, actions);
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`on_refresh_tick_into`](Self::on_refresh_tick_into).
     fn on_refresh_tick(&mut self, now: Time) -> Vec<MitigationAction> {
-        let _ = now;
-        Vec::new()
+        let mut actions = Vec::new();
+        self.on_refresh_tick_into(now, &mut actions);
+        actions
     }
 
     /// Hands the scheme a telemetry hub so it can register its counters and
@@ -262,8 +286,12 @@ impl Mitigation for NoMitigation {
         )
     }
 
-    fn on_activation(&mut self, _phys: RowAddr, _now: Time) -> Vec<MitigationAction> {
-        Vec::new()
+    fn on_activation_into(
+        &mut self,
+        _phys: RowAddr,
+        _now: Time,
+        _actions: &mut Vec<MitigationAction>,
+    ) {
     }
 
     fn end_epoch(&mut self) {}

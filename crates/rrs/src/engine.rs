@@ -232,24 +232,28 @@ impl Mitigation for RrsEngine {
         }
     }
 
-    fn on_activation(&mut self, phys: RowAddr, now: Time) -> Vec<MitigationAction> {
+    fn on_activation_into(
+        &mut self,
+        phys: RowAddr,
+        now: Time,
+        actions: &mut Vec<MitigationAction>,
+    ) {
         if !self.tracker.on_activation(phys).mitigate() {
-            return Vec::new();
+            return;
         }
         self.stats.mitigations += 1;
         self.counters.mitigations.inc();
-        let mut actions = Vec::new();
         if self.pending_interrupt {
             // An injected interrupt aborts this migration before any table
             // state is touched: the tables stay consistent and the row stays
             // hot, so the next activation simply retries the swap.
             self.pending_interrupt = false;
             self.health.recovered += 1;
-            return actions;
+            return;
         }
         let Ok(phys_id) = self.config.geometry.flatten(phys) else {
             self.stats.violations += 1;
-            return actions;
+            return;
         };
         let logical = self.rit.translate(phys_id);
         if logical != phys_id {
@@ -263,10 +267,10 @@ impl Mitigation for RrsEngine {
                 // Count it and skip the re-swap rather than corrupting the
                 // table further.
                 self.stats.violations += 1;
-                return actions;
+                return;
             }
             let sp = self.telemetry.span_start("rrs.reswap", now.as_ps());
-            self.make_room(now, &mut actions);
+            self.make_room(now, actions);
             let a = self.random_unswapped(&[logical, phys_id]);
             self.rit.insert_pair(logical, a, self.epoch);
             let b = self.random_unswapped(&[logical, phys_id]);
@@ -311,7 +315,7 @@ impl Mitigation for RrsEngine {
         } else {
             // First swap of an unswapped row: two row migrations.
             let sp = self.telemetry.span_start("rrs.swap", now.as_ps());
-            self.make_room(now, &mut actions);
+            self.make_room(now, actions);
             let dest = self.random_unswapped(&[phys_id]);
             self.rit.insert_pair(phys_id, dest, self.epoch);
             self.telemetry.record(
@@ -336,7 +340,6 @@ impl Mitigation for RrsEngine {
             self.counters.swaps.inc();
             sp.end(now.as_ps());
         }
-        actions
     }
 
     fn end_epoch(&mut self) {

@@ -11,7 +11,7 @@ use aqua_dram::{
 use aqua_faults::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultReport, FaultSpec, InjectOutcome,
 };
-use aqua_telemetry::{Counter, EpochRecord, EventKind, Histogram, Telemetry};
+use aqua_telemetry::{Counter, EpochRecord, EventKind, Histogram, HistogramData, Telemetry};
 use aqua_workload::RequestGenerator;
 use std::collections::BTreeSet;
 
@@ -106,6 +106,16 @@ pub struct Simulation<M: Mitigation> {
     migration_hist: Histogram,
     /// Mapping-table lookup latency on the access critical path, ps.
     lookup_hist: Histogram,
+    /// Local batches for the three hot histograms above. The serve path
+    /// records into these lock-free accumulators; [`Self::flush_histograms`]
+    /// merges them into the shared handles at epoch boundaries.
+    access_local: HistogramData,
+    migration_local: HistogramData,
+    lookup_local: HistogramData,
+    /// Reusable buffer for mitigation actions: the per-access and
+    /// refresh-tick paths borrow it via `mem::take`, so consultations that
+    /// return nothing (the overwhelmingly common case) never allocate.
+    action_scratch: Vec<MitigationAction>,
     activations: Counter,
     /// Requests served, feeding the wallclock layer's accesses/sec metric.
     requests: Counter,
@@ -174,6 +184,10 @@ impl<M: Mitigation> Simulation<M> {
             access_hist: detached.histogram("mem.access_ps"),
             migration_hist: detached.histogram("migration.stall_ps"),
             lookup_hist: detached.histogram("table.lookup_ps"),
+            access_local: HistogramData::new(),
+            migration_local: HistogramData::new(),
+            lookup_local: HistogramData::new(),
+            action_scratch: Vec::new(),
             activations: detached.counter("sim.activations"),
             requests: detached.counter("sim.requests"),
             injector,
@@ -236,15 +250,17 @@ impl<M: Mitigation> Simulation<M> {
         }
     }
 
-    /// Applies `actions`, opening a child span per action; returns the
-    /// (possibly throttle-delayed) request completion time.
+    /// Applies and drains `actions`, opening a child span per action;
+    /// returns the (possibly throttle-delayed) request completion time. The
+    /// buffer is left empty so the caller can hand it back to the scratch
+    /// slot without reallocation.
     fn apply_actions(
         &mut self,
-        actions: Vec<MitigationAction>,
+        actions: &mut Vec<MitigationAction>,
         at: Time,
         mut completion: Time,
     ) -> Time {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 MitigationAction::BlockChannel {
                     duration,
@@ -257,14 +273,15 @@ impl<M: Mitigation> Simulation<M> {
                         duration
                     };
                     let start = self.channel.reserve_migration(at, duration);
-                    self.telemetry
-                        .span_start(Self::migration_span_name(kind), start.as_ps())
-                        .end((start + duration).as_ps());
-                    self.migration_hist.record(duration.as_ps());
+                    self.telemetry.span_record(
+                        Self::migration_span_name(kind),
+                        start.as_ps(),
+                        (start + duration).as_ps(),
+                    );
+                    self.migration_local.record(duration.as_ps());
                     self.shadow.apply(movement);
                 }
                 MitigationAction::RefreshRows(rows) => {
-                    let sp = self.telemetry.span_start("sim.victim_refresh", at.as_ps());
                     for r in rows {
                         self.banks[r.bank.index() as usize].refresh_row(r.row, at);
                         // Victim refreshes are activations the *oracle* sees
@@ -272,12 +289,15 @@ impl<M: Mitigation> Simulation<M> {
                         // blind spot.
                         self.oracle.record_refresh(r);
                     }
-                    sp.end(at.as_ps());
+                    self.telemetry
+                        .span_record("sim.victim_refresh", at.as_ps(), at.as_ps());
                 }
                 MitigationAction::Throttle { delay } => {
-                    self.telemetry
-                        .span_start("sim.throttle", completion.as_ps())
-                        .end((completion + delay).as_ps());
+                    self.telemetry.span_record(
+                        "sim.throttle",
+                        completion.as_ps(),
+                        (completion + delay).as_ps(),
+                    );
                     completion += delay;
                 }
                 MitigationAction::TableWrites { count } => {
@@ -286,12 +306,12 @@ impl<M: Mitigation> Simulation<M> {
                     } else {
                         self.burst
                     };
-                    let sp = self.telemetry.span_start("sim.table_writes", at.as_ps());
                     let mut last = at;
                     for _ in 0..count {
                         last = self.channel.reserve_table_access(at, dur) + dur;
                     }
-                    sp.end(last.as_ps());
+                    self.telemetry
+                        .span_record("sim.table_writes", at.as_ps(), last.as_ps());
                 }
             }
         }
@@ -305,12 +325,15 @@ impl<M: Mitigation> Simulation<M> {
     /// consultation did something (returned actions or opened child spans).
     fn consult_mitigation(&mut self, phys: aqua_dram::RowAddr, at: Time, completion: Time) -> Time {
         let sp = self.telemetry.span_start("sim.mitigation", at.as_ps());
-        let actions = self.notify_activation(phys, at);
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        self.notify_activation_into(phys, at, &mut actions);
         if actions.is_empty() {
             sp.end_if_used(at.as_ps());
+            self.action_scratch = actions;
             return completion;
         }
-        let completion = self.apply_actions(actions, at, completion);
+        let completion = self.apply_actions(&mut actions, at, completion);
+        self.action_scratch = actions;
         let busy_until = self.channel.blocked_until().max(completion).max(at);
         sp.end(busy_until.as_ps());
         completion
@@ -354,12 +377,17 @@ impl<M: Mitigation> Simulation<M> {
     /// Notifies the mitigation of an activation unless a pending DRAM
     /// command fault swallows the notification (the oracle, being physical
     /// ground truth, always sees the activation regardless).
-    fn notify_activation(&mut self, phys: aqua_dram::RowAddr, at: Time) -> Vec<MitigationAction> {
+    fn notify_activation_into(
+        &mut self,
+        phys: aqua_dram::RowAddr,
+        at: Time,
+        actions: &mut Vec<MitigationAction>,
+    ) {
         if self.suppress_notifications > 0 {
             self.suppress_notifications -= 1;
-            return Vec::new();
+            return;
         }
-        self.mitigation.on_activation(phys, at)
+        self.mitigation.on_activation_into(phys, at, actions);
     }
 
     /// Records an activation with the oracle and trace (the oracle reports
@@ -395,8 +423,7 @@ impl<M: Mitigation> Simulation<M> {
     fn note_bank_block(&self, t: Time, blocked: Time) {
         if blocked > t {
             self.telemetry
-                .span_start("sim.bank_block", t.as_ps())
-                .end(blocked.as_ps());
+                .span_record("sim.bank_block", t.as_ps(), blocked.as_ps());
         }
     }
 
@@ -405,8 +432,7 @@ impl<M: Mitigation> Simulation<M> {
     fn note_queue_wait(&self, ready: Time, slot: Time) {
         if slot > ready {
             self.telemetry
-                .span_start("sim.queue_wait", ready.as_ps())
-                .end(slot.as_ps());
+                .span_record("sim.queue_wait", ready.as_ps(), slot.as_ps());
         }
     }
 
@@ -451,7 +477,7 @@ impl<M: Mitigation> Simulation<M> {
         }
         // Table-lookup latency: the scheme's SRAM lookup plus any in-DRAM
         // table walk that just happened on the critical path.
-        self.lookup_hist
+        self.lookup_local
             .record(lookup_latency.as_ps() + t.saturating_since(lookup_start).as_ps());
 
         let phys = tr.phys;
@@ -474,16 +500,29 @@ impl<M: Mitigation> Simulation<M> {
             self.record_activation(phys, completion);
             completion = self.consult_mitigation(phys, completion, completion);
         }
-        self.access_hist
+        self.access_local
             .record(completion.saturating_since(t0).as_ps());
         self.requests.inc();
         self.cores[ci].commit(t0, completion);
+    }
+
+    /// Merges the serve path's locally batched histogram samples into the
+    /// shared telemetry handles. Called at epoch boundaries and end of run,
+    /// so the per-sample path never takes a lock.
+    fn flush_histograms(&mut self) {
+        self.access_hist.merge(&self.access_local);
+        self.migration_hist.merge(&self.migration_local);
+        self.lookup_hist.merge(&self.lookup_local);
+        self.access_local = HistogramData::new();
+        self.migration_local = HistogramData::new();
+        self.lookup_local = HistogramData::new();
     }
 
     /// Samples one epoch record (deltas against `prev`) into the time series
     /// and advances the baseline. Runs *before* the scheme's `end_epoch` so
     /// gauges see the closing epoch's state.
     fn sample_epoch(&mut self, epoch: u64, end: Time, prev: &mut EpochBaseline) {
+        self.flush_histograms();
         self.telemetry
             .record(end.as_ps(), EventKind::EpochRollover { epoch });
         if let DegradedMode::VictimRefresh { banks } = self.mitigation.degraded_mode() {
@@ -579,13 +618,16 @@ impl<M: Mitigation> Simulation<M> {
                     let sp = self
                         .telemetry
                         .span_start("sim.refresh_tick", next_tick.as_ps());
-                    let actions = self.mitigation.on_refresh_tick(next_tick);
+                    let mut actions = std::mem::take(&mut self.action_scratch);
+                    self.mitigation
+                        .on_refresh_tick_into(next_tick, &mut actions);
                     if actions.is_empty() {
                         sp.end_if_used(next_tick.as_ps());
                     } else {
-                        self.apply_actions(actions, next_tick, next_tick);
+                        self.apply_actions(&mut actions, next_tick, next_tick);
                         sp.end(self.channel.blocked_until().max(next_tick).as_ps());
                     }
+                    self.action_scratch = actions;
                     next_tick += t_refi;
                 }
             }
@@ -620,6 +662,7 @@ impl<M: Mitigation> Simulation<M> {
         }
         // Close the run phase before the summary is taken so the whole
         // profile (including this run's root total) lands in the report.
+        self.flush_histograms();
         run_phase.finish();
         let faults = self.close_fault_accounting(end);
         let stats = self.channel.stats();
@@ -1042,11 +1085,13 @@ mod tests {
             row: 7,
         };
         // The suppressed notification never reaches the scheme...
-        assert!(sim.notify_activation(phys, Time::ZERO).is_empty());
+        let mut actions = Vec::new();
+        sim.notify_activation_into(phys, Time::ZERO, &mut actions);
+        assert!(actions.is_empty());
         assert_eq!(sim.suppress_notifications, 0);
         assert_eq!(sim.mitigation().tracker_stats().activations, 0);
         // ...but the next one does.
-        sim.notify_activation(phys, Time::ZERO);
+        sim.notify_activation_into(phys, Time::ZERO, &mut actions);
         assert_eq!(sim.mitigation().tracker_stats().activations, 1);
     }
 

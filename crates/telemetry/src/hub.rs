@@ -369,6 +369,36 @@ impl Telemetry {
         }
     }
 
+    /// Records an already-finished leaf span in a single lock acquisition.
+    ///
+    /// Equivalent to `span_start(name, start_ps).end(end_ps)` for spans
+    /// that never take children: the recorded span's parent is the innermost
+    /// open span and the enclosing span is marked used. Hot paths that
+    /// bracket an interval already known to be over (queue waits, bank
+    /// blocks, per-action migration windows) use this to halve their lock
+    /// traffic versus the open/close guard pair.
+    pub fn span_record(&self, name: &'static str, start_ps: u64, end_ps: u64) {
+        let Some(i) = &self.inner else {
+            return;
+        };
+        let mut sp = i.spans.lock().unwrap();
+        let id = sp.next_id;
+        sp.next_id += 1;
+        let parent = sp.stack.last().map(|o| o.id);
+        if let Some(top) = sp.stack.last_mut() {
+            top.used = true;
+        }
+        let span = Span {
+            id,
+            parent,
+            name,
+            start_ps,
+            end_ps: end_ps.max(start_ps),
+        };
+        sp.stats.entry(name).or_default().record(span.duration_ps());
+        sp.ring.push(span);
+    }
+
     /// Opens a host-wallclock phase named `name` and returns the guard that
     /// closes it (on drop or via [`PhaseGuard::finish`]).
     ///
@@ -555,6 +585,20 @@ impl Histogram {
     pub fn record(&self, v: u64) {
         if let Some(h) = &self.0 {
             h.lock().unwrap().record(v);
+        }
+    }
+
+    /// Merges a locally accumulated batch in one lock acquisition.
+    ///
+    /// Hot loops record into a private [`HistogramData`] and flush it here
+    /// at coarse boundaries (epoch end), keeping the per-sample path free of
+    /// synchronization.
+    pub fn merge(&self, batch: &HistogramData) {
+        if batch.count() == 0 {
+            return;
+        }
+        if let Some(h) = &self.0 {
+            h.lock().unwrap().merge(batch);
         }
     }
 
@@ -767,6 +811,10 @@ impl Telemetry {
         ActiveSpan
     }
 
+    /// No-op.
+    #[inline]
+    pub fn span_record(&self, _name: &'static str, _start_ps: u64, _end_ps: u64) {}
+
     /// Returns an inert phase guard: no clock read, no lock, zero size.
     #[inline]
     pub fn phase(&self, _name: &'static str) -> PhaseGuard {
@@ -852,6 +900,10 @@ impl Histogram {
     /// No-op.
     #[inline]
     pub fn record(&self, _v: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn merge(&self, _batch: &crate::hist::HistogramData) {}
 
     /// Always empty in this mode.
     pub fn snapshot(&self) -> crate::hist::HistogramData {

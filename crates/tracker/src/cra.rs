@@ -11,8 +11,8 @@
 
 use crate::{AggressorTracker, TrackerDecision, TrackerStats};
 use aqua_dram::RowAddr;
+use aqua_fastmap::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// CRA tracker configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -54,7 +54,7 @@ struct CacheEntry {
 pub struct CraTracker {
     config: CraConfig,
     /// Backing store: the in-DRAM counter table (exact, unbounded).
-    dram_counts: HashMap<RowAddr, u64>,
+    dram_counts: FxHashMap<RowAddr, u64>,
     /// Set-associative SRAM counter cache.
     cache: Vec<Option<CacheEntry>>,
     sets: usize,
@@ -73,7 +73,7 @@ impl CraTracker {
         let sets = config.cache_entries / config.cache_ways;
         CraTracker {
             config,
-            dram_counts: HashMap::new(),
+            dram_counts: FxHashMap::default(),
             cache: vec![None; sets * config.cache_ways],
             sets,
             lru_clock: 0,

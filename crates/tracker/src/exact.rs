@@ -2,7 +2,7 @@
 
 use crate::{AggressorTracker, TrackerDecision, TrackerStats};
 use aqua_dram::RowAddr;
-use std::collections::HashMap;
+use aqua_fastmap::FxHashMap;
 
 /// An idealized tracker with one exact counter per accessed row.
 ///
@@ -13,7 +13,7 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct ExactTracker {
     threshold: u64,
-    counts: HashMap<RowAddr, u64>,
+    counts: FxHashMap<RowAddr, u64>,
     stats: TrackerStats,
 }
 
@@ -28,7 +28,7 @@ impl ExactTracker {
         assert!(threshold > 0, "threshold must be positive");
         ExactTracker {
             threshold,
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
             stats: TrackerStats::default(),
         }
     }

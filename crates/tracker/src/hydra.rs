@@ -13,8 +13,8 @@
 
 use crate::{AggressorTracker, TrackerDecision, TrackerStats};
 use aqua_dram::RowAddr;
+use aqua_fastmap::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// Hydra tracker configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,7 +66,7 @@ pub struct HydraTracker {
     rows_per_bank: u32,
     group_counts: Vec<u64>,
     /// Per-row counters for escalated groups (modelled as residing in DRAM).
-    row_counts: HashMap<RowAddr, u64>,
+    row_counts: FxHashMap<RowAddr, u64>,
     /// Direct-mapped row-counter cache: slot -> row currently cached.
     rcc: Vec<Option<RowAddr>>,
     stats: TrackerStats,
@@ -79,7 +79,7 @@ impl HydraTracker {
             config,
             rows_per_bank,
             group_counts: vec![0; config.group_counters],
-            row_counts: HashMap::new(),
+            row_counts: FxHashMap::default(),
             rcc: vec![None; config.rcc_entries],
             stats: TrackerStats::default(),
         }

@@ -2,16 +2,22 @@
 
 use crate::{AggressorTracker, TrackerConfig, TrackerDecision, TrackerStats};
 use aqua_dram::RowAddr;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use aqua_fastmap::{FxHashMap, FxHashSet};
+use std::collections::BTreeMap;
 
 /// One bank's Space-Saving summary.
 ///
 /// Invariant: `counts` and `buckets` describe the same multiset — every
 /// tracked row appears in exactly one bucket, keyed by its current count.
+///
+/// Both hash containers use the deterministic [`aqua_fastmap`] hasher: the
+/// replacement victim is chosen by set iteration order, which with the
+/// seedless hasher is a pure function of the insertion history — identical
+/// access streams evict identical rows in every process.
 #[derive(Debug, Default)]
 struct BankSummary {
-    counts: HashMap<u32, u64>,
-    buckets: BTreeMap<u64, HashSet<u32>>,
+    counts: FxHashMap<u32, u64>,
+    buckets: BTreeMap<u64, FxHashSet<u32>>,
     replacements: u64,
 }
 
