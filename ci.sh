@@ -67,6 +67,50 @@ fault_smoke fault_smoke_first
 fault_smoke fault_smoke_replay
 run diff target/experiments/fault_smoke_first.csv target/experiments/fault_smoke_replay.csv
 
+# Checkpoint/resume smoke: interrupt a fault campaign halfway (the journal's
+# AQUA_BENCH_DIE_AFTER test hook exits 3 once 4 of the 8 cells are durable),
+# resume it with the same journal, and require the final CSV to be
+# byte-identical to the uninterrupted reference (DESIGN.md section 14).
+resume_args=(--seed 7 --epochs 1 --rates 0,8)
+resume_journal=target/experiments/ci_resume_journal.jsonl
+rm -f "$resume_journal"
+echo
+echo "==> smoke: fault_campaign uninterrupted reference"
+AQUA_BENCH_WORKLOADS=mcf cargo run --offline -q --release -p aqua-bench \
+    --bin fault_campaign -- "${resume_args[@]}" --out ci_resume_ref >/dev/null
+echo
+echo "==> smoke: fault_campaign killed after 4 durable cells (expect exit 3)"
+if AQUA_BENCH_WORKLOADS=mcf AQUA_BENCH_DIE_AFTER=4 cargo run --offline -q --release \
+    -p aqua-bench --bin fault_campaign -- "${resume_args[@]}" --out ci_resume_out \
+    --resume "$resume_journal" >/dev/null 2>&1; then
+    echo "ERROR: campaign was not interrupted by AQUA_BENCH_DIE_AFTER" >&2
+    exit 1
+fi
+echo "campaign died mid-run as instructed"
+echo
+echo "==> smoke: resumed campaign must replay and finish byte-identical"
+AQUA_BENCH_WORKLOADS=mcf cargo run --offline -q --release -p aqua-bench \
+    --bin fault_campaign -- "${resume_args[@]}" --out ci_resume_out \
+    --resume "$resume_journal" >/dev/null
+run diff target/experiments/ci_resume_ref.csv target/experiments/ci_resume_out.csv
+
+# Quarantine must-fail: a chaos-sabotaged cell (panics on its first attempt,
+# then completes — the determinism probe cannot reproduce the failure) is
+# quarantined as nondeterministic. That is a warning with exit 0 by default
+# and a hard failure under --strict; both behaviours are load-bearing.
+echo
+echo "==> smoke: quarantined cell warns by default, fails under --strict"
+AQUA_BENCH_WORKLOADS=mcf cargo run --offline -q --release -p aqua-bench \
+    --bin fault_campaign -- --seed 7 --epochs 1 --rates 0 --out ci_chaos \
+    --chaos-cell aqua-sram/mcf >/dev/null
+if AQUA_BENCH_WORKLOADS=mcf cargo run --offline -q --release -p aqua-bench \
+    --bin fault_campaign -- --seed 7 --epochs 1 --rates 0 --out ci_chaos \
+    --chaos-cell aqua-sram/mcf --strict >/dev/null 2>&1; then
+    echo "ERROR: --strict did not fail on a quarantined cell" >&2
+    exit 1
+fi
+echo "quarantine is a warning by default and fatal under --strict"
+
 # Host-time profiler smoke: with telemetry on the folded-stacks output must
 # be non-empty and contain the sim.run root (flamegraph.pl-consumable);
 # with telemetry off the binary must exit 0 and report nothing to profile.

@@ -5,6 +5,10 @@
 //! each possibly with an eviction); RRS's is ~11x; Blockhammer's is 1280x.
 //! Four cores drive the maximal migration-flood pattern, split across the
 //! 16 banks.
+//!
+//! The six simulations run under the supervision layer; `--resume JOURNAL`
+//! (or `AQUA_BENCH_JOURNAL`) checkpoints each as it concludes and replays
+//! concluded ones on a re-run (DESIGN.md section 14).
 
 use aqua::AquaEngine;
 use aqua_analysis::dos::{
@@ -12,11 +16,11 @@ use aqua_analysis::dos::{
 };
 use aqua_baselines::{Blockhammer, BlockhammerConfig};
 use aqua_bench::output::{f2, print_table, write_csv};
-use aqua_bench::{pool, Harness};
+use aqua_bench::{journal, supervise, Harness};
 use aqua_dram::mitigation::{Mitigation, NoMitigation};
 use aqua_dram::{DdrTiming, DramGeometry};
 use aqua_rrs::{RrsConfig, RrsEngine};
-use aqua_sim::{RunReport, SimConfig, Simulation};
+use aqua_sim::{RunReport, Simulation};
 use aqua_workload::attack::{Hammer, MigrationFlood};
 use aqua_workload::RequestGenerator;
 
@@ -30,17 +34,24 @@ fn flood_gens(harness: &Harness, threshold: u64) -> Vec<Box<dyn RequestGenerator
 
 fn run<M: Mitigation>(
     harness: &Harness,
+    tag: &str,
     engine: M,
     gens: Vec<Box<dyn RequestGenerator>>,
 ) -> RunReport {
-    let cfg = SimConfig::new(harness.base)
-        .epochs(harness.epochs)
-        .t_rh(harness.t_rh);
-    Simulation::new(cfg, engine, gens).run()
+    // The shared sim_config path honours the soft/hard deadline knobs.
+    Simulation::new(harness.sim_config(tag, "dos-flood"), engine, gens).run()
 }
 
 fn main() {
-    let harness = Harness::new(1000);
+    let mut harness = Harness::new(1000);
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--resume")
+        .and_then(|i| args.get(i + 1))
+    {
+        harness.journal = Some(path.into());
+    }
     let timing = DdrTiming::ddr4_2400();
     let geometry = DramGeometry::paper_table1();
     let space = harness.space();
@@ -60,52 +71,81 @@ fn main() {
         "blockhammer-base",
         "blockhammer",
     ];
-    let reports = pool::run_indexed(harness.jobs, &cells, |_, &tag| {
-        let report = match tag {
-            "aqua-base" => run(
-                &harness,
-                NoMitigation::new(harness.base.geometry),
-                flood_gens(&harness, 500),
-            ),
-            "aqua" => run(
-                &harness,
-                AquaEngine::new(harness.aqua_config()).expect("valid config"),
-                flood_gens(&harness, 500),
-            ),
-            "rrs-base" => run(
-                &harness,
-                NoMitigation::new(harness.base.geometry),
-                flood_gens(&harness, 166),
-            ),
-            "rrs" => run(
-                &harness,
-                RrsEngine::new(RrsConfig::for_rowhammer_threshold(1000, &harness.base)),
-                flood_gens(&harness, 166),
-            ),
-            "blockhammer-base" => run(
-                &harness,
-                NoMitigation::new(harness.base.geometry),
-                conflict(),
-            ),
-            "blockhammer" => run(
-                &harness,
-                Blockhammer::new(
-                    BlockhammerConfig::for_rowhammer_threshold(1000),
-                    harness.base.geometry,
-                ),
-                conflict(),
-            ),
-            _ => unreachable!(),
-        };
-        eprintln!(
-            "{tag} done ({} migrations)",
-            report.mitigation.row_migrations
-        );
-        report
+    let journal = harness.open_journal();
+    let keys: Vec<journal::CellKey> = cells
+        .iter()
+        .map(|&tag| harness.cell_key("dos_worstcase", tag, "dos-flood"))
+        .collect();
+    let labels: Vec<String> = cells.iter().map(|&t| t.to_string()).collect();
+    let binding = journal.as_ref().map(|j| supervise::JournalBinding {
+        journal: j,
+        keys: &keys,
+        labels: &labels,
+        codec: supervise::Codec {
+            encode: |r: &RunReport| journal::report_to_json(r),
+            decode: journal::report_from_json,
+        },
     });
+    let supervisor = supervise::Supervisor::default();
+    let reports = supervise::run_supervised(
+        harness.jobs,
+        &cells,
+        &supervisor,
+        binding.as_ref(),
+        |_, &tag, _attempt| {
+            let report = match tag {
+                "aqua-base" => run(
+                    &harness,
+                    tag,
+                    NoMitigation::new(harness.base.geometry),
+                    flood_gens(&harness, 500),
+                ),
+                "aqua" => run(
+                    &harness,
+                    tag,
+                    AquaEngine::new(harness.aqua_config()).expect("valid config"),
+                    flood_gens(&harness, 500),
+                ),
+                "rrs-base" => run(
+                    &harness,
+                    tag,
+                    NoMitigation::new(harness.base.geometry),
+                    flood_gens(&harness, 166),
+                ),
+                "rrs" => run(
+                    &harness,
+                    tag,
+                    RrsEngine::new(RrsConfig::for_rowhammer_threshold(1000, &harness.base)),
+                    flood_gens(&harness, 166),
+                ),
+                "blockhammer-base" => run(
+                    &harness,
+                    tag,
+                    NoMitigation::new(harness.base.geometry),
+                    conflict(),
+                ),
+                "blockhammer" => run(
+                    &harness,
+                    tag,
+                    Blockhammer::new(
+                        BlockhammerConfig::for_rowhammer_threshold(1000),
+                        harness.base.geometry,
+                    ),
+                    conflict(),
+                ),
+                _ => unreachable!(),
+            };
+            eprintln!(
+                "{tag} done ({} migrations)",
+                report.mitigation.row_migrations
+            );
+            report
+        },
+    );
     let report = |tag: &str| {
         let i = cells.iter().position(|&t| t == tag).unwrap();
         reports[i]
+            .outcome
             .as_ref()
             .unwrap_or_else(|e| panic!("{tag} failed: {e}"))
     };

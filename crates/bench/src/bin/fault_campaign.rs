@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fault_campaign [--seed N] [--trh N] [--epochs N] [--rates A,B,C]
-//!                [--watchdog-secs N] [--out NAME]
+//!                [--watchdog-secs N] [--out NAME] [--resume JOURNAL]
+//!                [--strict] [--chaos-cell SCHEME/WORKLOAD]
 //! ```
 //!
 //! - `--seed`: campaign base seed (default 42). Every `(scheme, workload)`
@@ -15,6 +16,16 @@
 //!   becomes a failed cell instead of hanging the sweep (default 120)
 //! - `--out`: CSV basename under `target/experiments/` (default
 //!   `fault_campaign`)
+//! - `--resume`: checkpoint journal path (see DESIGN.md section 14). Every
+//!   concluded cell is durable before the sweep moves on; re-running with
+//!   the same journal replays concluded cells and re-runs only the rest,
+//!   and the final CSV is byte-identical to an uninterrupted run.
+//! - `--strict`: also exit non-zero when a cell was *quarantined* as
+//!   nondeterministic (by default quarantine is reported but not fatal,
+//!   keeping it distinct from the failed-cell exit).
+//! - `--chaos-cell`: sabotage one cell so its first attempt panics and the
+//!   determinism probe succeeds — the supervision layer's own must-fail
+//!   hook (the cell ends quarantined; see `--strict`).
 //!
 //! Workloads default to a small representative trio (`mcf`, `lbm`, `mix00`);
 //! set `AQUA_BENCH_WORKLOADS` to sweep others. Schemes are the ones with
@@ -25,7 +36,7 @@
 //! wrong access escaped the shadow memory uncounted) or any cell failed.
 
 use aqua_bench::output::{print_table, write_csv};
-use aqua_bench::{Harness, Scheme};
+use aqua_bench::{Chaos, Harness, RunError, Scheme};
 use aqua_faults::FaultSpec;
 
 fn arg(name: &str) -> Option<String> {
@@ -33,6 +44,10 @@ fn arg(name: &str) -> Option<String> {
     args.iter()
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 const SCHEMES: [Scheme; 4] = [
@@ -82,12 +97,22 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(120);
     let out = arg("--out").unwrap_or_else(|| "fault_campaign".into());
+    let strict = flag("--strict");
 
     let mut harness = Harness::new(t_rh);
     if let Some(e) = arg("--epochs").and_then(|v| v.parse().ok()) {
         harness.epochs = e;
     }
     harness.watchdog = Some(std::time::Duration::from_secs(watchdog_secs));
+    if let Some(path) = arg("--resume") {
+        harness.journal = Some(path.into());
+    }
+    if let Some(cell) = arg("--chaos-cell") {
+        harness.chaos = Some(Chaos {
+            cell,
+            fail_attempts: 1,
+        });
+    }
     // Default to a small representative workload trio; AQUA_BENCH_WORKLOADS
     // (already validated by workloads()) overrides it.
     let workloads = if std::env::var("AQUA_BENCH_WORKLOADS").is_ok() {
@@ -106,6 +131,7 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut unaccounted_total: u64 = 0;
     let mut failed_cells: u64 = 0;
+    let mut quarantined_cells: u64 = 0;
     for &rate in &rates {
         harness.faults = Some(FaultSpec {
             seed,
@@ -140,16 +166,24 @@ fn main() {
                         .map(|v| v.to_string()),
                     );
                 }
-                Err(msg) => {
-                    failed_cells += 1;
-                    // Watchdog and panic messages become a deterministic
+                Err(err) => {
+                    // The classified error kind becomes a deterministic
                     // status marker so seeded reruns still diff clean.
-                    let status = if msg.contains("watchdog") {
-                        "failed:watchdog"
-                    } else {
-                        "failed:panic"
+                    let status = match err {
+                        RunError::Nondeterministic { .. } => {
+                            quarantined_cells += 1;
+                            "quarantined:nondeterministic".to_string()
+                        }
+                        RunError::Canceled => {
+                            failed_cells += 1;
+                            "canceled".to_string()
+                        }
+                        other => {
+                            failed_cells += 1;
+                            format!("failed:{}", other.kind())
+                        }
                     };
-                    row.push(status.into());
+                    row.push(status);
                     row.extend((0..11).map(|_| "-".to_string()));
                 }
             }
@@ -166,7 +200,14 @@ fn main() {
     if unaccounted_total > 0 {
         eprintln!("FAIL: {unaccounted_total} corruption(s) escaped accounting (unaccounted > 0)");
     }
-    if failed_cells > 0 || unaccounted_total > 0 {
+    if quarantined_cells > 0 {
+        eprintln!(
+            "{}: {quarantined_cells} cell(s) quarantined as nondeterministic \
+             (seeded re-run did not reproduce the failure)",
+            if strict { "FAIL" } else { "WARNING" }
+        );
+    }
+    if failed_cells > 0 || unaccounted_total > 0 || (strict && quarantined_cells > 0) {
         std::process::exit(1);
     }
     println!("every injected corruption accounted for: recovered, counted, or dormant");

@@ -3,6 +3,7 @@
 //! ```text
 //! regression_gate [--baseline FILE] [--out FILE] [--write-baseline]
 //!                 [--inject-slowdown PP] [--inject-throttle FACTOR]
+//!                 [--resume JOURNAL]
 //! ```
 //!
 //! Runs three schemes (aqua-sram, aqua-mapped, rrs) x two workloads
@@ -47,12 +48,18 @@
 //! baseline numbers exactly; only the throughput block carries host-time
 //! noise, which is why its tolerance is a factor, not a percentage.
 //! `AQUA_BENCH_JOBS` only changes wall-clock time.
+//!
+//! The behavioral matrix runs under the supervision layer; `--resume
+//! JOURNAL` (or `AQUA_BENCH_JOURNAL`) checkpoints every canary cell as it
+//! concludes and replays concluded cells on a re-run (DESIGN.md section
+//! 14). The throughput canary is host-time and is therefore re-measured on
+//! every run, never journaled.
 
 use aqua_analysis::attribution::{AblationCounts, Attribution};
 use aqua_bench::gate::{
     self, CellAttribution, CellMetrics, GateReport, PhaseLatency, ThroughputMetrics,
 };
-use aqua_bench::{pool, Harness, Scheme};
+use aqua_bench::{journal, supervise, Harness, Scheme};
 use aqua_sim::CostAblation;
 use aqua_telemetry::Telemetry;
 
@@ -95,8 +102,116 @@ struct JobResult {
     phases: Vec<PhaseLatency>,
 }
 
+/// Human-readable tag for the cell's ablation variant (journal labels).
+fn ablate_tag(a: CostAblation) -> &'static str {
+    if a == CostAblation::NONE {
+        "full"
+    } else if a == CostAblation::FREE_MIGRATION {
+        "free-migration"
+    } else if a == CostAblation::FREE_LOOKUP {
+        "free-lookup"
+    } else if a == CostAblation::FREE_TABLE_TRAFFIC {
+        "free-table-traffic"
+    } else {
+        "custom"
+    }
+}
+
+/// Journal key for one canary job. The shared `cell_key` digest folds in
+/// `Harness::ablate`, so the key is computed on a clone carrying the job's
+/// own ablation variant.
+fn job_key(harness: &Harness, job: &Job) -> journal::CellKey {
+    let mut h = harness.clone();
+    h.ablate = job.ablate;
+    h.cell_key(
+        "regression_gate",
+        job.scheme.map_or("baseline", Scheme::name),
+        job.workload,
+    )
+}
+
+/// Escapes `s` as a JSON string into `out`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Encodes a [`JobResult`] as a compact journal payload. `f64` metrics use
+/// Rust's shortest-roundtrip formatting, so decode-then-encode is a
+/// byte-level fixpoint and resumed gate reports diff clean.
+fn encode_job(r: &JobResult) -> String {
+    assert!(
+        r.requests_done < (1 << 53),
+        "requests_done exceeds f64 precision"
+    );
+    let mut out = format!(
+        "{{\"requests_done\":{},\"migrations_per_epoch\":{},\"phases\":[",
+        r.requests_done, r.migrations_per_epoch
+    );
+    for (i, p) in r.phases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        push_json_str(&mut out, &p.name);
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(",\"p50_ps\":{},\"p99_ps\":{}}}", p.p50_ps, p.p99_ps),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Decodes an [`encode_job`] payload back into a [`JobResult`].
+fn decode_job(value: &gate::JsonValue) -> Result<JobResult, String> {
+    let obj = value.as_obj().ok_or("payload is not an object")?;
+    let num = |o: &[(String, gate::JsonValue)], name: &str| {
+        gate::json::get(o, name)
+            .and_then(gate::JsonValue::as_f64)
+            .ok_or_else(|| format!("payload field {name:?} missing or not a number"))
+    };
+    let requests = num(obj, "requests_done")?;
+    if requests < 0.0 || requests.fract() != 0.0 {
+        return Err(format!("requests_done = {requests} is not an integer"));
+    }
+    let phases = gate::json::get(obj, "phases")
+        .and_then(gate::JsonValue::as_arr)
+        .ok_or("payload field \"phases\" missing or not an array")?
+        .iter()
+        .map(|p| {
+            let o = p
+                .as_obj()
+                .ok_or_else(|| "phase is not an object".to_string())?;
+            Ok(PhaseLatency {
+                name: gate::json::get(o, "name")
+                    .and_then(gate::JsonValue::as_str)
+                    .ok_or_else(|| "phase field \"name\" missing or not a string".to_string())?
+                    .to_string(),
+                p50_ps: num(o, "p50_ps")?,
+                p99_ps: num(o, "p99_ps")?,
+            })
+        })
+        .collect::<Result<Vec<PhaseLatency>, String>>()?;
+    Ok(JobResult {
+        requests_done: requests as u64,
+        migrations_per_epoch: num(obj, "migrations_per_epoch")?,
+        phases,
+    })
+}
+
 fn run_job(harness: &Harness, job: &Job) -> JobResult {
-    let mut h = *harness;
+    let mut h = harness.clone();
     h.ablate = job.ablate;
     let Some(scheme) = job.scheme else {
         let report = h.run(Scheme::Baseline, job.workload);
@@ -138,7 +253,7 @@ fn measure_throughput(harness: &Harness) -> ThroughputMetrics {
     let mut per_sec = Vec::with_capacity(THROUGHPUT_REPEATS as usize);
     let mut accesses = 0u64;
     for _ in 0..THROUGHPUT_REPEATS {
-        let mut h = *harness;
+        let mut h = harness.clone();
         h.ablate = CostAblation::NONE;
         let start = std::time::Instant::now();
         let report = h.run(THROUGHPUT_SCHEME, THROUGHPUT_WORKLOAD);
@@ -163,6 +278,9 @@ fn measure(inject_pp: f64) -> Result<GateReport, String> {
     let mut harness = Harness::new(T_RH);
     harness.epochs = EPOCHS;
     harness.seed = SEED;
+    if let Some(path) = arg("--resume") {
+        harness.journal = Some(path.into());
+    }
 
     // Job list: one unmitigated baseline per workload, then four runs
     // (full + three single-cost ablations) per scheme x workload cell.
@@ -194,11 +312,44 @@ fn measure(inject_pp: f64) -> Result<GateReport, String> {
         jobs.len(),
         harness.jobs
     );
-    let outcomes = pool::run_indexed(harness.jobs, &jobs, |_, job| run_job(&harness, job));
+    let journal = harness.open_journal();
+    let keys: Vec<journal::CellKey> = jobs.iter().map(|j| job_key(&harness, j)).collect();
+    let labels: Vec<String> = jobs
+        .iter()
+        .map(|j| {
+            format!(
+                "{}/{}@{}",
+                j.scheme.map_or("baseline", Scheme::name),
+                j.workload,
+                ablate_tag(j.ablate)
+            )
+        })
+        .collect();
+    let binding = journal.as_ref().map(|j| supervise::JournalBinding {
+        journal: j,
+        keys: &keys,
+        labels: &labels,
+        codec: supervise::Codec {
+            encode: encode_job,
+            decode: decode_job,
+        },
+    });
+    let supervisor = supervise::Supervisor::default();
+    let outcomes = supervise::run_supervised(
+        harness.jobs,
+        &jobs,
+        &supervisor,
+        binding.as_ref(),
+        |_, job, _attempt| run_job(&harness, job),
+    );
     let mut results = Vec::with_capacity(jobs.len());
     for (job, outcome) in jobs.iter().zip(outcomes) {
         let name = job.scheme.map_or("baseline", Scheme::name);
-        results.push(outcome.map_err(|e| format!("{name}/{} failed: {e}", job.workload))?);
+        results.push(
+            outcome
+                .outcome
+                .map_err(|e| format!("{name}/{} failed: {e}", job.workload))?,
+        );
     }
 
     let find = |scheme: Option<Scheme>, workload: &str, ablate: CostAblation| -> &JobResult {

@@ -154,7 +154,7 @@ pub fn median_of(mut xs: Vec<f64>) -> f64 {
 /// Formats a float so that parsing it back yields the identical `f64`
 /// (Rust's shortest-roundtrip `Display`). Non-finite values — which valid
 /// gate metrics never produce — serialize as 0 to keep the JSON parseable.
-fn num(v: f64) -> String {
+pub(crate) fn num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -162,7 +162,7 @@ fn num(v: f64) -> String {
     }
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {

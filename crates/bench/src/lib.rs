@@ -13,6 +13,13 @@
 //! **byte-identical** to a serial one — `AQUA_BENCH_JOBS=1` recovers the
 //! strictly serial behaviour on the caller's thread.
 //!
+//! Matrix cells run under a supervision layer ([`supervise`]): failures
+//! are classified into a typed [`RunError`] taxonomy, watchdog expiries
+//! are retried from the same seed, other panics get a determinism probe
+//! (an unreproducible failure is quarantined), and with a checkpoint
+//! journal attached ([`journal`]) an interrupted campaign resumes where it
+//! stopped — byte-identical to an uninterrupted run.
+//!
 //! Environment knobs (all optional):
 //!
 //! - `AQUA_BENCH_EPOCHS`: simulated 64 ms epochs per run (default 2).
@@ -20,19 +27,36 @@
 //!   (default: all 18 SPEC + 16 mixes). Names are validated eagerly;
 //!   empty entries (e.g. a trailing comma) are ignored.
 //! - `AQUA_BENCH_JOBS`: worker threads for the experiment matrix
-//!   (default: all available cores; `1` = serial).
+//!   (default: all available cores; `1` = serial; `0` = auto, same as
+//!   unset).
+//! - `AQUA_BENCH_PROGRESS=1`: per-completion progress lines on stderr.
+//! - `AQUA_BENCH_RETRIES`: seeded re-runs granted to a watchdog-expired
+//!   cell (default 1; the determinism probe after an ordinary panic is
+//!   separate and always exactly one).
+//! - `AQUA_BENCH_DEADLINE_MS`: soft per-cell deadline in milliseconds; a
+//!   cell past it prints one straggler report, and the hard watchdog
+//!   fires at [`Deadline::HARD_FACTOR`]× unless `Harness::watchdog`
+//!   overrides it.
+//! - `AQUA_BENCH_JOURNAL`: path of the checkpoint/resume journal
+//!   (equivalent to the campaign binaries' `--resume`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod gate;
+pub mod journal;
 mod matrix;
 pub mod output;
 pub mod pool;
+pub mod supervise;
 
 pub use matrix::{MatrixCell, MatrixResults};
+pub use supervise::{Attempted, RunError, Supervisor};
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use journal::CellKey;
 
 use aqua::{AquaConfig, AquaEngine};
 use aqua_baselines::{Blockhammer, BlockhammerConfig, VictimRefresh, VictimRefreshConfig};
@@ -75,8 +99,51 @@ impl Scheme {
     }
 }
 
+/// Soft/hard per-cell wall-clock deadlines, both derivable from the one
+/// `AQUA_BENCH_DEADLINE_MS` knob.
+///
+/// The *soft* deadline is an escalation step: a cell that outlives it
+/// prints one straggler report to stderr (see `SimConfig::soft_watchdog`)
+/// and keeps running. The *hard* deadline is the cell's watchdog budget —
+/// exceeding it kills the cell with [`RunError::WatchdogExpired`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    /// Straggler-report threshold.
+    pub soft: std::time::Duration,
+    /// Watchdog budget (ignored when [`Harness::watchdog`] is set
+    /// explicitly).
+    pub hard: std::time::Duration,
+}
+
+impl Deadline {
+    /// `hard = soft × HARD_FACTOR` when derived from the shared knob.
+    pub const HARD_FACTOR: u32 = 4;
+
+    /// Derives both deadlines from one `AQUA_BENCH_DEADLINE_MS` value.
+    pub fn from_ms(ms: u64) -> Deadline {
+        let soft = std::time::Duration::from_millis(ms);
+        Deadline {
+            soft,
+            hard: soft * Self::HARD_FACTOR,
+        }
+    }
+}
+
+/// Deterministic sabotage of one matrix cell, for exercising the
+/// supervision layer itself (`fault_campaign --chaos-cell`): the named
+/// cell panics on its first `fail_attempts` attempts and then succeeds,
+/// so the determinism probe observes a flaky cell and quarantines it as
+/// [`RunError::Nondeterministic`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chaos {
+    /// `scheme/workload` label of the cell to sabotage.
+    pub cell: String,
+    /// How many leading attempts panic (1 = flaky, quarantined).
+    pub fail_attempts: u32,
+}
+
 /// Experiment harness configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct Harness {
     /// Baseline system (Table I).
     pub base: BaselineConfig,
@@ -95,8 +162,21 @@ pub struct Harness {
     pub faults: Option<FaultSpec>,
     /// Optional per-cell wall-clock budget. A cell that exceeds it panics
     /// inside its pool job (`DramError::WatchdogExpired`) and surfaces as a
-    /// failed matrix cell instead of hanging the campaign.
+    /// failed matrix cell instead of hanging the campaign. Takes precedence
+    /// over `deadline.hard` when both are set.
     pub watchdog: Option<std::time::Duration>,
+    /// Soft/hard deadline escalation (`AQUA_BENCH_DEADLINE_MS`).
+    pub deadline: Option<Deadline>,
+    /// Seeded re-runs granted to watchdog-expired cells
+    /// (`AQUA_BENCH_RETRIES`, default 1).
+    pub retries: u32,
+    /// Checkpoint/resume journal path (`AQUA_BENCH_JOURNAL` or the
+    /// campaign binaries' `--resume`). When set, [`Harness::run_matrix`]
+    /// appends one durable record per concluded cell and replays cells
+    /// already concluded by an earlier run.
+    pub journal: Option<PathBuf>,
+    /// Deterministic supervision-layer sabotage (tests and ci.sh only).
+    pub chaos: Option<Chaos>,
     /// Cost-ablation knobs applied to every simulation this harness runs
     /// (the attribution report's what-if re-runs). `CostAblation::NONE`
     /// is the normal, fully-costed configuration.
@@ -127,20 +207,46 @@ fn default_jobs() -> usize {
 }
 
 impl Harness {
-    /// Creates the default harness at `t_rh`, honouring `AQUA_BENCH_EPOCHS`
-    /// and `AQUA_BENCH_JOBS`.
+    /// Creates the default harness at `t_rh`, honouring `AQUA_BENCH_EPOCHS`,
+    /// `AQUA_BENCH_JOBS`, `AQUA_BENCH_RETRIES`, `AQUA_BENCH_DEADLINE_MS`,
+    /// and `AQUA_BENCH_JOURNAL` (see the crate docs).
     pub fn new(t_rh: u64) -> Self {
         let epochs = env_parse(
             "AQUA_BENCH_EPOCHS",
             std::env::var("AQUA_BENCH_EPOCHS").ok().as_deref(),
             2,
         );
-        let jobs = env_parse(
+        // 0 means "auto" (all available cores), same as leaving it unset —
+        // it used to silently fall back to serial.
+        let jobs = match env_parse(
             "AQUA_BENCH_JOBS",
             std::env::var("AQUA_BENCH_JOBS").ok().as_deref(),
             default_jobs(),
-        )
-        .max(1);
+        ) {
+            0 => default_jobs(),
+            n => n,
+        };
+        let retries = env_parse(
+            "AQUA_BENCH_RETRIES",
+            std::env::var("AQUA_BENCH_RETRIES").ok().as_deref(),
+            1u32,
+        );
+        let deadline = std::env::var("AQUA_BENCH_DEADLINE_MS")
+            .ok()
+            .and_then(|raw| match raw.trim().parse::<u64>() {
+                Ok(0) | Err(_) => {
+                    eprintln!(
+                        "warning: ignoring AQUA_BENCH_DEADLINE_MS={raw:?}; \
+                         expected a positive integer of milliseconds"
+                    );
+                    None
+                }
+                Ok(ms) => Some(Deadline::from_ms(ms)),
+            });
+        let journal = std::env::var("AQUA_BENCH_JOURNAL")
+            .ok()
+            .filter(|p| !p.trim().is_empty())
+            .map(PathBuf::from);
         Harness {
             base: BaselineConfig::paper_table1(),
             t_rh,
@@ -149,6 +255,10 @@ impl Harness {
             jobs,
             faults: None,
             watchdog: None,
+            deadline,
+            retries,
+            journal,
+            chaos: None,
             ablate: CostAblation::NONE,
         }
     }
@@ -242,8 +352,8 @@ impl Harness {
 
     /// Simulator configuration for one `(scheme, workload)` cell: the shared
     /// base plus, when a fault campaign is active, that cell's derived fault
-    /// plan seed and the optional wall-clock watchdog.
-    fn sim_config(&self, scheme_name: &str, workload: &str) -> SimConfig {
+    /// plan seed and the optional soft/hard wall-clock deadlines.
+    pub fn sim_config(&self, scheme_name: &str, workload: &str) -> SimConfig {
         let mut cfg = SimConfig::new(self.base)
             .epochs(self.epochs)
             .t_rh(self.t_rh)
@@ -254,10 +364,59 @@ impl Harness {
                 ..spec
             });
         }
-        if let Some(budget) = self.watchdog {
+        if let Some(deadline) = self.deadline {
+            cfg = cfg.soft_watchdog(deadline.soft);
+        }
+        if let Some(budget) = self.watchdog.or(self.deadline.map(|d| d.hard)) {
             cfg = cfg.watchdog(budget);
         }
         cfg
+    }
+
+    /// The checkpoint key of one cell: a digest of everything that
+    /// determines its result — experiment label, scheme, workload, seed,
+    /// epochs, threshold, geometry, fault spec, and ablation. Host-time
+    /// knobs (watchdog, deadline, jobs) are excluded on purpose, so a run
+    /// may be resumed under different time budgets (see [`journal`]).
+    pub fn cell_key(&self, experiment: &str, scheme: &str, workload: &str) -> CellKey {
+        CellKey::digest(&[
+            experiment,
+            scheme,
+            workload,
+            &self.seed.to_string(),
+            &self.epochs.to_string(),
+            &self.t_rh.to_string(),
+            &format!("{:?}", self.base),
+            &format!("{:?}", self.faults),
+            &format!("{:?}", self.ablate),
+        ])
+    }
+
+    /// Opens this harness's checkpoint journal, if one is configured.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the journal exists but cannot be read (an unsupported
+    /// format version, an unreadable file): resuming against a journal we
+    /// cannot honour must not silently restart the campaign from zero.
+    pub fn open_journal(&self) -> Option<journal::Journal> {
+        self.journal
+            .as_ref()
+            .map(|path| journal::Journal::open(path).unwrap_or_else(|e| panic!("{e}")))
+    }
+
+    /// Trips the configured chaos sabotage for a matching cell/attempt.
+    fn chaos_check(&self, scheme: Scheme, workload: &str, attempt: u32) {
+        if let Some(chaos) = &self.chaos {
+            if chaos.cell == format!("{}/{workload}", scheme.name())
+                && attempt <= chaos.fail_attempts
+            {
+                panic!(
+                    "chaos: injected failure for {} (attempt {attempt})",
+                    chaos.cell
+                );
+            }
+        }
     }
 
     /// AQUA configuration at this harness's threshold.
@@ -370,6 +529,13 @@ impl Harness {
     /// [`Telemetry::merge_from`] in job-index order, so the aggregate
     /// counters, histograms, and epoch series are identical whether the
     /// matrix ran on one worker or sixteen.
+    ///
+    /// Cells run under the supervision layer: `self.retries` seeded
+    /// re-runs for watchdog expiries, a determinism probe for other
+    /// panics, and — when `self.journal` is set — a durable checkpoint
+    /// record per concluded cell plus replay of cells an earlier run
+    /// already concluded. A replayed cell's report carries
+    /// `telemetry: None` and merges nothing into the parent hub.
     pub fn run_matrix_instrumented(
         &self,
         schemes: &[Scheme],
@@ -387,37 +553,73 @@ impl Harness {
             .collect();
         let total = jobs.len();
         let done = AtomicUsize::new(0);
+        let journal = self.open_journal();
+        let keys: Vec<CellKey> = jobs
+            .iter()
+            .map(|&(s, w)| self.cell_key("matrix", s.name(), w))
+            .collect();
+        let labels: Vec<String> = jobs
+            .iter()
+            .map(|&(s, w)| format!("{}/{w}", s.name()))
+            .collect();
+        let supervisor = Supervisor {
+            max_retries: self.retries,
+            telemetry: parent.clone(),
+            cancel: None,
+        };
+        let binding = journal.as_ref().map(|j| supervise::JournalBinding {
+            journal: j,
+            keys: &keys,
+            labels: &labels,
+            codec: supervise::Codec {
+                encode: encode_matrix_outcome,
+                decode: decode_matrix_outcome,
+            },
+        });
         setup_phase.finish();
         let run_phase = parent.phase("bench.run");
-        let outcomes = pool::run_indexed(self.jobs, &jobs, |_, &(scheme, workload)| {
-            let hub = telemetry.map(Telemetry::fork);
-            let report = self.run_instrumented(scheme, workload, hub.as_ref());
-            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
-            eprintln!("[{finished}/{total}] {}/{workload} done", scheme.name());
-            (report, hub)
-        });
+        let outcomes = supervise::run_supervised(
+            self.jobs,
+            &jobs,
+            &supervisor,
+            binding.as_ref(),
+            |_, &(scheme, workload), attempt| {
+                self.chaos_check(scheme, workload, attempt);
+                let hub = telemetry.map(Telemetry::fork);
+                let report = self.run_instrumented(scheme, workload, hub.as_ref());
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!("[{finished}/{total}] {}/{workload} done", scheme.name());
+                (report, hub)
+            },
+        );
         run_phase.finish();
         let merge_phase = parent.phase("bench.merge");
         let cells = jobs
             .into_iter()
             .zip(outcomes)
-            .map(|((scheme, workload), outcome)| {
-                let outcome = match outcome {
+            .map(|((scheme, workload), attempted)| {
+                let outcome = match attempted.outcome {
                     Ok((report, hub)) => {
                         if let (Some(parent), Some(job_hub)) = (telemetry, hub) {
                             parent.merge_from(&job_hub);
                         }
                         Ok(report)
                     }
-                    Err(msg) => {
-                        eprintln!("[matrix] {}/{workload} FAILED: {msg}", scheme.name());
-                        Err(msg)
+                    Err(err) => {
+                        eprintln!(
+                            "[matrix] {}/{workload} FAILED ({}): {err}",
+                            scheme.name(),
+                            err.kind()
+                        );
+                        Err(err)
                     }
                 };
                 MatrixCell {
                     scheme,
                     workload: workload.clone(),
                     outcome,
+                    attempts: attempted.attempts,
+                    resumed: attempted.resumed,
                 }
             })
             .collect();
@@ -446,6 +648,19 @@ impl Harness {
     }
 }
 
+/// Journal payload codec for matrix cells: the report alone is durable;
+/// the per-job telemetry fork is a live host-side object and is dropped
+/// (a replayed cell merges nothing into the parent hub).
+fn encode_matrix_outcome(cell: &(RunReport, Option<Telemetry>)) -> String {
+    journal::report_to_json(&cell.0)
+}
+
+fn decode_matrix_outcome(
+    value: &gate::JsonValue,
+) -> Result<(RunReport, Option<Telemetry>), String> {
+    journal::report_from_json(value).map(|report| (report, None))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -459,6 +674,10 @@ mod tests {
             jobs: 1,
             faults: None,
             watchdog: None,
+            deadline: None,
+            retries: 1,
+            journal: None,
+            chaos: None,
             ablate: CostAblation::NONE,
         }
     }
@@ -473,8 +692,20 @@ mod tests {
             jobs,
             faults: None,
             watchdog: None,
+            deadline: None,
+            retries: 1,
+            journal: None,
+            chaos: None,
             ablate: CostAblation::NONE,
         }
+    }
+
+    fn tmp_journal(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("aqua-bench-lib-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        path
     }
 
     #[test]
@@ -780,5 +1011,156 @@ mod tests {
             .unwrap_err();
         assert!(err.contains("unknown workload"), "{err}");
         assert_eq!(results.failures().count(), 1);
+        // The probe re-ran the panicking cell once from its seed and saw
+        // the identical message: a classified, deterministic panic.
+        let bad = &results.cells()[1];
+        assert_eq!(bad.attempts, 2);
+        assert!(
+            matches!(bad.outcome, Err(RunError::Panic(_))),
+            "{:?}",
+            bad.outcome
+        );
+    }
+
+    // -- supervision layer ---------------------------------------------------
+
+    /// Satellite e2e check: a zero-budget watchdog must surface as the
+    /// typed `RunError::WatchdogExpired` (not a bare panic string), leave
+    /// sibling cells intact, and land in the journal as retriable.
+    #[test]
+    fn watchdog_zero_surfaces_typed_error_and_journals_retriable() {
+        let path = tmp_journal("watchdog-zero");
+        let schemes = [Scheme::Baseline, Scheme::VictimRefresh];
+        let workloads = vec!["povray".to_string()];
+        let mut strangled = sim_harness(2);
+        strangled.watchdog = Some(std::time::Duration::ZERO);
+        strangled.journal = Some(path.clone());
+        let results = strangled.run_matrix(&schemes, &workloads);
+        assert_eq!(results.failures().count(), 2);
+        for cell in results.cells() {
+            assert_eq!(
+                cell.outcome,
+                Err(RunError::WatchdogExpired { budget_ms: 0 }),
+                "{}/{}",
+                cell.scheme.name(),
+                cell.workload
+            );
+            // One configured retry, both attempts expired.
+            assert_eq!(cell.attempts, 2);
+        }
+        let j = journal::Journal::open(&path).unwrap();
+        assert_eq!(j.loaded(), 2);
+        for cell in results.cells() {
+            let key = strangled.cell_key("matrix", cell.scheme.name(), &cell.workload);
+            let rec = j.lookup(&key).expect("expired cell is journaled");
+            assert_eq!(rec.status, "watchdog");
+            assert!(rec.retriable, "watchdog expiry must be retriable on resume");
+        }
+        drop(j);
+
+        // Resuming without the strangling watchdog re-runs (not replays)
+        // the retriable cells and completes them...
+        let mut resumed = sim_harness(1);
+        resumed.journal = Some(path.clone());
+        let second = resumed.run_matrix(&schemes, &workloads);
+        second.expect_complete();
+        assert!(second.cells().iter().all(|c| !c.resumed));
+        // ...after which a further resume replays every cell, and the
+        // replayed reports are identical to a fresh, journal-free run.
+        let mut replayer = sim_harness(1);
+        replayer.journal = Some(path.clone());
+        let third = replayer.run_matrix(&schemes, &workloads);
+        assert!(third.cells().iter().all(|c| c.resumed));
+        let fresh = sim_harness(1).run_matrix(&schemes, &workloads);
+        let replayed: Vec<&RunReport> = third.reports().collect();
+        let rerun: Vec<&RunReport> = fresh.reports().collect();
+        assert_eq!(replayed, rerun, "replay is byte-identical to a fresh run");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// The tentpole resume contract at the matrix level: interrupting a
+    /// campaign after some cells (here: simulated by running a narrower
+    /// matrix first) and resuming must produce reports byte-identical to
+    /// an uninterrupted run, replaying exactly the journaled cells.
+    #[test]
+    fn partial_journal_resume_is_byte_identical_to_uninterrupted() {
+        let path = tmp_journal("partial-resume");
+        let schemes = [Scheme::Baseline, Scheme::VictimRefresh, Scheme::Blockhammer];
+        let first_half = vec!["povray".to_string()];
+        let all = vec!["povray".to_string(), "namd".to_string()];
+        let mut h = sim_harness(2);
+        h.journal = Some(path.clone());
+        // "Interrupted" run: only the first workload's cells conclude.
+        h.run_matrix(&schemes, &first_half).expect_complete();
+        // Resume over the full matrix: povray cells replay, namd cells run.
+        let resumed = h.run_matrix(&schemes, &all);
+        resumed.expect_complete();
+        let resumed_flags: Vec<bool> = resumed.cells().iter().map(|c| c.resumed).collect();
+        assert_eq!(resumed_flags, [true, true, true, false, false, false]);
+        let uninterrupted = sim_harness(2).run_matrix(&schemes, &all);
+        let a: Vec<&RunReport> = resumed.reports().collect();
+        let b: Vec<&RunReport> = uninterrupted.reports().collect();
+        assert_eq!(a, b);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// A chaos-sabotaged cell panics on attempt 1 and succeeds on the
+    /// probe: the supervisor must quarantine it as nondeterministic (the
+    /// ci.sh `--strict` must-fail path).
+    #[test]
+    fn chaos_cell_is_quarantined_as_nondeterministic() {
+        let schemes = [Scheme::Baseline, Scheme::VictimRefresh];
+        let workloads = vec!["povray".to_string()];
+        let mut h = sim_harness(2);
+        h.chaos = Some(Chaos {
+            cell: "baseline/povray".to_string(),
+            fail_attempts: 1,
+        });
+        let results = h.run_matrix(&schemes, &workloads);
+        let bad = &results.cells()[0];
+        match &bad.outcome {
+            Err(RunError::Nondeterministic { detail }) => {
+                assert!(detail.contains("chaos"), "{detail}");
+            }
+            other => panic!("expected quarantine, got {other:?}"),
+        }
+        // The sibling cell is untouched.
+        assert!(results.try_get(Scheme::VictimRefresh, "povray").is_ok());
+    }
+
+    #[test]
+    fn deadline_knob_derives_soft_and_hard_budgets() {
+        let d = Deadline::from_ms(250);
+        assert_eq!(d.soft, std::time::Duration::from_millis(250));
+        assert_eq!(d.hard, std::time::Duration::from_millis(1000));
+        // A generous deadline changes nothing about the results.
+        let mut h = sim_harness(1);
+        h.deadline = Some(Deadline::from_ms(600_000));
+        let schemes = [Scheme::Baseline];
+        let workloads = vec!["povray".to_string()];
+        let with_deadline = h.run_matrix(&schemes, &workloads);
+        with_deadline.expect_complete();
+        let plain = sim_harness(1).run_matrix(&schemes, &workloads);
+        assert_eq!(
+            with_deadline.reports().collect::<Vec<_>>(),
+            plain.reports().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn cell_keys_separate_experiments_and_cells() {
+        let h = sim_harness(1);
+        let a = h.cell_key("matrix", "baseline", "povray");
+        assert_eq!(a, h.cell_key("matrix", "baseline", "povray"));
+        assert_ne!(a, h.cell_key("matrix", "baseline", "namd"));
+        assert_ne!(a, h.cell_key("dos_worstcase", "baseline", "povray"));
+        let mut other_seed = sim_harness(1);
+        other_seed.seed = 2;
+        assert_ne!(a, other_seed.cell_key("matrix", "baseline", "povray"));
+        // Host-time knobs do not change the key: resume survives new budgets.
+        let mut budgeted = sim_harness(4);
+        budgeted.watchdog = Some(std::time::Duration::from_secs(1));
+        budgeted.deadline = Some(Deadline::from_ms(5));
+        assert_eq!(a, budgeted.cell_key("matrix", "baseline", "povray"));
     }
 }

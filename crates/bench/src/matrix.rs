@@ -1,5 +1,6 @@
 //! The deterministic scheme × workload experiment matrix.
 
+use crate::supervise::RunError;
 use crate::Scheme;
 use aqua_sim::RunReport;
 
@@ -10,8 +11,14 @@ pub struct MatrixCell {
     pub scheme: Scheme,
     /// The workload this cell ran.
     pub workload: String,
-    /// The run report, or the panic message of a job that failed.
-    pub outcome: Result<RunReport, String>,
+    /// The run report, or the classified error of a cell with no result.
+    pub outcome: Result<RunReport, RunError>,
+    /// Attempts the supervised runner spent on the cell (>1 = it was
+    /// retried; see [`RunError`] for the retry contract).
+    pub attempts: u32,
+    /// True when the outcome was replayed from a checkpoint journal
+    /// instead of simulated by this run.
+    pub resumed: bool,
 }
 
 /// Results of [`crate::Harness::run_matrix`], in deterministic input order:
@@ -57,7 +64,8 @@ impl MatrixResults {
             .map_err(|e| format!("matrix cell {} / {workload} failed: {e}", scheme.name()))
     }
 
-    /// The cells whose jobs failed (panicked), if any.
+    /// The cells with no trustworthy result — failed, quarantined, or
+    /// canceled — if any.
     pub fn failures(&self) -> impl Iterator<Item = &MatrixCell> {
         self.cells.iter().filter(|c| c.outcome.is_err())
     }
@@ -85,10 +93,10 @@ impl MatrixResults {
     }
 }
 
-fn flat(cell: &MatrixCell) -> &str {
+fn flat(cell: &MatrixCell) -> String {
     match &cell.outcome {
-        Err(e) => e.as_str(),
-        Ok(_) => "",
+        Err(e) => e.to_string(),
+        Ok(_) => String::new(),
     }
 }
 
@@ -106,11 +114,15 @@ mod tests {
                     requests_done: 7,
                     ..Default::default()
                 }),
+                attempts: 1,
+                resumed: false,
             },
             MatrixCell {
                 scheme: Scheme::Rrs,
                 workload: "lbm".into(),
-                outcome: Err("boom".into()),
+                outcome: Err(RunError::Panic("boom".into())),
+                attempts: 2,
+                resumed: false,
             },
         ])
     }
@@ -125,6 +137,7 @@ mod tests {
         let r = results();
         let err = r.try_get(Scheme::Rrs, "lbm").unwrap_err();
         assert!(err.contains("boom"), "{err}");
+        assert!(err.contains("panic"), "the taxonomy kind is visible: {err}");
         let err = r.try_get(Scheme::Rrs, "mcf").unwrap_err();
         assert!(err.contains("no matrix cell"), "{err}");
         assert_eq!(r.failures().count(), 1);

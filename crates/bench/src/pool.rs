@@ -18,6 +18,7 @@ use std::sync::Mutex;
 struct Progress {
     total: usize,
     done: AtomicUsize,
+    in_flight: AtomicUsize,
     start: std::time::Instant,
 }
 
@@ -29,27 +30,39 @@ impl Progress {
         (on && total > 0).then(|| Progress {
             total,
             done: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
             start: std::time::Instant::now(),
         })
     }
 
+    fn note_start(&self) {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+    }
+
     fn note(&self) {
+        let in_flight = self.in_flight.fetch_sub(1, Ordering::Relaxed) - 1;
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
         let elapsed = self.start.elapsed().as_secs_f64();
-        eprintln!("{}", progress_line(done, self.total, elapsed));
+        eprintln!("{}", progress_line(done, self.total, in_flight, elapsed));
     }
 }
 
-/// Formats one progress report line: jobs done / total, elapsed wallclock
-/// seconds, and a linear-extrapolation ETA for the remaining jobs.
-pub fn progress_line(done: usize, total: usize, elapsed_s: f64) -> String {
+/// Formats one progress report line: jobs done / total, jobs currently in
+/// flight, elapsed wallclock seconds, and a linear-extrapolation ETA for
+/// the remaining jobs. Until the first completion lands there is no rate
+/// to extrapolate from, so the ETA prints as `--` instead of a meaningless
+/// `0.0s`.
+pub fn progress_line(done: usize, total: usize, in_flight: usize, elapsed_s: f64) -> String {
     let remaining = total.saturating_sub(done);
-    let eta_s = if done > 0 {
-        elapsed_s / done as f64 * remaining as f64
+    let eta = if done > 0 {
+        format!("{:.1}s", elapsed_s / done as f64 * remaining as f64)
     } else {
-        0.0
+        "--".to_string()
     };
-    format!("[pool] {done}/{total} jobs done, elapsed {elapsed_s:.1}s, eta {eta_s:.1}s")
+    format!(
+        "[pool] {done}/{total} jobs done, {in_flight} in flight, \
+         elapsed {elapsed_s:.1}s, eta {eta}"
+    )
 }
 
 /// Runs `f(index, item)` over every item with at most `jobs` running
@@ -72,6 +85,9 @@ where
             .iter()
             .enumerate()
             .map(|(i, item)| {
+                if let Some(p) = &progress {
+                    p.note_start();
+                }
                 let outcome = run_one(i, item, &f);
                 if let Some(p) = &progress {
                     p.note();
@@ -90,6 +106,9 @@ where
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
+                }
+                if let Some(p) = &progress {
+                    p.note_start();
                 }
                 let outcome = run_one(i, &items[i], &f);
                 *slots[i].lock().unwrap() = Some(outcome);
@@ -114,15 +133,19 @@ fn run_one<I, T>(
     item: &I,
     f: &(impl Fn(usize, &I) -> T + Sync),
 ) -> Result<T, String> {
-    catch_unwind(AssertUnwindSafe(|| f(index, item))).map_err(|payload| {
-        if let Some(s) = payload.downcast_ref::<&str>() {
-            (*s).to_string()
-        } else if let Some(s) = payload.downcast_ref::<String>() {
-            s.clone()
-        } else {
-            "job panicked (non-string payload)".to_string()
-        }
-    })
+    catch_unwind(AssertUnwindSafe(|| f(index, item))).map_err(panic_message)
+}
+
+/// Renders a `catch_unwind` payload as the panic message (shared with the
+/// supervised runner, whose retry contract compares these byte-for-byte).
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "job panicked (non-string payload)".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -195,13 +218,19 @@ mod tests {
     fn progress_lines_report_elapsed_and_linear_eta() {
         // 3 of 12 jobs in 6 s -> 2 s/job -> 18 s for the remaining 9.
         assert_eq!(
-            progress_line(3, 12, 6.0),
-            "[pool] 3/12 jobs done, elapsed 6.0s, eta 18.0s"
+            progress_line(3, 12, 4, 6.0),
+            "[pool] 3/12 jobs done, 4 in flight, elapsed 6.0s, eta 18.0s"
         );
         // Completion reports zero ETA.
         assert_eq!(
-            progress_line(12, 12, 24.5),
-            "[pool] 12/12 jobs done, elapsed 24.5s, eta 0.0s"
+            progress_line(12, 12, 0, 24.5),
+            "[pool] 12/12 jobs done, 0 in flight, elapsed 24.5s, eta 0.0s"
+        );
+        // Before the first completion there is no rate to extrapolate:
+        // the ETA is unknown, not zero.
+        assert_eq!(
+            progress_line(0, 12, 8, 2.0),
+            "[pool] 0/12 jobs done, 8 in flight, elapsed 2.0s, eta --"
         );
     }
 

@@ -31,6 +31,14 @@ pub struct SimConfig {
     /// catches the unwind and converts the hung cell into a failed cell
     /// instead of stalling the campaign.
     pub watchdog: Option<std::time::Duration>,
+    /// Soft wall-clock deadline: the escalation step before the hard
+    /// `watchdog`. A run that exceeds it keeps going, but emits one
+    /// straggler report to stderr (epoch progress, requests served so far),
+    /// bumps the `sim.straggler_reports` counter, and records a
+    /// `StragglerReport` trace event — so a long campaign names its slow
+    /// cells while they are still running instead of only after the hard
+    /// watchdog kills them.
+    pub soft_watchdog: Option<std::time::Duration>,
     /// Which mitigation costs to pretend are free (slowdown attribution's
     /// what-if runs; [`CostAblation::NONE`] is the normal simulation).
     pub ablate: CostAblation,
@@ -45,6 +53,7 @@ impl SimConfig {
             t_rh: 1000,
             faults: None,
             watchdog: None,
+            soft_watchdog: None,
             ablate: CostAblation::NONE,
         }
     }
@@ -70,6 +79,13 @@ impl SimConfig {
     /// Sets the per-run wall-clock watchdog budget.
     pub fn watchdog(mut self, budget: std::time::Duration) -> Self {
         self.watchdog = Some(budget);
+        self
+    }
+
+    /// Sets the soft deadline that triggers a straggler report before the
+    /// hard watchdog fires.
+    pub fn soft_watchdog(mut self, deadline: std::time::Duration) -> Self {
+        self.soft_watchdog = Some(deadline);
         self
     }
 
@@ -134,6 +150,7 @@ pub struct Simulation<M: Mitigation> {
     faults_injected: Counter,
     integrity_escapes: Counter,
     degraded_epochs: Counter,
+    straggler_reports: Counter,
 }
 
 impl<M: Mitigation> Simulation<M> {
@@ -198,6 +215,7 @@ impl<M: Mitigation> Simulation<M> {
             faults_injected: detached.counter("sim.faults_injected"),
             integrity_escapes: detached.counter("sim.integrity_escapes"),
             degraded_epochs: detached.counter("sim.degraded_epochs"),
+            straggler_reports: detached.counter("sim.straggler_reports"),
         }
     }
 
@@ -213,6 +231,7 @@ impl<M: Mitigation> Simulation<M> {
         self.faults_injected = telemetry.counter("sim.faults_injected");
         self.integrity_escapes = telemetry.counter("sim.integrity_escapes");
         self.degraded_epochs = telemetry.counter("sim.degraded_epochs");
+        self.straggler_reports = telemetry.counter("sim.straggler_reports");
         self.mitigation.attach_telemetry(telemetry.clone());
         self.telemetry = telemetry;
     }
@@ -561,6 +580,39 @@ impl<M: Mitigation> Simulation<M> {
         };
     }
 
+    /// Emits the one-shot straggler escalation: a human-readable stderr
+    /// line naming the slow cell and its progress, a counter bump, and a
+    /// trace event. Fired at most once per run, only between the soft
+    /// deadline and the hard watchdog.
+    fn report_straggler(
+        &self,
+        epoch_idx: u64,
+        elapsed: std::time::Duration,
+        soft: std::time::Duration,
+    ) {
+        let requests: u64 = self.cores.iter().map(|c| c.issued()).sum();
+        let hard = match self.cfg.watchdog {
+            Some(b) => format!("{} ms", b.as_millis()),
+            None => "none".to_string(),
+        };
+        eprintln!(
+            "[straggler] {} past soft deadline {} ms (elapsed {} ms, hard watchdog {hard}): \
+             epoch {epoch_idx}/{}, {requests} requests served",
+            self.mitigation.name(),
+            soft.as_millis(),
+            elapsed.as_millis(),
+            self.cfg.epochs,
+        );
+        self.straggler_reports.inc();
+        self.telemetry.record(
+            0, // host-time escalation; carries no meaningful simulated time
+            EventKind::StragglerReport {
+                epoch: epoch_idx,
+                elapsed_ms: elapsed.as_millis() as u64,
+            },
+        );
+    }
+
     /// Runs for `cfg.epochs` refresh windows and reports the results.
     ///
     /// # Panics
@@ -578,6 +630,7 @@ impl<M: Mitigation> Simulation<M> {
         let mut baseline = EpochBaseline::default();
         let started = std::time::Instant::now();
         let mut watchdog_check: u32 = 0;
+        let mut straggler_reported = false;
         // Wallclock phases bracket coarse units only (the whole run, one
         // epoch, one refresh drain) — never the per-access serve path, so
         // the profiler cannot perturb what it measures.
@@ -593,15 +646,28 @@ impl<M: Mitigation> Simulation<M> {
             if t >= end {
                 break;
             }
-            if let Some(budget) = self.cfg.watchdog {
-                // Check wall clock every 1024 serves: cheap enough to catch
-                // a hung cell within a fraction of the budget.
+            if self.cfg.watchdog.is_some() || self.cfg.soft_watchdog.is_some() {
+                // Check wall clock on the first serve and every 1024 after:
+                // cheap enough to catch a hung cell within a fraction of the
+                // budget, and the first-serve check makes a zero budget
+                // deterministic (any cell that serves at all trips it).
                 watchdog_check = watchdog_check.wrapping_add(1);
-                if watchdog_check.is_multiple_of(1024) && started.elapsed() > budget {
-                    let err = DramError::WatchdogExpired {
-                        budget_ms: budget.as_millis() as u64,
-                    };
-                    panic!("{err}");
+                if watchdog_check == 1 || watchdog_check.is_multiple_of(1024) {
+                    let elapsed = started.elapsed();
+                    if let Some(soft) = self.cfg.soft_watchdog {
+                        if !straggler_reported && elapsed > soft {
+                            straggler_reported = true;
+                            self.report_straggler(epoch_idx, elapsed, soft);
+                        }
+                    }
+                    if let Some(budget) = self.cfg.watchdog {
+                        if elapsed > budget {
+                            let err = DramError::WatchdogExpired {
+                                budget_ms: budget.as_millis() as u64,
+                            };
+                            panic!("{err}");
+                        }
+                    }
                 }
             }
             while let Some(ev) = self.injector.as_mut().and_then(|inj| inj.due(t.as_ps())) {
@@ -1102,6 +1168,35 @@ mod tests {
         let cfg = sim_config(1000).watchdog(std::time::Duration::ZERO);
         let mut sim = Simulation::new(cfg, NoMitigation::new(base().geometry), [gen]);
         sim.run();
+    }
+
+    /// The soft deadline escalates (report + counter + event) but lets the
+    /// run finish; results are unchanged by the escalation.
+    #[test]
+    fn soft_watchdog_reports_a_straggler_without_aborting() {
+        let mk = |cfg: SimConfig| {
+            let gen = Box::new(Hammer::double_sided(&space(), 0, 100)) as Box<dyn RequestGenerator>;
+            let mut sim = Simulation::new(cfg, NoMitigation::new(base().geometry), [gen]);
+            let hub = Telemetry::new(Default::default());
+            sim.attach_telemetry(hub.clone());
+            (sim.run(), hub)
+        };
+        // Soft deadline of zero: every run past its first serve escalates.
+        let (slow, hub) = mk(sim_config(1000).soft_watchdog(std::time::Duration::ZERO));
+        let (plain, _) = mk(sim_config(1000));
+        assert!(slow.requests_done > 0);
+        // Escalation never changes simulated results.
+        assert_eq!(slow.requests_done, plain.requests_done);
+        assert_eq!(slow.mitigation, plain.mitigation);
+        if hub.is_enabled() {
+            let summary = hub.summary().unwrap();
+            // Fires exactly once per run, even though many serves follow.
+            assert_eq!(summary.counter("sim.straggler_reports"), Some(1));
+            assert!(hub
+                .trace_events()
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::StragglerReport { .. })));
+        }
     }
 
     #[test]

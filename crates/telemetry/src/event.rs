@@ -82,6 +82,27 @@ pub enum EventKind {
         /// Stable fault-family name (`FaultKind::name`).
         fault: &'static str,
     },
+    /// The bench supervisor re-ran a failed experiment cell from its seed.
+    RetryAttempt {
+        /// Matrix job index of the retried cell.
+        job: u64,
+        /// 1-based attempt number of the re-run (2 = first retry).
+        attempt: u64,
+    },
+    /// A completed cell was replayed from the checkpoint journal instead of
+    /// being re-simulated.
+    CellResumed {
+        /// Matrix job index of the resumed cell.
+        job: u64,
+    },
+    /// A simulation ran past its soft deadline (straggler escalation, fired
+    /// once per run before the hard watchdog would abort it).
+    StragglerReport {
+        /// Epoch the run had reached when the soft deadline passed.
+        epoch: u64,
+        /// Host wallclock elapsed at escalation, milliseconds.
+        elapsed_ms: u64,
+    },
 }
 
 impl EventKind {
@@ -98,6 +119,9 @@ impl EventKind {
             EventKind::ThrottleStall { .. } => "ThrottleStall",
             EventKind::ThresholdCrossed { .. } => "ThresholdCrossed",
             EventKind::FaultInjected { .. } => "FaultInjected",
+            EventKind::RetryAttempt { .. } => "RetryAttempt",
+            EventKind::CellResumed { .. } => "CellResumed",
+            EventKind::StragglerReport { .. } => "StragglerReport",
         }
     }
 
@@ -145,6 +169,17 @@ impl EventKind {
                 json::push_str(&mut quoted, fault);
                 put(&mut out, "fault", quoted);
             }
+            EventKind::RetryAttempt { job, attempt } => {
+                put(&mut out, "job", job.to_string());
+                put(&mut out, "attempt", attempt.to_string());
+            }
+            EventKind::CellResumed { job } => {
+                put(&mut out, "job", job.to_string());
+            }
+            EventKind::StragglerReport { epoch, elapsed_ms } => {
+                put(&mut out, "epoch", epoch.to_string());
+                put(&mut out, "elapsed_ms", elapsed_ms.to_string());
+            }
         }
         out.push('}');
         out
@@ -175,6 +210,12 @@ mod tests {
                 count: 5000,
             },
             EventKind::FaultInjected { fault: "rpt_flip" },
+            EventKind::RetryAttempt { job: 3, attempt: 2 },
+            EventKind::CellResumed { job: 5 },
+            EventKind::StragglerReport {
+                epoch: 1,
+                elapsed_ms: 950,
+            },
         ];
         for k in kinds {
             let s = k.args_json();
