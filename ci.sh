@@ -54,6 +54,22 @@ smoke 1 target/experiments/fig06_smoke_serial.csv
 smoke 2 target/experiments/fig06_smoke_parallel.csv
 run diff target/experiments/fig06_smoke_serial.csv target/experiments/fig06_smoke_parallel.csv
 
+# Sharded multi-channel determinism smoke: the same figure on a 4-channel
+# topology with 1 vs 4 shard workers must emit byte-identical CSVs — the
+# cross-shard merge must not leak thread scheduling into results.
+shard_smoke() {
+    local workers="$1" out="$2"
+    echo
+    echo "==> smoke: fig06_migrations with AQUA_BENCH_CHANNELS=4 AQUA_BENCH_SHARD_WORKERS=$workers"
+    AQUA_BENCH_WORKLOADS=povray,xz AQUA_BENCH_EPOCHS=1 AQUA_BENCH_CHANNELS=4 \
+        AQUA_BENCH_SHARD_WORKERS="$workers" \
+        cargo run --offline -q --release -p aqua-bench --bin fig06_migrations >/dev/null
+    cp target/experiments/fig06_migrations.csv "$out"
+}
+shard_smoke 1 target/experiments/fig06_shard_serial.csv
+shard_smoke 4 target/experiments/fig06_shard_parallel.csv
+run diff target/experiments/fig06_shard_serial.csv target/experiments/fig06_shard_parallel.csv
+
 # Seeded fault-injection smoke test: two campaigns with the same seed must
 # emit byte-identical CSVs (and exit zero, i.e. no unaccounted corruptions).
 fault_smoke() {
@@ -121,18 +137,28 @@ cargo run --offline -q --release -p aqua-bench --bin profile -- \
     --jsonl target/experiments/profile_smoke.jsonl >/dev/null
 run grep -q '^sim\.run' target/experiments/profile_smoke.folded
 echo
+echo "==> profile smoke (sharded: per-shard phases and imbalance summary)"
+profile_shard_out=$(cargo run --offline -q --release -p aqua-bench --bin profile -- \
+    --channels 2 \
+    --folded target/experiments/profile_shard_smoke.folded \
+    --jsonl target/experiments/profile_shard_smoke.jsonl)
+run grep -q '^sim\.sharded;shard1;sim\.run' target/experiments/profile_shard_smoke.folded
+grep -q 'shard imbalance (2 shards)' <<<"$profile_shard_out"
+echo
 echo "==> profile smoke (telemetry off)"
 profile_off_out=$(cargo run --offline -q --release -p aqua-bench \
     --no-default-features --bin profile)
 grep -q 'without the `telemetry` feature' <<<"$profile_off_out"
 
 # Performance-regression gate: the deterministic canary matrix must stay
-# within tolerance of the committed BENCH_7.json baseline — behavioral
+# within tolerance of the committed BENCH_8.json baseline — behavioral
 # metrics exactly-reproducible, the throughput canary within its tightened
-# 2x floor — in both telemetry feature modes (span-phase latencies are
-# only gated when telemetry is on; the attribution residual is gated in
-# both). BENCH_6.json stays committed as a v2-format parser fixture only.
-# Exit nonzero = regression.
+# 2x floor, the 4-channel scaling canary shard-deterministic (and above the
+# 2.5x speedup floor on hosts with enough cores) — in both telemetry
+# feature modes (span-phase latencies are only gated when telemetry is on;
+# the attribution residual is gated in both). BENCH_6.json and BENCH_7.json
+# stay committed as v2/v3-format parser fixtures only. Exit nonzero =
+# regression.
 echo
 echo "==> regression gate (telemetry on)"
 cargo run --offline -q --release -p aqua-bench --bin regression_gate

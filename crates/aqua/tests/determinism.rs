@@ -84,6 +84,98 @@ fn identical_streams_yield_byte_identical_audit_output() {
     }
 }
 
+/// The sharded multi-channel simulator's precondition: every engine
+/// instance is fully channel-private. Driving four per-channel engines
+/// round-robin (as a multi-channel memory controller interleaves in real
+/// time) must leave each engine in exactly the state of driving it alone —
+/// no hidden cross-instance state, so per-channel shards may run on
+/// different threads without changing any result.
+#[test]
+fn per_channel_engines_are_independent_of_interleaving() {
+    let base = BaselineConfig::paper_table1();
+    let cfg = AquaConfig::for_rowhammer_threshold(1000, &base).with_mapped_tables();
+    let engines = || -> Vec<AquaEngine> {
+        (0..4)
+            .map(|_| AquaEngine::new(cfg).expect("valid config"))
+            .collect()
+    };
+    // Channel c's stream: a hammered pair plus channel-tagged noise —
+    // distinct per channel, deterministic per (channel, round).
+    let stream = |c: u64, i: u64, rng: &mut u64| -> RowAddr {
+        let row = if i.is_multiple_of(3) {
+            8 + c * 64 + (i % 2) * 2
+        } else {
+            (lcg(rng) ^ (c << 40)) % 100_000
+        };
+        RowAddr {
+            bank: BankId::new((row % 16) as u32),
+            row: (row / 16) as u32,
+        }
+    };
+    let rounds = 30_000u64;
+    // Solo: each engine consumes its whole stream before the next starts.
+    let mut solo = engines();
+    let mut actions_solo = Vec::new();
+    for (c, engine) in solo.iter_mut().enumerate() {
+        let mut rng = 0x5EED ^ c as u64;
+        let mut t = Time::ZERO;
+        for i in 0..rounds {
+            t += aqua_dram::Duration::from_ns(50);
+            actions_solo.push((c, i, engine.on_activation(stream(c as u64, i, &mut rng), t)));
+        }
+    }
+    // Interleaved: all four advance in lockstep, one access per round each,
+    // sharing each round's timestamp the way parallel channel buses do.
+    let mut inter = engines();
+    let mut rngs = [0u64; 4];
+    for (c, r) in rngs.iter_mut().enumerate() {
+        *r = 0x5EED ^ c as u64;
+    }
+    let mut actions_inter: [Vec<_>; 4] = Default::default();
+    let mut t = Time::ZERO;
+    for i in 0..rounds {
+        t += aqua_dram::Duration::from_ns(50);
+        for (c, engine) in inter.iter_mut().enumerate() {
+            actions_inter[c].push((
+                c,
+                i,
+                engine.on_activation(stream(c as u64, i, &mut rngs[c]), t),
+            ));
+        }
+    }
+    assert_eq!(actions_solo, actions_inter.concat(), "interleaving leaked");
+    for c in 0..4 {
+        assert_eq!(solo[c].stats(), inter[c].stats(), "channel {c} diverged");
+        for row in (0..2_000u64).map(GlobalRowId::new) {
+            assert_eq!(
+                solo[c].translate(row, t).phys,
+                inter[c].translate(row, t).phys,
+                "channel {c} mapping diverged at row {}",
+                row.index()
+            );
+        }
+    }
+    // The streams actually exercised quarantines, and the channels did
+    // genuinely different work: channel 0's hot row is quarantined (its
+    // translation moved) only on channel 0 — aggregate stats are symmetric
+    // by construction, but the *rows* each engine moved are not.
+    assert!(solo[0].stats().row_migrations() > 0);
+    // Channel 0's hot phys row (stream row 8 -> bank 8, row 0) as an OS
+    // row id.
+    let hot0 = base
+        .geometry
+        .flatten(RowAddr {
+            bank: BankId::new(8),
+            row: 0,
+        })
+        .expect("hot row is in geometry");
+    assert_ne!(
+        solo[0].translate(hot0, t).phys,
+        solo[1].translate(hot0, t).phys,
+        "channel 0's hot row must be remapped on channel 0 only"
+    );
+}
+
 #[test]
 fn two_engines_with_identical_access_streams_agree_exactly() {
     let base = BaselineConfig::paper_table1();

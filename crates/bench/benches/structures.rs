@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks for the hot structures on AQUA's critical
 //! path: CAT/FPT lookup, bloom-filter check, FPT-Cache access, RQA slot
 //! allocation, the deterministic fast-hash map against std's SipHash map,
-//! Misra-Gries update, and the quarantine operation itself.
+//! Misra-Gries update, the speculative telemetry span on the quiet
+//! mitigation path, and the quarantine operation itself.
 
 use aqua::{
     AquaConfig, AquaEngine, CollisionAvoidanceTable, FptCache, MappedTables, QuarantineArea,
@@ -9,6 +10,7 @@ use aqua::{
 };
 use aqua_dram::mitigation::Mitigation;
 use aqua_dram::{BaselineConfig, GlobalRowId, Time};
+use aqua_telemetry::Telemetry;
 use aqua_tracker::{AggressorTracker, MisraGriesTracker, TrackerConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
@@ -128,6 +130,39 @@ fn bench_tracker(c: &mut Criterion) {
     });
 }
 
+/// The span cost the simulator pays per mitigation consultation. The quiet
+/// path (speculate + end_if_used with no child attached — the overwhelmingly
+/// common case) must stay within a few atomic ops; the eager variant is the
+/// lock-taking cost it replaced, kept as the reference point. With the
+/// telemetry feature off both compile to nothing and the numbers just
+/// measure the timer loop.
+fn bench_speculative_span(c: &mut Criterion) {
+    let hub = Telemetry::new(Default::default());
+    let mut t = 0u64;
+    c.bench_function("span_speculate_quiet", |b| {
+        b.iter(|| {
+            t += 50;
+            let sp = hub.span_speculate("bench.quiet", t);
+            sp.end_if_used(black_box(t + 10));
+        })
+    });
+    c.bench_function("span_eager_quiet", |b| {
+        b.iter(|| {
+            t += 50;
+            let sp = hub.span_start("bench.eager", t);
+            sp.end(black_box(t + 10));
+        })
+    });
+    let off = Telemetry::disabled();
+    c.bench_function("span_speculate_disabled_hub", |b| {
+        b.iter(|| {
+            t += 50;
+            let sp = off.span_speculate("bench.off", t);
+            sp.end_if_used(black_box(t + 10));
+        })
+    });
+}
+
 fn bench_translate(c: &mut Criterion) {
     let base = BaselineConfig::paper_table1();
     let cfg = AquaConfig::for_rowhammer_threshold(1000, &base);
@@ -150,6 +185,7 @@ criterion_group!(
     bench_rqa,
     bench_fastmap,
     bench_tracker,
+    bench_speculative_span,
     bench_translate
 );
 criterion_main!(benches);

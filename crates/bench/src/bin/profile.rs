@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! profile [--scheme NAME] [--workload NAME] [--trh N] [--epochs N]
-//!         [--folded FILE] [--jsonl FILE]
+//!         [--channels N] [--shard-workers N] [--folded FILE] [--jsonl FILE]
 //! ```
 //!
 //! Runs the selected `(scheme, workload)` cell through the instrumented
@@ -22,10 +22,18 @@
 //! - a CSV via the instrumented writer, so the CSV write itself lands in
 //!   the hub as a `bench.csv` phase.
 //!
-//! Defaults: aqua-sram on mcf, `T_RH=1000`, 1 epoch. Built without the
-//! `telemetry` feature the binary still runs the simulation but prints a
-//! note and exits 0 — there is nothing to profile, by design (the phase
-//! guards compile to nothing).
+//! With `--channels N > 1` the cell runs through the sharded engine
+//! (`--shard-workers` caps the worker pool, 0 = one per core) and every
+//! shard's phases come back under `sim.sharded;shard<i>;…`, so the table
+//! shows each channel's hot loop separately. A **shard-imbalance summary**
+//! follows: per-shard wallclock (summed over that shard's merged root
+//! phases), min/median/max, and the max/median ratio — the number that says
+//! whether a parallel run is gated on one slow channel.
+//!
+//! Defaults: aqua-sram on mcf, `T_RH=1000`, 1 epoch, 1 channel. Built
+//! without the `telemetry` feature the binary still runs the simulation but
+//! prints a note and exits 0 — there is nothing to profile, by design (the
+//! phase guards compile to nothing).
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -98,12 +106,22 @@ fn main() {
     let folded_path = arg("--folded").unwrap_or_else(|| "target/experiments/profile.folded".into());
     let jsonl_path = arg("--jsonl").unwrap_or_else(|| "target/experiments/profile.jsonl".into());
 
+    let channels: u32 = arg("--channels").and_then(|v| v.parse().ok()).unwrap_or(1);
+    if channels == 0 {
+        eprintln!("--channels takes a positive channel count");
+        std::process::exit(2);
+    }
+
     let mut harness = Harness::new(t_rh);
     harness.epochs = arg("--epochs").and_then(|v| v.parse().ok()).unwrap_or(1);
+    harness.base = harness.base.with_channels(channels);
+    harness.shard_workers = arg("--shard-workers")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
 
     let hub = Telemetry::new(Default::default());
     println!(
-        "profiling {} on {workload} at T_RH={t_rh} for {} epoch(s)...",
+        "profiling {} on {workload} at T_RH={t_rh} for {} epoch(s), {channels} channel(s)...",
         scheme.name(),
         harness.epochs
     );
@@ -145,6 +163,7 @@ fn main() {
         "throughput     : {:.0} accesses per host-second",
         wall.accesses_per_sec
     );
+    print_shard_imbalance(&wall.paths);
 
     // CSV through the instrumented writer: the write itself records a
     // `bench.csv` phase into the hub (visible on the *next* profile run or
@@ -181,6 +200,56 @@ fn main() {
     println!("wrote {jsonl_path}");
 
     println!("render a flamegraph with: flamegraph.pl {folded_path} > profile.svg");
+}
+
+/// Per-shard wallclock and imbalance from the merged phase tree.
+///
+/// Each shard's phases come back under `sim.sharded;shard<i>;…`; a shard's
+/// wallclock is the sum of its merged *root* phases (direct children of the
+/// shard prefix), which is how the coordinator's own `sim.sharded` span
+/// would see it if the shards ran serially. Prints nothing on a
+/// single-channel profile (no shard prefixes in the tree).
+fn print_shard_imbalance(paths: &[(String, PhaseStats)]) {
+    let mut per_shard: Vec<(String, u64)> = Vec::new();
+    for (path, stats) in paths {
+        let Some(rest) = path.strip_prefix("sim.sharded;") else {
+            continue;
+        };
+        let Some((shard, tail)) = rest.split_once(';') else {
+            continue;
+        };
+        if tail.contains(';') {
+            continue; // not a shard-root phase; already counted in its root
+        }
+        match per_shard.iter_mut().find(|(name, _)| name == shard) {
+            Some((_, ns)) => *ns += stats.total_ns,
+            None => per_shard.push((shard.to_string(), stats.total_ns)),
+        }
+    }
+    if per_shard.is_empty() {
+        return;
+    }
+    println!("\nshard imbalance ({} shards):", per_shard.len());
+    for (shard, ns) in &per_shard {
+        println!("  {:<10} {:>12.3} ms", shard, ms(*ns));
+    }
+    let mut sorted: Vec<u64> = per_shard.iter().map(|&(_, ns)| ns).collect();
+    sorted.sort_unstable();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let ratio = if median > 0 {
+        max as f64 / median as f64
+    } else {
+        0.0
+    };
+    println!(
+        "  min {:.3} ms, median {:.3} ms, max {:.3} ms -> max/median {:.2}x",
+        ms(min),
+        ms(median),
+        ms(max),
+        ratio
+    );
 }
 
 fn create_output(path: &str) -> BufWriter<File> {

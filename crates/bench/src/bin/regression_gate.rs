@@ -25,13 +25,23 @@
 //! wallclock second. The gate fails only when the median collapses below
 //! `baseline / THROUGHPUT_FACTOR` — a hot-loop floor, not a noise detector.
 //!
+//! Then a **scaling canary**: the same cell on a `SCALING_CHANNELS`-channel
+//! topology. First determinism — the run is repeated at 1, 2, and
+//! host-parallel shard workers and the reports must be *identical* (a hard
+//! assert, not a tolerance) — then wallclock: the cell is timed at
+//! `shard_workers=1` and at one worker per channel, and the ratio of
+//! medians is recorded as `scaling_efficiency`. The gate enforces
+//! `SCALING_MIN_SPEEDUP` only when the measuring host has at least
+//! `SCALING_CHANNELS` cores; a smaller host records honest numbers and
+//! skips that check (shards time-slicing one core cannot speed up).
+//!
 //! The result is written to `--out` (default
-//! `target/experiments/BENCH_7.json`) and compared against the committed
-//! baseline (`--baseline`, default `BENCH_7.json`) with the per-metric
-//! tolerances of `aqua_bench::gate::tolerance`. Pre-throughput (v1)
-//! baselines are still accepted; the throughput gate simply skips. Exit
-//! status: 0 = pass, 1 = regression (one line per violated tolerance on
-//! stderr), 2 = usage or I/O error.
+//! `target/experiments/BENCH_8.json`) and compared against the committed
+//! baseline (`--baseline`, default `BENCH_8.json`) with the per-metric
+//! tolerances of `aqua_bench::gate::tolerance`. Pre-throughput (v1) and
+//! pre-scaling (v3) baselines are still accepted; the missing gates simply
+//! skip. Exit status: 0 = pass, 1 = regression (one line per violated
+//! tolerance on stderr), 2 = usage or I/O error.
 //!
 //! `--write-baseline` re-measures and overwrites the baseline file
 //! instead of comparing (use after an intentional perf change); when
@@ -57,7 +67,7 @@
 
 use aqua_analysis::attribution::{AblationCounts, Attribution};
 use aqua_bench::gate::{
-    self, CellAttribution, CellMetrics, GateReport, PhaseLatency, ThroughputMetrics,
+    self, CellAttribution, CellMetrics, GateReport, PhaseLatency, ScalingMetrics, ThroughputMetrics,
 };
 use aqua_bench::{journal, supervise, Harness, Scheme};
 use aqua_sim::CostAblation;
@@ -74,6 +84,10 @@ const WORKLOADS: [&str; 2] = ["mcf", "povray"];
 const THROUGHPUT_REPEATS: u64 = 5;
 const THROUGHPUT_SCHEME: Scheme = Scheme::AquaSram;
 const THROUGHPUT_WORKLOAD: &str = "mcf";
+
+/// Channel count of the scaling canary: the same cell as the throughput
+/// canary but sharded across this many per-channel engines.
+const SCALING_CHANNELS: u32 = 4;
 
 fn arg(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -274,6 +288,64 @@ fn measure_throughput(harness: &Harness) -> ThroughputMetrics {
     }
 }
 
+/// Measures the multi-channel scaling canary.
+///
+/// Determinism comes first and is non-negotiable: the `SCALING_CHANNELS`-
+/// channel cell is run at 1, 2, and host-parallel shard workers and the
+/// three [`aqua_sim::RunReport`]s must be field-for-field identical — a
+/// panic here means the sharded merge leaked scheduling order into results
+/// and no timing number would be trustworthy. Only then does the stopwatch
+/// start: `THROUGHPUT_REPEATS` serial repeats at `shard_workers = 1`
+/// (every shard on one worker, the parallelism-free reference) and at one
+/// worker per channel, with `scaling_efficiency` the ratio of the two
+/// medians. `host_parallelism` is recorded so the gate can tell a genuine
+/// scaling collapse from a host that simply has no cores to scale onto.
+fn measure_scaling(harness: &Harness) -> ScalingMetrics {
+    let mut h = harness.clone();
+    h.ablate = CostAblation::NONE;
+    h.journal = None;
+    h.base = h.base.with_channels(SCALING_CHANNELS);
+    let host_parallelism = std::thread::available_parallelism().map_or(1, usize::from);
+    let parallel_workers = (SCALING_CHANNELS as usize).min(host_parallelism).max(2);
+
+    h.shard_workers = 1;
+    let reference = h.run(THROUGHPUT_SCHEME, THROUGHPUT_WORKLOAD);
+    for workers in [2, parallel_workers] {
+        h.shard_workers = workers;
+        let report = h.run(THROUGHPUT_SCHEME, THROUGHPUT_WORKLOAD);
+        assert_eq!(
+            reference, report,
+            "scaling canary: {workers} shard workers changed the report"
+        );
+    }
+
+    let mut time_at = |workers: usize| -> Vec<f64> {
+        h.shard_workers = workers;
+        (0..THROUGHPUT_REPEATS)
+            .map(|_| {
+                let start = std::time::Instant::now();
+                let report = h.run(THROUGHPUT_SCHEME, THROUGHPUT_WORKLOAD);
+                report.requests_done as f64 / start.elapsed().as_secs_f64().max(1e-9)
+            })
+            .collect()
+    };
+    let single = gate::median_of(time_at(1));
+    let sharded = gate::median_of(time_at(parallel_workers));
+
+    ScalingMetrics {
+        scheme: THROUGHPUT_SCHEME.name().to_string(),
+        workload: THROUGHPUT_WORKLOAD.to_string(),
+        channels: u64::from(SCALING_CHANNELS),
+        repeats: THROUGHPUT_REPEATS,
+        accesses_per_run: reference.requests_done,
+        single_accesses_per_sec: single,
+        sharded_accesses_per_sec: sharded,
+        shard_workers: parallel_workers as u64,
+        host_parallelism: host_parallelism as u64,
+        scaling_efficiency: if single > 0.0 { sharded / single } else { 0.0 },
+    }
+}
+
 fn measure(inject_pp: f64) -> Result<GateReport, String> {
     let mut harness = Harness::new(T_RH);
     harness.epochs = EPOCHS;
@@ -393,6 +465,11 @@ fn measure(inject_pp: f64) -> Result<GateReport, String> {
         "regression gate: timing throughput canary ({THROUGHPUT_REPEATS} repeats, serial)..."
     );
     let throughput = measure_throughput(&harness);
+    eprintln!(
+        "regression gate: timing scaling canary ({SCALING_CHANNELS} channels, \
+         {THROUGHPUT_REPEATS}+{THROUGHPUT_REPEATS} repeats)..."
+    );
+    let scaling = measure_scaling(&harness);
 
     Ok(GateReport {
         t_rh: T_RH,
@@ -400,6 +477,7 @@ fn measure(inject_pp: f64) -> Result<GateReport, String> {
         seed: SEED,
         telemetry: Telemetry::new(Default::default()).is_enabled(),
         throughput: Some(throughput),
+        scaling: Some(scaling),
         cells,
     })
 }
@@ -447,11 +525,31 @@ fn print_report(report: &GateReport) {
             t.max_accesses_per_sec
         );
     }
+    if let Some(s) = &report.scaling {
+        println!(
+            "scaling canary: {}/{} on {} channels, {} shard workers \
+             ({} host cores) -> {:.0} vs {:.0} accesses/sec = {:.2}x",
+            s.scheme,
+            s.workload,
+            s.channels,
+            s.shard_workers,
+            s.host_parallelism,
+            s.sharded_accesses_per_sec,
+            s.single_accesses_per_sec,
+            s.scaling_efficiency
+        );
+        if s.host_parallelism < s.channels {
+            println!(
+                "  (host has fewer cores than channels; the {}x floor is not enforced)",
+                gate::tolerance::SCALING_MIN_SPEEDUP
+            );
+        }
+    }
 }
 
 fn main() {
-    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_7.json".into());
-    let out_path = arg("--out").unwrap_or_else(|| "target/experiments/BENCH_7.json".into());
+    let baseline_path = arg("--baseline").unwrap_or_else(|| "BENCH_8.json".into());
+    let out_path = arg("--out").unwrap_or_else(|| "target/experiments/BENCH_8.json".into());
     let inject_pp: f64 = match arg("--inject-slowdown").map(|v| v.parse()) {
         None => 0.0,
         Some(Ok(v)) => v,
@@ -485,7 +583,7 @@ fn main() {
 
     if flag("--write-baseline") {
         // An explicit --out redirects the new baseline (e.g. writing
-        // BENCH_7.json at the repo root without clobbering the old file).
+        // BENCH_8.json at the repo root without clobbering the old file).
         let dest = arg("--out").unwrap_or(baseline_path);
         if let Err(e) = std::fs::write(&dest, report.to_json()) {
             eprintln!("regression gate: cannot write {dest}: {e}");

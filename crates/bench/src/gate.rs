@@ -5,7 +5,7 @@
 //! two workloads at pinned epochs/threshold/seed), measures slowdown,
 //! migration rate, the causal attribution decomposition, and span-derived
 //! phase latencies, and compares them against the committed baseline
-//! (`BENCH_7.json` at the repo root). The simulator is fully deterministic,
+//! (`BENCH_8.json` at the repo root). The simulator is fully deterministic,
 //! so an identical re-run reproduces the baseline exactly; the tolerances
 //! below exist to absorb intentional small drift (a retuned constant, an
 //! extra bookkeeping access) while still catching real regressions.
@@ -15,7 +15,11 @@
 //! per wallclock second** ([`ThroughputMetrics`]): a performance floor for
 //! the hot loop, with a tolerance generous enough
 //! ([`tolerance::THROUGHPUT_FACTOR`]) to survive machine-to-machine noise.
-//! Pre-throughput (v1) baselines parse fine and simply skip that gate.
+//! The multi-channel scaling canary ([`ScalingMetrics`]) gates the sharded
+//! engine's parallel speedup the same way, adaptively: the
+//! [`tolerance::SCALING_MIN_SPEEDUP`] floor arms only on hosts with at
+//! least as many cores as canary channels. Pre-throughput (v1) and
+//! pre-scaling (v3) baselines parse fine and simply skip those gates.
 //!
 //! The baseline file is JSON. The workspace has no JSON dependency, so this
 //! module carries a small recursive-descent parser for the subset the gate
@@ -49,6 +53,14 @@ pub mod tolerance {
     /// reintroduced per-access allocation or lock), not machine drift.
     /// Faster-than-baseline is always fine.
     pub const THROUGHPUT_FACTOR: f64 = 2.0;
+    /// Minimum shard-scaling speedup of the 4-channel canary: the sharded
+    /// run's median accesses/sec must be at least this multiple of the
+    /// single-worker run's. Only enforced when the measuring host has at
+    /// least as many cores as the canary has channels
+    /// ([`ScalingMetrics::host_parallelism`]) — on a smaller host the
+    /// shards time-slice one core and no parallel speedup can physically
+    /// exist, so the numbers are recorded honestly but not gated.
+    pub const SCALING_MIN_SPEEDUP: f64 = 2.5;
 }
 
 /// Span-derived latency of one migration phase, from the full run's
@@ -116,6 +128,39 @@ pub struct ThroughputMetrics {
     pub max_accesses_per_sec: f64,
 }
 
+/// Shard-scaling measurement of the multi-channel canary: one cell on a
+/// `channels`-channel topology, timed once with a single shard worker and
+/// once with one worker per channel (bounded by the host). The runs are
+/// asserted byte-identical by the `regression_gate` binary before timing;
+/// this block records only the wallclock side.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingMetrics {
+    /// Scheme of the scaling canary cell.
+    pub scheme: String,
+    /// Workload of the scaling canary cell.
+    pub workload: String,
+    /// Channels simulated (= maximum useful shard workers).
+    pub channels: u64,
+    /// Timed repetitions each median was taken over.
+    pub repeats: u64,
+    /// Accesses simulated by one canary run, summed over channels.
+    pub accesses_per_run: u64,
+    /// Median accesses/sec with `shard_workers = 1` (serial shards).
+    pub single_accesses_per_sec: f64,
+    /// Median accesses/sec with `shard_workers` parallel workers.
+    pub sharded_accesses_per_sec: f64,
+    /// Shard workers the parallel leg actually used
+    /// (`min(channels, host_parallelism)`).
+    pub shard_workers: u64,
+    /// `available_parallelism()` of the measuring host — the gate only
+    /// enforces [`tolerance::SCALING_MIN_SPEEDUP`] when this covers every
+    /// channel.
+    pub host_parallelism: u64,
+    /// `sharded_accesses_per_sec / single_accesses_per_sec` — the gated
+    /// scaling efficiency.
+    pub scaling_efficiency: f64,
+}
+
 /// The whole gate report / baseline file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GateReport {
@@ -132,6 +177,10 @@ pub struct GateReport {
     /// the throughput gate existed (they still parse and gate on the
     /// behavioral metrics alone).
     pub throughput: Option<ThroughputMetrics>,
+    /// Shard-scaling measurement of the multi-channel canary, `None` in
+    /// baselines produced before the sharded simulator existed (they
+    /// still parse and skip the scaling gate).
+    pub scaling: Option<ScalingMetrics>,
     /// One entry per canary cell, in matrix order.
     pub cells: Vec<CellMetrics>,
 }
@@ -207,6 +256,31 @@ impl GateReport {
                     num(t.median_accesses_per_sec),
                     num(t.min_accesses_per_sec),
                     num(t.max_accesses_per_sec)
+                );
+            }
+        }
+        out.push_str(",\n  \"scaling\": ");
+        match &self.scaling {
+            None => out.push_str("null"),
+            Some(s) => {
+                out.push_str("{\n    \"scheme\": ");
+                push_json_str(&mut out, &s.scheme);
+                out.push_str(",\n    \"workload\": ");
+                push_json_str(&mut out, &s.workload);
+                let _ = write!(
+                    out,
+                    ",\n    \"channels\": {},\n    \"repeats\": {},\n    \
+                     \"accesses_per_run\": {},\n    \"single_accesses_per_sec\": {},\n    \
+                     \"sharded_accesses_per_sec\": {},\n    \"shard_workers\": {},\n    \
+                     \"host_parallelism\": {},\n    \"scaling_efficiency\": {}\n  }}",
+                    s.channels,
+                    s.repeats,
+                    s.accesses_per_run,
+                    num(s.single_accesses_per_sec),
+                    num(s.sharded_accesses_per_sec),
+                    s.shard_workers,
+                    s.host_parallelism,
+                    num(s.scaling_efficiency)
                 );
             }
         }
@@ -355,6 +429,37 @@ impl GateReport {
                 })
             }
         };
+        // Absent or null in pre-sharding (v1-v3) baselines: still parses,
+        // and [`compare`] simply skips the scaling gate.
+        let scaling = match json::get(obj, "scaling") {
+            None | Some(JsonValue::Null) => None,
+            Some(sv) => {
+                let so = sv.as_obj().ok_or("\"scaling\" is not an object")?;
+                let snum = |name: &str| -> Result<f64, String> {
+                    json::get(so, name)
+                        .and_then(JsonValue::as_f64)
+                        .ok_or_else(|| format!("scaling missing numeric field {name:?}"))
+                };
+                let sstr = |name: &str| -> Result<String, String> {
+                    json::get(so, name)
+                        .and_then(JsonValue::as_str)
+                        .map(String::from)
+                        .ok_or_else(|| format!("scaling missing string field {name:?}"))
+                };
+                Some(ScalingMetrics {
+                    scheme: sstr("scheme")?,
+                    workload: sstr("workload")?,
+                    channels: snum("channels")? as u64,
+                    repeats: snum("repeats")? as u64,
+                    accesses_per_run: snum("accesses_per_run")? as u64,
+                    single_accesses_per_sec: snum("single_accesses_per_sec")?,
+                    sharded_accesses_per_sec: snum("sharded_accesses_per_sec")?,
+                    shard_workers: snum("shard_workers")? as u64,
+                    host_parallelism: snum("host_parallelism")? as u64,
+                    scaling_efficiency: snum("scaling_efficiency")?,
+                })
+            }
+        };
         Ok(GateReport {
             t_rh: field_u64("t_rh")?,
             epochs: field_u64("epochs")?,
@@ -363,6 +468,7 @@ impl GateReport {
                 .and_then(JsonValue::as_bool)
                 .ok_or("missing boolean field \"telemetry\"")?,
             throughput,
+            scaling,
             cells,
         })
     }
@@ -406,6 +512,29 @@ pub fn compare(baseline: &GateReport, current: &GateReport) -> Vec<String> {
                 bt.median_accesses_per_sec,
                 bt.scheme,
                 bt.workload
+            ));
+        }
+    }
+    // The scaling gate is host-parallelism-adaptive: a host with fewer
+    // cores than the canary has channels cannot show a parallel speedup,
+    // so its honest numbers are recorded but never gated. The baseline's
+    // own efficiency is not a bound — the floor is absolute.
+    if let Some(cs) = &current.scaling {
+        if cs.host_parallelism >= cs.channels
+            && cs.single_accesses_per_sec > 0.0
+            && cs.scaling_efficiency < SCALING_MIN_SPEEDUP
+        {
+            failures.push(format!(
+                "scaling: {}-channel canary reached only {:.2}x single-shard throughput \
+                 ({:.0} vs {:.0} accesses/sec) on a {}-core host; the floor is \
+                 {SCALING_MIN_SPEEDUP}x on {}/{}",
+                cs.channels,
+                cs.scaling_efficiency,
+                cs.sharded_accesses_per_sec,
+                cs.single_accesses_per_sec,
+                cs.host_parallelism,
+                cs.scheme,
+                cs.workload
             ));
         }
     }
@@ -765,6 +894,18 @@ mod tests {
                 min_accesses_per_sec: 1_800_000.0,
                 max_accesses_per_sec: 2_200_000.0,
             }),
+            scaling: Some(ScalingMetrics {
+                scheme: "aqua-sram".into(),
+                workload: "mcf".into(),
+                channels: 4,
+                repeats: 5,
+                accesses_per_run: 5_600_000,
+                single_accesses_per_sec: 2_000_000.0,
+                sharded_accesses_per_sec: 6_400_000.0,
+                shard_workers: 4,
+                host_parallelism: 8,
+                scaling_efficiency: 3.2,
+            }),
             cells: vec![CellMetrics {
                 scheme: "aqua-sram".into(),
                 workload: "mcf".into(),
@@ -972,6 +1113,63 @@ mod tests {
         assert!(!r.cells.is_empty());
         // And it still gates cleanly against itself.
         assert!(compare(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn v3_committed_baseline_still_parses() {
+        // BENCH_7.json is the last pre-sharding baseline (throughput but
+        // no scaling block); it is kept committed as a parser fixture for
+        // the v3 format after BENCH_8.json became the gated baseline.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_7.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_7.json");
+        let r = GateReport::from_json(&text).expect("v3 baseline parses");
+        assert_eq!((r.t_rh, r.epochs, r.seed), (1000, 1, 42));
+        assert!(r.throughput.is_some());
+        assert!(
+            r.scaling.is_none(),
+            "v3 baselines predate the scaling block"
+        );
+        assert!(!r.cells.is_empty());
+        // And it still gates cleanly against itself.
+        assert!(compare(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn scaling_roundtrips_and_null_parses_as_none() {
+        let with = sample();
+        assert_eq!(GateReport::from_json(&with.to_json()).unwrap(), with);
+        let mut without = sample();
+        without.scaling = None;
+        let j = without.to_json();
+        assert!(j.contains("\"scaling\": null"), "{j}");
+        assert_eq!(GateReport::from_json(&j).unwrap(), without);
+    }
+
+    #[test]
+    fn scaling_gate_is_host_parallelism_adaptive() {
+        let base = sample();
+        // Healthy scaling on a parallel host: passes.
+        assert!(compare(&base, &base).is_empty());
+        // Collapse on a parallel host: fails and names the cell.
+        let mut flat = base.clone();
+        {
+            let s = flat.scaling.as_mut().unwrap();
+            s.sharded_accesses_per_sec = s.single_accesses_per_sec * 1.1;
+            s.scaling_efficiency = 1.1;
+        }
+        let failures = compare(&base, &flat);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("scaling"), "{failures:?}");
+        assert!(failures[0].contains("aqua-sram/mcf"), "{failures:?}");
+        // The same flat numbers on a 1-core host are recorded, not gated:
+        // four shards time-slicing one core cannot speed anything up.
+        let mut starved = flat.clone();
+        starved.scaling.as_mut().unwrap().host_parallelism = 1;
+        assert!(compare(&base, &starved).is_empty());
+        // A baseline or current without the block skips the gate entirely.
+        let mut old = base.clone();
+        old.scaling = None;
+        assert!(compare(&base, &old).is_empty());
     }
 
     #[test]

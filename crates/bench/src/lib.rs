@@ -23,6 +23,12 @@
 //! Environment knobs (all optional):
 //!
 //! - `AQUA_BENCH_EPOCHS`: simulated 64 ms epochs per run (default 2).
+//! - `AQUA_BENCH_CHANNELS`: DRAM channels to simulate (default: the
+//!   baseline's channel count, 1). Multi-channel runs shard per channel
+//!   (see [`aqua_sim::ShardedSimulation`]) and merge deterministically.
+//! - `AQUA_BENCH_SHARD_WORKERS`: worker threads *per simulation* for the
+//!   channel shards (`0` = auto: one per channel bounded by the host's
+//!   cores; `1` = serial shards). Never changes results, only wallclock.
 //! - `AQUA_BENCH_WORKLOADS`: comma-separated subset of workload names
 //!   (default: all 18 SPEC + 16 mixes). Names are validated eagerly;
 //!   empty entries (e.g. a trailing comma) are ignored.
@@ -47,7 +53,7 @@ pub mod gate;
 pub mod journal;
 mod matrix;
 pub mod output;
-pub mod pool;
+pub use aqua_sim::pool;
 pub mod supervise;
 
 pub use matrix::{MatrixCell, MatrixResults};
@@ -64,9 +70,9 @@ use aqua_dram::mitigation::{Mitigation, NoMitigation};
 use aqua_dram::BaselineConfig;
 use aqua_faults::{derive_cell_seed, FaultSpec};
 use aqua_rrs::{RrsConfig, RrsEngine};
-use aqua_sim::{CostAblation, RunReport, SimConfig, Simulation};
+use aqua_sim::{CostAblation, RunReport, ShardedSimulation, SimConfig, Simulation};
 use aqua_telemetry::Telemetry;
-use aqua_workload::{mix_table, spec, AddressSpace, RequestGenerator};
+use aqua_workload::{channel_seed, mix_table, spec, AddressSpace, RequestGenerator};
 
 /// The mitigation schemes the harness can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +161,11 @@ pub struct Harness {
     pub seed: u64,
     /// Worker threads for [`Harness::run_matrix`] (1 = strictly serial).
     pub jobs: usize,
+    /// Worker threads for the per-channel shards of one multi-channel
+    /// simulation (`AQUA_BENCH_SHARD_WORKERS`; `0` = auto, `1` = serial).
+    /// A host-parallelism knob like `jobs`: it never changes results and
+    /// is excluded from [`Harness::cell_key`].
+    pub shard_workers: usize,
     /// Optional fault campaign. The spec's `seed` is the campaign base
     /// seed; every `(scheme, workload)` cell derives its own plan seed via
     /// [`derive_cell_seed`], so cells stay independent of matrix shape and
@@ -231,6 +242,17 @@ impl Harness {
             std::env::var("AQUA_BENCH_RETRIES").ok().as_deref(),
             1u32,
         );
+        let base = BaselineConfig::paper_table1();
+        let channels = env_parse(
+            "AQUA_BENCH_CHANNELS",
+            std::env::var("AQUA_BENCH_CHANNELS").ok().as_deref(),
+            base.channels,
+        );
+        let shard_workers = env_parse(
+            "AQUA_BENCH_SHARD_WORKERS",
+            std::env::var("AQUA_BENCH_SHARD_WORKERS").ok().as_deref(),
+            0usize,
+        );
         let deadline = std::env::var("AQUA_BENCH_DEADLINE_MS")
             .ok()
             .and_then(|raw| match raw.trim().parse::<u64>() {
@@ -248,11 +270,12 @@ impl Harness {
             .filter(|p| !p.trim().is_empty())
             .map(PathBuf::from);
         Harness {
-            base: BaselineConfig::paper_table1(),
+            base: base.with_channels(channels),
             t_rh,
             epochs,
             seed: 42,
             jobs,
+            shard_workers,
             faults: None,
             watchdog: None,
             deadline,
@@ -330,18 +353,35 @@ impl Harness {
     ///
     /// Panics on an unknown workload name.
     pub fn generators(&self, workload: &str) -> Vec<Box<dyn RequestGenerator>> {
+        self.generators_for_channel(workload, 0)
+    }
+
+    /// The per-core generators of one channel shard: the same workload
+    /// shape, seeded with [`channel_seed`] so each channel hammers its own
+    /// rows. Channel 0 keeps the harness seed unchanged —
+    /// `generators_for_channel(w, 0)` is exactly [`Harness::generators`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown workload name.
+    pub fn generators_for_channel(
+        &self,
+        workload: &str,
+        channel: u32,
+    ) -> Vec<Box<dyn RequestGenerator>> {
         let space = self.space();
+        let seed = channel_seed(self.seed, channel);
         if let Some(w) = spec::by_name(workload) {
             return (0..self.base.cores)
                 .map(|c| {
-                    Box::new(w.generator(&space, c, self.base.cores, self.seed))
+                    Box::new(w.generator(&space, c, self.base.cores, seed))
                         as Box<dyn RequestGenerator>
                 })
                 .collect();
         }
         if let Some(m) = mix_table().iter().find(|m| m.name == workload) {
             return (0..self.base.cores)
-                .map(|c| Box::new(m.generator(&space, c, self.seed)) as Box<dyn RequestGenerator>)
+                .map(|c| Box::new(m.generator(&space, c, seed)) as Box<dyn RequestGenerator>)
                 .collect();
         }
         panic!(
@@ -428,14 +468,26 @@ impl Harness {
     /// the report and the engine, for callers that need scheme-specific
     /// statistics (tracker SRAM bits, lookup breakdowns, ...) after the run.
     ///
-    /// This is the single simulation path every other runner goes through,
-    /// so an attached telemetry hub always reaches the whole stack.
+    /// This path owns exactly one engine instance, so it simulates exactly
+    /// one channel. Multi-channel harnesses (one engine *per* channel) go
+    /// through [`Harness::run_instrumented`], which builds the engines
+    /// itself and fans them out on the sharded runner.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the harness is configured for more than one channel.
     pub fn run_engine<M: Mitigation>(
         &self,
         mitigation: M,
         workload: &str,
         telemetry: Option<&Telemetry>,
     ) -> (RunReport, M) {
+        assert!(
+            self.base.channels <= 1,
+            "run_engine simulates a single channel and cannot replicate its \
+             engine across {} channels; use run_instrumented (sharded) instead",
+            self.base.channels
+        );
         let scheme_name = mitigation.name();
         let mut sim = Simulation::new(
             self.sim_config(scheme_name, workload),
@@ -450,13 +502,30 @@ impl Harness {
         (report, sim.into_mitigation())
     }
 
-    fn run_with<M: Mitigation>(
+    /// The simulation path behind [`Harness::run_instrumented`]: one
+    /// engine per channel from `engines`, per-channel generator streams
+    /// seeded with [`channel_seed`], fanned out on
+    /// [`ShardedSimulation`] with `self.shard_workers` workers. A
+    /// single-channel harness passes through to the plain [`Simulation`]
+    /// byte-identically.
+    fn run_sharded<M: Mitigation>(
         &self,
-        mitigation: M,
+        scheme_name: &str,
+        engines: impl FnMut(u32) -> M,
         workload: &str,
         telemetry: Option<&Telemetry>,
     ) -> RunReport {
-        self.run_engine(mitigation, workload, telemetry).0
+        let mut sim =
+            ShardedSimulation::new(self.sim_config(scheme_name, workload), engines, |channel| {
+                self.generators_for_channel(workload, channel)
+            })
+            .shard_workers(self.shard_workers);
+        if let Some(hub) = telemetry {
+            sim.attach_telemetry(hub.clone());
+        }
+        let mut report = sim.run();
+        report.workload = workload.to_string();
+        report
     }
 
     /// Runs one `(scheme, workload)` pair and returns its report.
@@ -469,41 +538,61 @@ impl Harness {
     ///
     /// The hub keeps its event trace, histograms, and per-epoch time-series
     /// after the run, so callers can export them (`simulate --trace-out`).
+    ///
+    /// Every scheme runs on the sharded multi-channel path: one private
+    /// engine instance per channel (built here, per channel, from the same
+    /// scheme config), merged deterministically in channel order. With one
+    /// channel this is byte-identical to the historical unsharded runner.
     pub fn run_instrumented(
         &self,
         scheme: Scheme,
         workload: &str,
         telemetry: Option<&Telemetry>,
     ) -> RunReport {
+        let geometry = self.base.geometry;
         match scheme {
-            Scheme::Baseline => {
-                self.run_with(NoMitigation::new(self.base.geometry), workload, telemetry)
-            }
+            Scheme::Baseline => self.run_sharded(
+                scheme.name(),
+                |_c| NoMitigation::new(geometry),
+                workload,
+                telemetry,
+            ),
             Scheme::AquaSram => {
-                let engine = AquaEngine::new(self.aqua_config()).expect("valid AQUA config");
-                self.run_with(engine, workload, telemetry)
+                let cfg = self.aqua_config();
+                self.run_sharded(
+                    scheme.name(),
+                    |_c| AquaEngine::new(cfg).expect("valid AQUA config"),
+                    workload,
+                    telemetry,
+                )
             }
             Scheme::AquaMapped => {
-                let engine = AquaEngine::new(self.aqua_config().with_mapped_tables())
-                    .expect("valid AQUA config");
-                self.run_with(engine, workload, telemetry)
+                let cfg = self.aqua_config().with_mapped_tables();
+                self.run_sharded(
+                    scheme.name(),
+                    |_c| AquaEngine::new(cfg).expect("valid AQUA config"),
+                    workload,
+                    telemetry,
+                )
             }
             Scheme::Rrs => {
                 let cfg = RrsConfig::for_rowhammer_threshold(self.t_rh, &self.base);
-                self.run_with(RrsEngine::new(cfg), workload, telemetry)
+                self.run_sharded(scheme.name(), |_c| RrsEngine::new(cfg), workload, telemetry)
             }
             Scheme::VictimRefresh => {
                 let cfg = VictimRefreshConfig::for_rowhammer_threshold(self.t_rh);
-                self.run_with(
-                    VictimRefresh::new(cfg, self.base.geometry),
+                self.run_sharded(
+                    scheme.name(),
+                    |_c| VictimRefresh::new(cfg, geometry),
                     workload,
                     telemetry,
                 )
             }
             Scheme::Blockhammer => {
                 let cfg = BlockhammerConfig::for_rowhammer_threshold(self.t_rh);
-                self.run_with(
-                    Blockhammer::new(cfg, self.base.geometry),
+                self.run_sharded(
+                    scheme.name(),
+                    |_c| Blockhammer::new(cfg, geometry),
                     workload,
                     telemetry,
                 )
@@ -672,6 +761,7 @@ mod tests {
             epochs: 1,
             seed: 1,
             jobs: 1,
+            shard_workers: 0,
             faults: None,
             watchdog: None,
             deadline: None,
@@ -690,6 +780,7 @@ mod tests {
             epochs: 2,
             seed: 1,
             jobs,
+            shard_workers: 0,
             faults: None,
             watchdog: None,
             deadline: None,
@@ -889,6 +980,74 @@ mod tests {
             assert!(!hub_serial.spans().is_empty(), "no spans recorded");
             assert_eq!(spans_serial.as_bytes(), spans_parallel.as_bytes());
         }
+    }
+
+    /// The tentpole's bench-level determinism contract: a 4-channel
+    /// campaign — matrix CSV rows, merged telemetry spans, checkpoint
+    /// journal bytes, and fault-heavy sharded AQUA cells that pass through
+    /// degraded-mode epochs — must be **byte-identical** at 1, 2, and 8
+    /// shard workers. Only wallclock may change with the worker count.
+    #[test]
+    fn shard_workers_one_two_eight_emit_byte_identical_artifacts() {
+        fn run(shard_workers: usize) -> (String, String, Option<String>, Vec<RunReport>) {
+            let path = tmp_journal(&format!("shard-det-{shard_workers}"));
+            let mut h = sim_harness(1); // serial matrix: isolate shard_workers
+            h.base = h.base.with_channels(4);
+            h.shard_workers = shard_workers;
+            h.faults = Some(FaultSpec {
+                seed: 11,
+                events_per_epoch: 24,
+            });
+            h.journal = Some(path.clone());
+            let hub = Telemetry::new(Default::default());
+            let schemes = [Scheme::Baseline, Scheme::VictimRefresh, Scheme::Blockhammer];
+            let workloads = vec!["povray".to_string(), "namd".to_string()];
+            let results = h.run_matrix_instrumented(&schemes, &workloads, Some(&hub));
+            results.expect_complete();
+            let mut csv = String::from("scheme,workload,requests_done,migrations\n");
+            for report in results.reports() {
+                csv.push_str(&format!(
+                    "{},{},{},{}\n",
+                    report.scheme,
+                    report.workload,
+                    report.requests_done,
+                    report.mitigation.row_migrations
+                ));
+            }
+            let journal_bytes = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).unwrap();
+            // Degraded-bank leg: fault-heavy tiny-AQUA cells on the same
+            // sharded path (paper-scale AQUA does not fit tiny geometry).
+            let aqua: Vec<RunReport> = ["povray", "namd"]
+                .iter()
+                .map(|w| h.run_sharded("aqua-sram", |_| tiny_aqua_engine(&h.base), w, Some(&hub)))
+                .collect();
+            let spans = hub.is_enabled().then(|| format!("{:?}", hub.spans()));
+            (csv, journal_bytes, spans, aqua)
+        }
+        let one = run(1);
+        assert_eq!(one, run(2));
+        assert_eq!(one, run(8));
+        assert!(one.0.lines().count() > 1, "matrix produced no rows");
+        assert!(!one.1.is_empty(), "journal recorded nothing");
+        if let Some(spans) = &one.2 {
+            assert!(!spans.is_empty(), "no spans recorded");
+        }
+        // The AQUA leg exercised what it claims: every channel of every
+        // cell dispatched its plan (2 epochs x 24 events x 4 channels x 2
+        // workloads) and at least one bank passed through degraded mode.
+        let injected: u64 = one.3.iter().map(|r| r.faults.injected).sum();
+        assert_eq!(injected, 2 * 24 * 4 * 2);
+        let degraded: u64 = one.3.iter().map(|r| r.faults.degraded_epochs).sum();
+        assert!(
+            degraded > 0,
+            "no degraded-mode epochs; raise the fault rate"
+        );
+        // Channel shards concatenate per-core counts channel-major.
+        assert_eq!(
+            one.3[0].per_core.len(),
+            4 * BaselineConfig::tiny().cores as usize
+        );
     }
 
     /// A reduced AQUA configuration that fits `BaselineConfig::tiny` (the

@@ -3,8 +3,15 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Identifies one bank within the module (ranks are flattened into the bank
-/// index: bank `b` of rank `r` has index `r * banks_per_rank + b`).
+/// Identifies one bank within one channel.
+///
+/// Ranks are flattened into the bank index: bank `b` of rank `r` has index
+/// `r * banks_per_rank + b`. Use
+/// [`DramGeometry::rank_of`](crate::DramGeometry::rank_of) /
+/// [`DramGeometry::bank_in_rank`](crate::DramGeometry::bank_in_rank) to
+/// recover the rank coordinates, and
+/// [`TopologyConfig`](crate::TopologyConfig) to decode full
+/// channel/rank/bank/row system addresses.
 #[derive(
     Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
 )]
@@ -45,11 +52,14 @@ impl fmt::Display for RowAddr {
     }
 }
 
-/// A module-wide flat row id (`bank * rows_per_bank + row`).
+/// A channel-wide flat row id (`bank * rows_per_bank + row`).
 ///
 /// Mitigation schemes index their tables with this id; use
 /// [`DramGeometry::flatten`](crate::DramGeometry::flatten) /
-/// [`DramGeometry::expand`](crate::DramGeometry::expand) to convert.
+/// [`DramGeometry::expand`](crate::DramGeometry::expand) to convert. In a
+/// multi-channel system each channel has its own independent id space;
+/// [`TopologyConfig::split`](crate::TopologyConfig::split) routes a
+/// system-wide row id to its `(channel, GlobalRowId)` pair.
 #[derive(
     Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
 )]

@@ -7,7 +7,12 @@ use serde::{Deserialize, Serialize};
 /// paper, plus the simulator's core-model parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BaselineConfig {
-    /// DRAM geometry (banks, rows, row size).
+    /// Independent DRAM channels. Each channel replicates `geometry` (its
+    /// own ranks, banks, and rows) and, in the sharded simulator, runs as
+    /// its own shard with a private mitigation-engine instance. The paper's
+    /// Table I baseline is single-channel.
+    pub channels: u32,
+    /// Per-channel DRAM geometry (ranks, banks, rows, row size).
     pub geometry: DramGeometry,
     /// DDR4 timing parameters.
     pub timing: DdrTiming,
@@ -29,6 +34,7 @@ impl BaselineConfig {
     /// 16 banks x 1 rank x 1 channel.
     pub fn paper_table1() -> Self {
         BaselineConfig {
+            channels: 1,
             geometry: DramGeometry::paper_table1(),
             timing: DdrTiming::ddr4_2400(),
             cores: 4,
@@ -42,6 +48,7 @@ impl BaselineConfig {
     /// A scaled-down configuration for fast unit/property tests.
     pub fn tiny() -> Self {
         BaselineConfig {
+            channels: 1,
             geometry: DramGeometry::tiny(),
             timing: DdrTiming::ddr4_2400(),
             cores: 1,
@@ -50,6 +57,19 @@ impl BaselineConfig {
             epoch: Duration::from_ms(1),
             page_policy: PagePolicy::Open,
         }
+    }
+}
+
+impl BaselineConfig {
+    /// Sets the channel count (each channel replicates `geometry`).
+    pub fn with_channels(mut self, channels: u32) -> Self {
+        self.channels = channels.max(1);
+        self
+    }
+
+    /// The full system topology (channels × ranks × banks × rows).
+    pub fn topology(&self) -> crate::TopologyConfig {
+        crate::TopologyConfig::new(self.channels, &self.geometry)
     }
 }
 

@@ -48,6 +48,7 @@ mod refresh;
 mod stats;
 mod time;
 mod timing;
+mod topology;
 
 pub use address::{BankId, GlobalRowId, RowAddr};
 pub use bank::{AccessResult, Bank, PagePolicy};
@@ -59,3 +60,4 @@ pub use refresh::RefreshScheduler;
 pub use stats::CommandStats;
 pub use time::{Duration, Time};
 pub use timing::DdrTiming;
+pub use topology::{DecodedRow, TopologyConfig};

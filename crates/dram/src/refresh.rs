@@ -27,19 +27,15 @@ impl RefreshScheduler {
     /// blackout; otherwise returns `now`.
     ///
     /// Blackout `k` spans `[k * tREFI, k * tREFI + tRFC)` for `k >= 1`.
+    ///
+    /// Branchless: `k == 0` (no refresh issued yet) zeroes the window-end
+    /// candidate, and `max` selects between "still inside the blackout"
+    /// and "already past it" without a data-dependent branch — this sits
+    /// on the serve path of every request.
     pub fn next_available(&self, now: Time) -> Time {
-        let refi = self.t_refi.as_ps();
-        let k = now.as_ps() / refi;
-        if k == 0 {
-            return now;
-        }
-        let window_start = k * refi;
-        let window_end = window_start + self.t_rfc.as_ps();
-        if now.as_ps() < window_end {
-            Time::from_ps(window_end)
-        } else {
-            now
-        }
+        let k = now.as_ps() / self.t_refi.as_ps();
+        let window_end = (k * self.t_refi.as_ps() + self.t_rfc.as_ps()) * (k != 0) as u64;
+        Time::from_ps(now.as_ps().max(window_end))
     }
 
     /// Number of refresh commands issued in `[0, until)`.

@@ -1,0 +1,304 @@
+//! System-level memory topology: channels × ranks × banks × rows.
+//!
+//! [`DramGeometry`] describes **one channel**; [`TopologyConfig`] lifts it
+//! to the full module by adding the channel count. The sharded simulator
+//! gives every channel its own banks, channel bus, and mitigation-engine
+//! instance, so all cross-channel coordinates live here: a *system row id*
+//! is channel-major (`channel * rows_per_channel + local_row`), and the
+//! per-channel remainder is exactly the [`GlobalRowId`] every mitigation
+//! scheme already indexes its tables with.
+
+use crate::error::AddressError;
+use crate::{BankId, DramGeometry, GlobalRowId};
+use serde::{Deserialize, Serialize};
+
+/// Channel/rank/bank shape of the whole memory system.
+///
+/// Built from a [`BaselineConfig`](crate::BaselineConfig) via
+/// [`BaselineConfig::topology`](crate::BaselineConfig::topology); every
+/// channel replicates the same per-channel geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TopologyConfig {
+    /// Independent channels (each is one simulation shard).
+    pub channels: u32,
+    /// Ranks on each channel.
+    pub ranks_per_channel: u32,
+    /// Banks in each rank.
+    pub banks_per_rank: u32,
+    /// Rows in each bank (needed to split the row bits of a system row id).
+    pub rows_per_bank: u32,
+}
+
+/// A fully decoded system row: channel, rank, bank-within-rank, row.
+///
+/// The flattened encodings in between are documented on
+/// [`TopologyConfig::encode`]: `bank = rank * banks_per_rank +
+/// bank_in_rank` (the [`BankId`] flattening), `local = bank *
+/// rows_per_bank + row` (the [`GlobalRowId`] flattening), and `system =
+/// channel * rows_per_channel + local`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DecodedRow {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank index within the channel.
+    pub rank: u32,
+    /// Bank index within the rank (not the flattened [`BankId`]).
+    pub bank_in_rank: u32,
+    /// Row index within the bank.
+    pub row: u32,
+}
+
+impl TopologyConfig {
+    /// Builds the topology of `channels` identical channels of `geometry`.
+    pub const fn new(channels: u32, geometry: &DramGeometry) -> Self {
+        TopologyConfig {
+            channels,
+            ranks_per_channel: geometry.ranks,
+            banks_per_rank: geometry.banks_per_rank,
+            rows_per_bank: geometry.rows_per_bank,
+        }
+    }
+
+    /// Flattened banks per channel (`ranks_per_channel * banks_per_rank`).
+    pub const fn banks_per_channel(&self) -> u32 {
+        self.ranks_per_channel * self.banks_per_rank
+    }
+
+    /// Rows per channel (the size of one shard's address space).
+    pub const fn rows_per_channel(&self) -> u64 {
+        self.banks_per_channel() as u64 * self.rows_per_bank as u64
+    }
+
+    /// Total rows across every channel.
+    pub const fn total_rows(&self) -> u64 {
+        self.channels as u64 * self.rows_per_channel()
+    }
+
+    /// Encodes a decoded row into its system row id.
+    ///
+    /// The bit layout is a pure mixed-radix flattening, most-significant
+    /// first: channel, then rank, then bank-in-rank, then row. The middle
+    /// two digits together are the flattened [`BankId`] (`rank *
+    /// banks_per_rank + bank_in_rank`), so the per-channel remainder of a
+    /// system row id is bit-compatible with the single-channel
+    /// [`GlobalRowId`] encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressError`] if any coordinate exceeds the topology.
+    pub fn encode(&self, d: DecodedRow) -> Result<u64, AddressError> {
+        if d.channel >= self.channels {
+            return Err(AddressError::ChannelOutOfRange {
+                channel: d.channel,
+                channels: self.channels,
+            });
+        }
+        if d.rank >= self.ranks_per_channel {
+            return Err(AddressError::RankOutOfRange {
+                rank: d.rank,
+                ranks: self.ranks_per_channel,
+            });
+        }
+        if d.bank_in_rank >= self.banks_per_rank {
+            return Err(AddressError::BankOutOfRange {
+                bank: d.bank_in_rank,
+                banks: self.banks_per_rank,
+            });
+        }
+        if d.row >= self.rows_per_bank {
+            return Err(AddressError::RowOutOfRange {
+                row: d.row,
+                rows: self.rows_per_bank,
+            });
+        }
+        let bank = d.rank as u64 * self.banks_per_rank as u64 + d.bank_in_rank as u64;
+        let local = bank * self.rows_per_bank as u64 + d.row as u64;
+        Ok(d.channel as u64 * self.rows_per_channel() + local)
+    }
+
+    /// Decodes a system row id into channel/rank/bank/row coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressError::GlobalRowOutOfRange`] if the id exceeds
+    /// [`TopologyConfig::total_rows`].
+    pub fn decode(&self, system_row: u64) -> Result<DecodedRow, AddressError> {
+        if system_row >= self.total_rows() {
+            return Err(AddressError::GlobalRowOutOfRange {
+                id: system_row,
+                rows: self.total_rows(),
+            });
+        }
+        let channel = (system_row / self.rows_per_channel()) as u32;
+        let local = system_row % self.rows_per_channel();
+        let bank = (local / self.rows_per_bank as u64) as u32;
+        let row = (local % self.rows_per_bank as u64) as u32;
+        Ok(DecodedRow {
+            channel,
+            rank: bank / self.banks_per_rank,
+            bank_in_rank: bank % self.banks_per_rank,
+            row,
+        })
+    }
+
+    /// The channel a system row id belongs to.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressError::GlobalRowOutOfRange`] if the id exceeds
+    /// [`TopologyConfig::total_rows`].
+    pub fn channel_of(&self, system_row: u64) -> Result<u32, AddressError> {
+        if system_row >= self.total_rows() {
+            return Err(AddressError::GlobalRowOutOfRange {
+                id: system_row,
+                rows: self.total_rows(),
+            });
+        }
+        Ok((system_row / self.rows_per_channel()) as u32)
+    }
+
+    /// Splits a system row id into `(channel, local GlobalRowId)` — the
+    /// shard routing step of the sharded simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressError::GlobalRowOutOfRange`] if the id exceeds
+    /// [`TopologyConfig::total_rows`].
+    pub fn split(&self, system_row: u64) -> Result<(u32, GlobalRowId), AddressError> {
+        let channel = self.channel_of(system_row)?;
+        Ok((
+            channel,
+            GlobalRowId::new(system_row % self.rows_per_channel()),
+        ))
+    }
+}
+
+impl DramGeometry {
+    /// The rank a flattened [`BankId`] belongs to (`bank / banks_per_rank`;
+    /// see the flattening documented on [`BankId`]).
+    pub const fn rank_of(&self, bank: BankId) -> u32 {
+        bank.index() / self.banks_per_rank
+    }
+
+    /// The bank index within its rank (`bank % banks_per_rank`).
+    pub const fn bank_in_rank(&self, bank: BankId) -> u32 {
+        bank.index() % self.banks_per_rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RowAddr;
+
+    /// A multi-rank, multi-channel shape so every digit of the mixed radix
+    /// is exercised: 4 channels × 2 ranks × 4 banks × 1024 rows.
+    fn topo() -> TopologyConfig {
+        TopologyConfig {
+            channels: 4,
+            ranks_per_channel: 2,
+            banks_per_rank: 4,
+            rows_per_bank: 1024,
+        }
+    }
+
+    #[test]
+    fn shape_accounting() {
+        let t = topo();
+        assert_eq!(t.banks_per_channel(), 8);
+        assert_eq!(t.rows_per_channel(), 8 * 1024);
+        assert_eq!(t.total_rows(), 4 * 8 * 1024);
+    }
+
+    /// Satellite: round-trip decode over every channel/rank/bank/row digit
+    /// boundary, plus exhaustive low-volume sweep.
+    #[test]
+    fn encode_decode_round_trips_all_digits() {
+        let t = topo();
+        for channel in 0..t.channels {
+            for rank in 0..t.ranks_per_channel {
+                for bank_in_rank in 0..t.banks_per_rank {
+                    for row in [0u32, 1, 511, 1023] {
+                        let d = DecodedRow {
+                            channel,
+                            rank,
+                            bank_in_rank,
+                            row,
+                        };
+                        let id = t.encode(d).unwrap();
+                        assert_eq!(t.decode(id).unwrap(), d, "id {id}");
+                        assert_eq!(t.channel_of(id).unwrap(), channel);
+                    }
+                }
+            }
+        }
+        // System ids are dense: every id below total_rows round-trips.
+        for id in 0..t.total_rows() {
+            assert_eq!(t.encode(t.decode(id).unwrap()).unwrap(), id);
+        }
+    }
+
+    /// The per-channel remainder of a system row id is the same flat id
+    /// `DramGeometry::flatten` produces — the documented `BankId`/
+    /// `GlobalRowId` flattening holds through the topology layer.
+    #[test]
+    fn per_channel_remainder_matches_geometry_flatten() {
+        let geometry = DramGeometry {
+            ranks: 2,
+            banks_per_rank: 4,
+            rows_per_bank: 1024,
+            row_bytes: 8 * 1024,
+            line_bytes: 64,
+        };
+        let t = TopologyConfig::new(4, &geometry);
+        let d = DecodedRow {
+            channel: 3,
+            rank: 1,
+            bank_in_rank: 2,
+            row: 77,
+        };
+        let system = t.encode(d).unwrap();
+        let (channel, local) = t.split(system).unwrap();
+        assert_eq!(channel, 3);
+        let bank = BankId::new(d.rank * geometry.banks_per_rank + d.bank_in_rank);
+        let flat = geometry.flatten(RowAddr { bank, row: d.row }).unwrap();
+        assert_eq!(local, flat);
+        assert_eq!(geometry.rank_of(bank), 1);
+        assert_eq!(geometry.bank_in_rank(bank), 2);
+    }
+
+    #[test]
+    fn out_of_range_coordinates_are_rejected() {
+        let t = topo();
+        let ok = DecodedRow {
+            channel: 0,
+            rank: 0,
+            bank_in_rank: 0,
+            row: 0,
+        };
+        assert!(t.encode(DecodedRow { channel: 4, ..ok }).is_err());
+        assert!(t.encode(DecodedRow { rank: 2, ..ok }).is_err());
+        assert!(t
+            .encode(DecodedRow {
+                bank_in_rank: 4,
+                ..ok
+            })
+            .is_err());
+        assert!(t.encode(DecodedRow { row: 1024, ..ok }).is_err());
+        assert!(t.decode(t.total_rows()).is_err());
+        assert!(t.channel_of(t.total_rows()).is_err());
+        assert!(t.split(t.total_rows()).is_err());
+    }
+
+    #[test]
+    fn single_channel_topology_is_the_identity() {
+        let g = DramGeometry::tiny();
+        let t = TopologyConfig::new(1, &g);
+        assert_eq!(t.total_rows(), g.total_rows());
+        for id in [0u64, 1, 4095] {
+            let (channel, local) = t.split(id).unwrap();
+            assert_eq!(channel, 0);
+            assert_eq!(local.index(), id);
+        }
+    }
+}

@@ -53,8 +53,10 @@
 mod ablation;
 mod core_model;
 mod oracle;
+pub mod pool;
 mod report;
 mod shadow;
+mod sharded;
 mod system;
 
 pub use ablation::CostAblation;
@@ -62,4 +64,5 @@ pub use core_model::CoreState;
 pub use oracle::{ActivationOracle, OracleSummary};
 pub use report::{gmean, RunReport};
 pub use shadow::ShadowMemory;
+pub use sharded::ShardedSimulation;
 pub use system::{SimConfig, Simulation};

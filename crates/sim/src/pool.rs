@@ -1,10 +1,17 @@
-//! A bounded worker pool for embarrassingly-parallel experiment cells.
+//! A bounded worker pool for embarrassingly-parallel work.
 //!
 //! Hand-rolled on `std::thread::scope` — no external dependencies, no
 //! unsafe. Jobs are index-tagged, so results always come back in input
 //! order regardless of how the OS schedules the workers, and a panicking
 //! job is contained to its own cell (`Err(panic message)`) instead of
-//! aborting the whole figure.
+//! aborting the whole run. Both the sharded multi-channel simulator (one
+//! job per channel shard) and the bench harness (one job per experiment
+//! cell) fan out on this pool.
+
+// Lock unwraps here are on mutexes no job can poison (job panics are
+// contained by `catch_unwind` before they reach a lock), and the final
+// slot expect is a pool invariant.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -137,8 +144,9 @@ fn run_one<I, T>(
 }
 
 /// Renders a `catch_unwind` payload as the panic message (shared with the
-/// supervised runner, whose retry contract compares these byte-for-byte).
-pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+/// bench supervised runner, whose retry contract compares these
+/// byte-for-byte, and with the sharded simulator's panic propagation).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -340,10 +340,13 @@ impl<M: Mitigation> Simulation<M> {
     /// Consults the mitigation about an activation of `phys` at `at` and
     /// applies whatever it orders, wrapped in a `sim.mitigation` root span
     /// so the engine's decision spans and the per-action migration spans
-    /// nest under one causal record. The root is committed only when the
-    /// consultation did something (returned actions or opened child spans).
+    /// nest under one causal record. The root is *speculative*: on the
+    /// overwhelmingly common quiet path (no actions, no engine spans) it is
+    /// discarded without ever touching the span lock, and it materializes —
+    /// with correct id ordering and nesting — only when a child span
+    /// actually attaches.
     fn consult_mitigation(&mut self, phys: aqua_dram::RowAddr, at: Time, completion: Time) -> Time {
-        let sp = self.telemetry.span_start("sim.mitigation", at.as_ps());
+        let sp = self.telemetry.span_speculate("sim.mitigation", at.as_ps());
         let mut actions = std::mem::take(&mut self.action_scratch);
         self.notify_activation_into(phys, at, &mut actions);
         if actions.is_empty() {
@@ -680,10 +683,11 @@ impl<M: Mitigation> Simulation<M> {
                 while t >= next_tick {
                     // Background work (lazy RQA drain, pending unswaps) gets
                     // its own root span, separate from demand-path
-                    // consultations.
+                    // consultations. Speculative: a quiet tick pays no span
+                    // lock.
                     let sp = self
                         .telemetry
-                        .span_start("sim.refresh_tick", next_tick.as_ps());
+                        .span_speculate("sim.refresh_tick", next_tick.as_ps());
                     let mut actions = std::mem::take(&mut self.action_scratch);
                     self.mitigation
                         .on_refresh_tick_into(next_tick, &mut actions);

@@ -63,6 +63,43 @@ struct Inner {
     epochs: Mutex<EpochSeries>,
     spans: Mutex<SpanTrack>,
     wall: Mutex<WallTrack>,
+    /// Token of the armed speculative span (0 = none). One slot per hub:
+    /// arming is three relaxed atomic ops, so the quiet path of a
+    /// speculative root costs no lock at all (see
+    /// [`Telemetry::span_speculate`]).
+    spec_token: AtomicU64,
+    /// Open-span id of the armed speculative span once a child span
+    /// materialized it (0 = still unmaterialized).
+    spec_id: AtomicU64,
+    /// Token source for speculative spans.
+    spec_next: AtomicU64,
+}
+
+#[cfg(feature = "enabled")]
+impl Inner {
+    /// Materializes the armed speculative span, if any, under the spans
+    /// lock the caller already holds: assigns it the next span id *before*
+    /// the caller takes one (preserving the parent-before-child id order an
+    /// eager `span_start` would have produced) and pushes it as the
+    /// innermost open span, so the caller's span nests under it.
+    fn materialize_speculative(&self, sp: &mut SpanTrack) {
+        if self.spec_token.load(Ordering::Relaxed) == 0 || self.spec_id.load(Ordering::Relaxed) != 0
+        {
+            return;
+        }
+        let id = sp.next_id;
+        sp.next_id += 1;
+        let parent = sp.stack.last().map(|o| o.id);
+        if let Some(top) = sp.stack.last_mut() {
+            top.used = true;
+        }
+        sp.stack.push(OpenSpan {
+            id,
+            parent,
+            used: false,
+        });
+        self.spec_id.store(id, Ordering::Relaxed);
+    }
 }
 
 /// A wallclock phase currently open on the hub's phase stack.
@@ -192,6 +229,9 @@ impl Telemetry {
                 epochs: Mutex::new(EpochSeries::new()),
                 spans: Mutex::new(SpanTrack::new(cfg.span_capacity)),
                 wall: Mutex::new(WallTrack::new()),
+                spec_token: AtomicU64::new(0),
+                spec_id: AtomicU64::new(0),
+                spec_next: AtomicU64::new(1),
             })),
         }
     }
@@ -224,6 +264,27 @@ impl Telemetry {
     ///
     /// A no-op when either handle is disabled or both refer to the same hub.
     pub fn merge_from(&self, other: &Telemetry) {
+        self.merge_impl(other, None);
+    }
+
+    /// Like [`Telemetry::merge_from`], but parks `other`'s completed
+    /// wallclock phases *under* `wall_prefix` instead of merging them at the
+    /// root.
+    ///
+    /// Each of `other`'s paths lands at `{wall_prefix};{path}`, a synthetic
+    /// all-child occurrence is recorded at `wall_prefix` itself, and the
+    /// absorbed root total is credited as child time to the phase currently
+    /// innermost on this hub's stack. The sharded simulation runner merges
+    /// shard hubs with prefix `sim.sharded;shard{i}` while its own
+    /// `sim.sharded` phase is open, so per-shard host time nests under the
+    /// coordinator instead of inflating the root wallclock — on a parallel
+    /// host the coordinator's real elapsed time is then *less* than the sum
+    /// of its children, which is exactly the speedup signal.
+    pub fn merge_from_prefixed(&self, other: &Telemetry, wall_prefix: &str) {
+        self.merge_impl(other, Some(wall_prefix));
+    }
+
+    fn merge_impl(&self, other: &Telemetry, wall_prefix: Option<&str>) {
         let (Some(a), Some(b)) = (&self.inner, &other.inner) else {
             return;
         };
@@ -268,11 +329,17 @@ impl Telemetry {
         // Completed wallclock phases merge path-wise (counts add
         // deterministically); phases still open on either stack are not
         // transferred.
-        a.wall
-            .lock()
-            .unwrap()
-            .profile
-            .merge(&b.wall.lock().unwrap().profile);
+        let theirs_wall = b.wall.lock().unwrap();
+        let mut w = a.wall.lock().unwrap();
+        match wall_prefix {
+            None | Some("") => w.profile.merge(&theirs_wall.profile),
+            Some(prefix) => {
+                let root_total = w.profile.merge_nested(prefix, &theirs_wall.profile);
+                if let Some(top) = w.stack.last_mut() {
+                    top.child_ns += root_total;
+                }
+            }
+        }
     }
 
     /// Whether this handle feeds a live hub.
@@ -350,6 +417,7 @@ impl Telemetry {
             };
         };
         let mut sp = i.spans.lock().unwrap();
+        i.materialize_speculative(&mut sp);
         let id = sp.next_id;
         sp.next_id += 1;
         let parent = sp.stack.last().map(|o| o.id);
@@ -369,6 +437,47 @@ impl Telemetry {
         }
     }
 
+    /// Opens a *speculative* span: three relaxed atomic stores, no lock.
+    ///
+    /// The span stays virtual until a child span attaches (via
+    /// [`Telemetry::span_start`] or [`Telemetry::span_record`]), at which
+    /// point it materializes on the causal stack — with its id assigned
+    /// before the child's, exactly as if it had been opened eagerly. If no
+    /// child ever attaches, [`SpeculativeSpan::end_if_used`] discards it
+    /// without ever touching the spans lock, which is why the simulator
+    /// wraps every mitigation consultation in one of these: the common
+    /// quiet path (engine returns no actions) pays no synchronization.
+    ///
+    /// Only one speculative span can be armed per hub at a time; opening a
+    /// second before closing the first discards the first (closing a
+    /// superseded guard is a no-op). This mirrors the hub's single causal
+    /// stack: speculative spans are for serial hot loops, not concurrency.
+    pub fn span_speculate(&self, name: &'static str, start_ps: u64) -> SpeculativeSpan {
+        let Some(i) = &self.inner else {
+            return SpeculativeSpan {
+                inner: None,
+                token: 0,
+                name,
+                start_ps,
+            };
+        };
+        let token = i.spec_next.fetch_add(1, Ordering::Relaxed);
+        let stale = i.spec_id.swap(0, Ordering::Relaxed);
+        if stale != 0 {
+            // The previously armed speculative span materialized but was
+            // never closed. Drop it from the causal stack now so it cannot
+            // corrupt the parentage of everything opened after it.
+            i.spans.lock().unwrap().remove_open(stale);
+        }
+        i.spec_token.store(token, Ordering::Relaxed);
+        SpeculativeSpan {
+            inner: Some(Arc::clone(i)),
+            token,
+            name,
+            start_ps,
+        }
+    }
+
     /// Records an already-finished leaf span in a single lock acquisition.
     ///
     /// Equivalent to `span_start(name, start_ps).end(end_ps)` for spans
@@ -382,6 +491,7 @@ impl Telemetry {
             return;
         };
         let mut sp = i.spans.lock().unwrap();
+        i.materialize_speculative(&mut sp);
         let id = sp.next_id;
         sp.next_id += 1;
         let parent = sp.stack.last().map(|o| o.id);
@@ -713,6 +823,112 @@ impl Drop for ActiveSpan {
     }
 }
 
+/// Guard for a span opened with [`Telemetry::span_speculate`].
+///
+/// Closing mirrors [`ActiveSpan`]: [`SpeculativeSpan::end`] commits,
+/// [`SpeculativeSpan::end_if_used`] commits only if a child attached (and
+/// for a span that never materialized this touches no lock at all),
+/// [`SpeculativeSpan::cancel`] and dropping the guard discard it.
+#[cfg(feature = "enabled")]
+#[must_use = "bind the span and close it with end()/end_if_used()/cancel()"]
+pub struct SpeculativeSpan {
+    inner: Option<Arc<Inner>>,
+    token: u64,
+    name: &'static str,
+    start_ps: u64,
+}
+
+#[cfg(feature = "enabled")]
+impl std::fmt::Debug for SpeculativeSpan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpeculativeSpan")
+            .field("token", &self.token)
+            .field("name", &self.name)
+            .field("start_ps", &self.start_ps)
+            .finish()
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl SpeculativeSpan {
+    /// Commits the span, ending at `end_ps` (clamped to the start time).
+    /// If it never materialized it commits as a leaf, taking the lock once.
+    pub fn end(mut self, end_ps: u64) {
+        self.close(Some(end_ps), false);
+    }
+
+    /// Commits the span only if a child span attached while it was armed;
+    /// discards it otherwise — without locking, which makes this the
+    /// free-when-quiet closer hot loops pair with
+    /// [`Telemetry::span_speculate`].
+    pub fn end_if_used(mut self, end_ps: u64) {
+        self.close(Some(end_ps), true);
+    }
+
+    /// Discards the span without recording anything.
+    pub fn cancel(mut self) {
+        self.close(None, false);
+    }
+
+    fn close(&mut self, end_ps: Option<u64>, require_used: bool) {
+        let Some(i) = self.inner.take() else {
+            return;
+        };
+        // Disarm the slot — but only if it is still ours. A later
+        // span_speculate supersedes this guard (and already cleaned up any
+        // materialized residue), so a failed exchange means no-op.
+        if i.spec_token
+            .compare_exchange(self.token, 0, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let id = i.spec_id.swap(0, Ordering::Relaxed);
+        if id == 0 {
+            // Never materialized: nothing is on the stack. A conditional
+            // close or a cancel discards for free; an unconditional end
+            // commits as a leaf now (equivalent to span_record).
+            if !require_used {
+                if let Some(end_ps) = end_ps {
+                    let t = Telemetry {
+                        inner: Some(Arc::clone(&i)),
+                    };
+                    t.span_record(self.name, self.start_ps, end_ps);
+                }
+            }
+            return;
+        }
+        // Materialized, which implies a child attached ("used"), so both
+        // end() and end_if_used() commit; only cancel discards.
+        let mut sp = i.spans.lock().unwrap();
+        let Some(open) = sp.remove_open(id) else {
+            return;
+        };
+        let Some(end_ps) = end_ps else {
+            return;
+        };
+        let span = Span {
+            id,
+            parent: open.parent,
+            name: self.name,
+            start_ps: self.start_ps,
+            end_ps: end_ps.max(self.start_ps),
+        };
+        sp.stats
+            .entry(self.name)
+            .or_default()
+            .record(span.duration_ps());
+        sp.ring.push(span);
+    }
+}
+
+#[cfg(feature = "enabled")]
+impl Drop for SpeculativeSpan {
+    fn drop(&mut self) {
+        self.close(None, false);
+    }
+}
+
 /// Guard for a host-wallclock phase opened with [`Telemetry::phase`].
 ///
 /// Dropping the guard closes the phase and records its elapsed host time;
@@ -781,6 +997,9 @@ impl Telemetry {
     /// No-op.
     pub fn merge_from(&self, _other: &Telemetry) {}
 
+    /// No-op.
+    pub fn merge_from_prefixed(&self, _other: &Telemetry, _wall_prefix: &str) {}
+
     /// Always `false` in this mode.
     pub fn is_enabled(&self) -> bool {
         false
@@ -809,6 +1028,12 @@ impl Telemetry {
     #[inline]
     pub fn span_start(&self, _name: &'static str, _start_ps: u64) -> ActiveSpan {
         ActiveSpan
+    }
+
+    /// Returns an inert speculative span guard.
+    #[inline]
+    pub fn span_speculate(&self, _name: &'static str, _start_ps: u64) -> SpeculativeSpan {
+        SpeculativeSpan
     }
 
     /// No-op.
@@ -954,6 +1179,28 @@ impl ActiveSpan {
         0
     }
 
+    /// No-op.
+    #[inline]
+    pub fn end(self, _end_ps: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn end_if_used(self, _end_ps: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn cancel(self) {}
+}
+
+/// Inert speculative span guard (feature off): a zero-sized type with no
+/// `Drop`, so the quiet path compiles to nothing.
+#[cfg(not(feature = "enabled"))]
+#[must_use = "bind the span and close it with end()/end_if_used()/cancel()"]
+#[derive(Debug)]
+pub struct SpeculativeSpan;
+
+#[cfg(not(feature = "enabled"))]
+impl SpeculativeSpan {
     /// No-op.
     #[inline]
     pub fn end(self, _end_ps: u64) {}
@@ -1304,6 +1551,196 @@ mod tests {
         let t = Telemetry::disabled();
         let g = t.phase("x");
         g.finish();
+        assert!(t.summary().is_none());
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn speculative_quiet_path_records_nothing_and_burns_no_id() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let sp = t.span_speculate("quiet", 0);
+        sp.end_if_used(10);
+        assert!(t.spans().is_empty());
+        assert!(t.summary().unwrap().histogram("span.quiet").is_none());
+        // No span id was consumed: the next eager span gets id 1.
+        let root = t.span_start("after", 20);
+        assert_eq!(root.id(), 1);
+        root.end(21);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn speculative_materializes_via_child_span_start() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let sp = t.span_speculate("mitigation", 100);
+        let child = t.span_start("migration", 110);
+        child.end(150);
+        sp.end_if_used(200);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        let child = spans.iter().find(|s| s.name == "migration").unwrap();
+        let root = spans.iter().find(|s| s.name == "mitigation").unwrap();
+        assert_eq!(child.parent, Some(root.id));
+        // Parent materialized before the child took an id, exactly as an
+        // eager span_start would have ordered them.
+        assert!(root.id < child.id);
+        assert_eq!((root.start_ps, root.end_ps), (100, 200));
+        assert_eq!(root.parent, None);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn speculative_materializes_via_span_record() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let sp = t.span_speculate("drain", 10);
+        t.span_record("refresh", 11, 15);
+        sp.end_if_used(20);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        let leaf = spans.iter().find(|s| s.name == "refresh").unwrap();
+        let root = spans.iter().find(|s| s.name == "drain").unwrap();
+        assert_eq!(leaf.parent, Some(root.id));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn speculative_unconditional_end_commits_as_leaf() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let sp = t.span_speculate("solo", 5);
+        sp.end(9);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!((spans[0].name, spans[0].parent), ("solo", None));
+        assert_eq!(spans[0].duration_ps(), 4);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn speculative_nests_under_open_parent_only_when_used() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        // Quiet speculative span inside a conditional root: the root stays
+        // unused and is discarded by its own end_if_used.
+        let outer = t.span_start("outer", 0);
+        let quiet = t.span_speculate("quiet", 1);
+        quiet.end_if_used(2);
+        outer.end_if_used(3);
+        assert!(t.spans().is_empty());
+
+        // A used speculative span nests under the open parent and marks it
+        // used.
+        let outer = t.span_start("outer", 10);
+        let sp = t.span_speculate("mid", 11);
+        let leaf = t.span_start("leaf", 12);
+        leaf.end(13);
+        sp.end_if_used(14);
+        outer.end_if_used(15);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        let outer = spans.iter().find(|s| s.name == "outer").unwrap();
+        let mid = spans.iter().find(|s| s.name == "mid").unwrap();
+        let leaf = spans.iter().find(|s| s.name == "leaf").unwrap();
+        assert_eq!(mid.parent, Some(outer.id));
+        assert_eq!(leaf.parent, Some(mid.id));
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn speculative_cancel_and_drop_discard_even_when_materialized() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let sp = t.span_speculate("a", 0);
+        t.span_record("child", 1, 2);
+        sp.cancel();
+        {
+            let _dropped = t.span_speculate("b", 10);
+            t.span_record("child", 11, 12);
+        }
+        let spans = t.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans.iter().all(|s| s.name == "child"));
+        // The stack is clean: a new root has no parent.
+        let root = t.span_start("c", 20);
+        root.end(21);
+        assert_eq!(t.spans().last().unwrap().parent, None);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn superseded_speculative_span_is_discarded_and_stack_stays_clean() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let first = t.span_speculate("first", 0);
+        t.span_record("c1", 1, 2); // materializes `first`
+        let second = t.span_speculate("second", 10); // supersedes `first`
+        t.span_record("c2", 11, 12); // materializes `second`
+        second.end_if_used(20);
+        first.end(30); // superseded: must be a no-op
+        let spans = t.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["c1", "c2", "second"]);
+        let c2 = spans.iter().find(|s| s.name == "c2").unwrap();
+        let second = spans.iter().find(|s| s.name == "second").unwrap();
+        assert_eq!(c2.parent, Some(second.id));
+        // `first`'s materialized residue was removed at supersede time:
+        // `second` is a root, and so is a fresh eager span.
+        assert_eq!(second.parent, None);
+        let root = t.span_start("after", 40);
+        root.end(41);
+        assert_eq!(t.spans().last().unwrap().parent, None);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn merge_from_prefixed_nests_wall_phases_and_credits_child_time() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let shard = t.fork();
+        {
+            let run = shard.phase("sim.run");
+            shard.phase("sim.epoch").finish();
+            run.finish();
+        }
+        let shard_total = shard
+            .summary()
+            .unwrap()
+            .wallclock
+            .unwrap()
+            .phase("sim.run")
+            .unwrap()
+            .total_ns;
+        let coord = t.phase("sim.sharded");
+        t.merge_from_prefixed(&shard, "sim.sharded;shard0");
+        coord.finish();
+        let w = t.summary().unwrap().wallclock.unwrap();
+        // Shard rows nest under the coordinator instead of the root.
+        assert_eq!(w.path("sim.sharded;shard0;sim.run").unwrap().count, 1);
+        assert!(w.path("sim.run").is_none());
+        let root = w.phase("sim.sharded").unwrap();
+        // The absorbed shard total was credited as the coordinator's child
+        // time, and only the coordinator's real elapsed time is the root.
+        assert!(root.child_ns >= shard_total);
+        assert_eq!(w.host_wallclock_ns, root.total_ns);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn merge_from_prefixed_with_empty_prefix_is_flat() {
+        let t = Telemetry::new(TelemetryConfig::default());
+        let job = t.fork();
+        job.phase("work").finish();
+        job.counter("c").inc();
+        t.merge_from_prefixed(&job, "");
+        let w = t.summary().unwrap().wallclock.unwrap();
+        assert_eq!(w.phase("work").unwrap().count, 1);
+        assert_eq!(t.summary().unwrap().counter("c"), Some(1));
+    }
+
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn feature_off_speculative_span_is_zero_sized_and_inert() {
+        assert_eq!(std::mem::size_of::<SpeculativeSpan>(), 0);
+        let t = Telemetry::new(TelemetryConfig::default());
+        t.span_speculate("x", 0).end_if_used(1);
+        t.span_speculate("y", 0).end(1);
+        t.span_speculate("z", 0).cancel();
+        t.merge_from_prefixed(&Telemetry::new(TelemetryConfig::default()), "p");
         assert!(t.summary().is_none());
     }
 

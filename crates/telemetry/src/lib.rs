@@ -47,7 +47,9 @@ pub mod wallclock;
 pub use epoch::{EpochRecord, EpochSeries};
 pub use event::{Event, EventKind};
 pub use hist::{HistogramData, HistogramSummary};
-pub use hub::{ActiveSpan, Counter, Gauge, Histogram, PhaseGuard, Telemetry, TelemetryConfig};
+pub use hub::{
+    ActiveSpan, Counter, Gauge, Histogram, PhaseGuard, SpeculativeSpan, Telemetry, TelemetryConfig,
+};
 pub use ring::RingBuffer;
 pub use span::Span;
 pub use summary::TelemetrySummary;

@@ -113,6 +113,46 @@ impl WallProfile {
         }
     }
 
+    /// Folds `other` in *nested* under `prefix`: every path `p` of `other`
+    /// lands at `prefix;p`, and one synthetic occurrence is recorded at
+    /// `prefix` itself whose inclusive time is `other`'s root total, fully
+    /// attributed to child time. Returns that root total in nanoseconds.
+    ///
+    /// The sharded simulator uses this to park each shard's wall profile
+    /// under a `sim.sharded;shard<i>` subtree: the shard rows stay visible
+    /// in folded stacks, but none of them is a root path, so the merged
+    /// hub's `host_wallclock_ns` keeps measuring real elapsed time (the
+    /// coordinator's own open phase) instead of summing per-shard CPU time.
+    pub fn merge_nested(&mut self, prefix: &str, other: &WallProfile) -> u64 {
+        if prefix.is_empty() {
+            let root_total = other
+                .paths
+                .iter()
+                .filter(|(p, _)| !p.contains(';'))
+                .map(|(_, s)| s.total_ns)
+                .sum();
+            self.merge(other);
+            return root_total;
+        }
+        let mut root_total = 0u64;
+        for (path, stats) in &other.paths {
+            if !path.contains(';') {
+                root_total += stats.total_ns;
+            }
+            self.paths
+                .entry(format!("{prefix};{path}"))
+                .or_default()
+                .merge(stats);
+        }
+        if !other.paths.is_empty() {
+            self.paths
+                .entry(prefix.to_string())
+                .or_default()
+                .record(root_total, root_total);
+        }
+        root_total
+    }
+
     /// Iterates `(path, stats)` in sorted path order.
     pub fn paths(&self) -> impl Iterator<Item = (&str, &PhaseStats)> {
         self.paths.iter().map(|(p, s)| (p.as_str(), s))
@@ -402,6 +442,34 @@ mod tests {
             whole.path("sim.run;sim.epoch").unwrap().count,
             parts.path("sim.run;sim.epoch").unwrap().count
         );
+    }
+
+    #[test]
+    fn merge_nested_parks_shard_rows_off_the_root() {
+        let mut root = WallProfile::new();
+        root.record("sim.sharded", 2_000, 0);
+        let total0 = root.merge_nested("sim.sharded;shard0", &sample_profile());
+        let total1 = root.merge_nested("sim.sharded;shard1", &sample_profile());
+        assert_eq!(total0, 1_000);
+        assert_eq!(total1, 1_000);
+        // Shard rows are nested, with a synthetic all-child row per shard.
+        let shard0 = root.path("sim.sharded;shard0").unwrap();
+        assert_eq!((shard0.count, shard0.total_ns), (1, 1_000));
+        assert_eq!(shard0.self_ns(), 0);
+        assert_eq!(
+            root.path("sim.sharded;shard0;sim.run;sim.epoch")
+                .unwrap()
+                .count,
+            2
+        );
+        // Only the coordinator's own phase is a root, so host wallclock is
+        // its elapsed time — not the sum of shard CPU time.
+        let s = WallclockSummary::from_profile(&root, 0);
+        assert_eq!(s.host_wallclock_ns, 2_000);
+        // An empty prefix degrades to the flat merge.
+        let mut flat = WallProfile::new();
+        assert_eq!(flat.merge_nested("", &sample_profile()), 1_000);
+        assert_eq!(flat.path("sim.run").unwrap().count, 1);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! externally produced access patterns to be fed into the simulator).
 
 use crate::{MemoryRequest, RequestGenerator};
-use aqua_dram::{Duration, GlobalRowId};
+use aqua_dram::{AddressError, Duration, GlobalRowId, TopologyConfig};
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// A finite, materialized request stream.
@@ -101,6 +101,46 @@ impl RecordedTrace {
         }
         Ok(RecordedTrace { label, requests })
     }
+
+    /// Splits a system-row trace into one per-channel trace per shard.
+    ///
+    /// The rows in `self` are interpreted as *system* row ids (the
+    /// channel-major flattening of [`TopologyConfig::encode`]); each output
+    /// trace holds the per-channel remainder ([`GlobalRowId`]) of the
+    /// requests routed to that channel. Think time is conserved: the gaps
+    /// of requests routed *elsewhere* accumulate into the next request a
+    /// channel does receive, so every channel observes the original
+    /// wallclock schedule of its own accesses. A single-channel topology
+    /// returns the trace unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AddressError`] if any row id exceeds
+    /// [`TopologyConfig::total_rows`].
+    pub fn fan_out(&self, topology: &TopologyConfig) -> Result<Vec<RecordedTrace>, AddressError> {
+        if topology.channels <= 1 {
+            return Ok(vec![self.clone()]);
+        }
+        let mut out: Vec<RecordedTrace> = (0..topology.channels)
+            .map(|c| RecordedTrace {
+                label: format!("{}#ch{c}", self.label),
+                requests: Vec::new(),
+            })
+            .collect();
+        // Gap owed to each channel's next request by requests routed away.
+        let mut pending = vec![0u64; topology.channels as usize];
+        for &(row, gap) in &self.requests {
+            let (channel, local) = topology.split(row)?;
+            for (i, p) in pending.iter_mut().enumerate() {
+                *p += gap;
+                if i == channel as usize {
+                    out[i].requests.push((local.index(), *p));
+                    *p = 0;
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Replays a [`RecordedTrace`] in a loop.
@@ -176,6 +216,57 @@ mod tests {
         assert!(RecordedTrace::read_from("no header\n1,2\n".as_bytes()).is_err());
         assert!(RecordedTrace::read_from("# aqua-trace x\nnot-a-pair\n".as_bytes()).is_err());
         assert!(RecordedTrace::read_from("# aqua-trace x\n1,abc\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn fan_out_on_one_channel_is_identity() {
+        let trace = sample_trace();
+        let topo = TopologyConfig::new(1, &DramGeometry::tiny());
+        let shards = trace.fan_out(&topo).unwrap();
+        assert_eq!(shards, vec![trace]);
+    }
+
+    #[test]
+    fn fan_out_routes_rows_and_conserves_think_time() {
+        let geom = DramGeometry::tiny();
+        let topo = TopologyConfig::new(4, &geom);
+        let per_channel = topo.rows_per_channel();
+        // Interleave channels 2, 0, 2, 3 with distinct local rows and gaps.
+        let trace = RecordedTrace {
+            label: "mix".into(),
+            requests: vec![
+                (2 * per_channel + 5, 100),
+                (7, 40),
+                (2 * per_channel + 9, 60),
+                (3 * per_channel + 1, 11),
+            ],
+        };
+        let shards = trace.fan_out(&topo).unwrap();
+        assert_eq!(shards.len(), 4);
+        assert_eq!(shards[0].label, "mix#ch0");
+        // Channel 0's only request carries the gap of the channel-2 request
+        // that preceded it plus its own.
+        assert_eq!(shards[0].requests, vec![(7, 140)]);
+        assert_eq!(shards[1].requests, vec![]);
+        assert_eq!(shards[2].requests, vec![(5, 100), (9, 100)]);
+        assert_eq!(shards[3].requests, vec![(1, 211)]);
+        // Total think time before the last routed request of each channel
+        // never exceeds the whole schedule.
+        let total: u64 = trace.requests.iter().map(|&(_, g)| g).sum();
+        for shard in &shards {
+            let used: u64 = shard.requests.iter().map(|&(_, g)| g).sum();
+            assert!(used <= total);
+        }
+    }
+
+    #[test]
+    fn fan_out_rejects_rows_outside_the_topology() {
+        let topo = TopologyConfig::new(2, &DramGeometry::tiny());
+        let trace = RecordedTrace {
+            label: "bad".into(),
+            requests: vec![(topo.total_rows(), 1)],
+        };
+        assert!(trace.fan_out(&topo).is_err());
     }
 
     #[test]
