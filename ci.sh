@@ -127,6 +127,72 @@ if AQUA_BENCH_WORKLOADS=mcf cargo run --offline -q --release -p aqua-bench \
 fi
 echo "quarantine is a warning by default and fatal under --strict"
 
+# Live metrics plane smoke: the same seeded campaign served over
+# --metrics-addr must be scrapeable mid-run — a well-formed Prometheus
+# exposition on /metrics with live sim.requests samples and a parseable
+# /healthz — and still emit a CSV byte-identical to the plane-less
+# fault_smoke reference above (the plane is an observer, never a
+# participant; DESIGN.md section 16).
+echo
+echo "==> metrics plane smoke: scrape /metrics and /healthz mid-sweep"
+cargo build --offline -q --release -p aqua-bench --bin monitor --bin fault_campaign
+metrics_addr_file=target/experiments/ci_metrics_addr.txt
+metrics_scrape=target/experiments/ci_metrics_scrape.txt
+rm -f "$metrics_addr_file"
+AQUA_BENCH_WORKLOADS=mcf AQUA_METRICS_PORT_FILE="$metrics_addr_file" \
+AQUA_METRICS_LINGER_MS=4000 \
+    target/release/fault_campaign \
+    --seed 7 --epochs 1 --rates 0,8 --out ci_metrics_smoke \
+    --metrics-addr 127.0.0.1:0 >/dev/null 2>&1 &
+metrics_pid=$!
+for _ in $(seq 1 300); do [ -s "$metrics_addr_file" ] && break; sleep 0.1; done
+if [ ! -s "$metrics_addr_file" ]; then
+    echo "ERROR: metrics plane never published its address" >&2
+    exit 1
+fi
+metrics_addr=$(cat "$metrics_addr_file")
+scraped=0
+for _ in $(seq 1 600); do
+    if target/release/monitor --addr "$metrics_addr" --once --raw \
+        >"$metrics_scrape" 2>/dev/null \
+        && grep -q '^aqua_sim_requests_total{' "$metrics_scrape"; then
+        scraped=1
+        break
+    fi
+    sleep 0.2
+done
+if [ "$scraped" != 1 ]; then
+    echo "ERROR: no live sim.requests sample scraped from /metrics" >&2
+    kill "$metrics_pid" 2>/dev/null || true
+    exit 1
+fi
+grep -q '^# TYPE aqua_up gauge' "$metrics_scrape"
+grep -q '^aqua_up 1' "$metrics_scrape"
+target/release/monitor --addr "$metrics_addr" --once | grep -q 'aqua monitor'
+wait "$metrics_pid"
+run diff target/experiments/fault_smoke_first.csv target/experiments/ci_metrics_smoke.csv
+echo "metrics plane served mid-run and changed nothing"
+
+# Alert-engine must-fail: under seeded faults the built-in
+# integrity_escape rule has to trip and --fail-on-alert has to turn it
+# into a non-zero exit; a clean rate-0 sweep must stay quiet. An alert
+# rule that cannot fire alerts nothing.
+echo
+echo "==> fault_campaign --fail-on-alert must FAIL under seeded escapes"
+if AQUA_BENCH_WORKLOADS=mcf target/release/fault_campaign \
+    --seed 7 --epochs 1 --rates 8 --out ci_alert_fail \
+    --fail-on-alert >/dev/null 2>&1; then
+    echo "ERROR: --fail-on-alert did not trip on seeded integrity escapes" >&2
+    exit 1
+fi
+echo "alert engine tripped on the seeded escape as required"
+echo
+echo "==> fault_campaign --fail-on-alert stays quiet at fault rate 0"
+AQUA_BENCH_WORKLOADS=mcf target/release/fault_campaign \
+    --seed 7 --epochs 1 --rates 0 --out ci_alert_quiet \
+    --fail-on-alert >/dev/null
+echo "no alert fired on a clean sweep"
+
 # Host-time profiler smoke: with telemetry on the folded-stacks output must
 # be non-empty and contain the sim.run root (flamegraph.pl-consumable);
 # with telemetry off the binary must exit 0 and report nothing to profile.

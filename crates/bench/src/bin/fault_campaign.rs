@@ -4,6 +4,7 @@
 //! fault_campaign [--seed N] [--trh N] [--epochs N] [--rates A,B,C]
 //!                [--watchdog-secs N] [--out NAME] [--resume JOURNAL]
 //!                [--strict] [--chaos-cell SCHEME/WORKLOAD]
+//!                [--metrics-addr HOST:PORT] [--fail-on-alert]
 //! ```
 //!
 //! - `--seed`: campaign base seed (default 42). Every `(scheme, workload)`
@@ -26,6 +27,15 @@
 //! - `--chaos-cell`: sabotage one cell so its first attempt panics and the
 //!   determinism probe succeeds — the supervision layer's own must-fail
 //!   hook (the cell ends quarantined; see `--strict`).
+//! - `--metrics-addr`: serve live `/metrics` (Prometheus text) and
+//!   `/healthz` while the sweep runs (port 0 binds an ephemeral port;
+//!   equivalent to `AQUA_METRICS_ADDR`; watch with the `monitor` binary).
+//!   Observer-only: the CSV is byte-identical with the plane on or off.
+//! - `--fail-on-alert`: exit non-zero when any deterministic alert rule
+//!   fired during the sweep (`sim.alerts_fired` summed over every cell) —
+//!   under seeded faults the built-in `integrity_escape` rule trips as
+//!   soon as a corrupted translation is observed, so this is ci.sh's
+//!   must-fail hook for the alert engine.
 //!
 //! Workloads default to a small representative trio (`mcf`, `lbm`, `mix00`);
 //! set `AQUA_BENCH_WORKLOADS` to sweep others. Schemes are the ones with
@@ -98,8 +108,20 @@ fn main() {
         .unwrap_or(120);
     let out = arg("--out").unwrap_or_else(|| "fault_campaign".into());
     let strict = flag("--strict");
+    let fail_on_alert = flag("--fail-on-alert");
 
     let mut harness = Harness::new(t_rh);
+    if harness.metrics.is_none() {
+        if let Some(addr) = arg("--metrics-addr") {
+            match aqua_telemetry::MetricsPlane::bind(&addr) {
+                Ok(plane) => harness.metrics = Some(plane),
+                Err(e) => {
+                    eprintln!("cannot bind --metrics-addr {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
     if let Some(e) = arg("--epochs").and_then(|v| v.parse().ok()) {
         harness.epochs = e;
     }
@@ -121,6 +143,21 @@ fn main() {
         vec!["mcf".to_string(), "lbm".to_string(), "mix00".to_string()]
     };
 
+    // `--fail-on-alert` gates on per-cell `sim.alerts_fired` counters, and
+    // the alert engine only runs on an enabled hub — so bring one for the
+    // sweep. (A live plane auto-creates its own inside the matrix runner;
+    // this is only for the gate.) CSV bytes are unchanged either way.
+    let telemetry = fail_on_alert
+        .then(|| aqua_telemetry::Telemetry::new(aqua_telemetry::TelemetryConfig::default()));
+    if let Some(hub) = &telemetry {
+        if !hub.is_enabled() {
+            eprintln!(
+                "warning: built without the `telemetry` feature; \
+                 --fail-on-alert cannot observe alert firings"
+            );
+        }
+    }
+
     println!(
         "fault campaign: seed={seed} T_RH={t_rh} epochs={} rates={rates:?} \
          schemes={:?} workloads={workloads:?} watchdog={watchdog_secs}s",
@@ -132,12 +169,14 @@ fn main() {
     let mut unaccounted_total: u64 = 0;
     let mut failed_cells: u64 = 0;
     let mut quarantined_cells: u64 = 0;
+    let mut alerts_fired: u64 = 0;
     for &rate in &rates {
         harness.faults = Some(FaultSpec {
             seed,
             events_per_epoch: rate,
         });
-        let results = harness.run_matrix(&SCHEMES, &workloads);
+        let results = harness.run_matrix_instrumented(&SCHEMES, &workloads, telemetry.as_ref());
+        alerts_fired += results.health().alerts_fired;
         for cell in results.cells() {
             let mut row = vec![
                 rate.to_string(),
@@ -194,6 +233,16 @@ fn main() {
     print_table(&format!("Fault campaign (seed {seed})"), &HEADER, &rows);
     write_csv(&out, &HEADER, &rows);
 
+    if telemetry.is_some() {
+        println!("alert rules fired across the sweep: {alerts_fired}");
+    }
+    // Keep the endpoint up for late scrapers (AQUA_METRICS_LINGER_MS) —
+    // before the exit paths, so a watching `monitor` sees the final state
+    // even when the campaign is about to fail.
+    if let Some(plane) = &harness.metrics {
+        plane.linger_from_env();
+    }
+
     if failed_cells > 0 {
         eprintln!("FAIL: {failed_cells} campaign cell(s) failed");
     }
@@ -207,7 +256,14 @@ fn main() {
             if strict { "FAIL" } else { "WARNING" }
         );
     }
-    if failed_cells > 0 || unaccounted_total > 0 || (strict && quarantined_cells > 0) {
+    if fail_on_alert && alerts_fired > 0 {
+        eprintln!("FAIL: {alerts_fired} alert firing(s) during the sweep (--fail-on-alert)");
+    }
+    if failed_cells > 0
+        || unaccounted_total > 0
+        || (strict && quarantined_cells > 0)
+        || (fail_on_alert && alerts_fired > 0)
+    {
         std::process::exit(1);
     }
     println!("every injected corruption accounted for: recovered, counted, or dormant");

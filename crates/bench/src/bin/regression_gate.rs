@@ -57,7 +57,10 @@
 //! wall-clock in results), so a re-run on unchanged code reproduces the
 //! baseline numbers exactly; only the throughput block carries host-time
 //! noise, which is why its tolerance is a factor, not a percentage.
-//! `AQUA_BENCH_JOBS` only changes wall-clock time.
+//! `AQUA_BENCH_JOBS` only changes wall-clock time. Setting
+//! `AQUA_METRICS_ADDR` serves a live `/metrics`+`/healthz` plane via the
+//! harness while the gate runs; it is observer-only and never moves the
+//! measured numbers or the pass/fail verdict.
 //!
 //! The behavioral matrix runs under the supervision layer; `--resume
 //! JOURNAL` (or `AQUA_BENCH_JOURNAL`) checkpoints every canary cell as it

@@ -4,6 +4,7 @@
 //! simulate [--scheme NAME] [--workload NAME] [--trh N] [--epochs N]
 //!          [--trace-out FILE] [--timeseries-out FILE] [--histograms FILE]
 //!          [--spans-out FILE] [--trace-activates] [--trace-capacity N]
+//!          [--metrics-addr HOST:PORT]
 //! ```
 //!
 //! - `--scheme`: baseline | aqua-sram | aqua-mapped | rrs | victim-refresh |
@@ -24,6 +25,11 @@
 //!   (high volume; off by default)
 //! - `--trace-capacity`: ring-buffer size of the event trace (default 65536;
 //!   oldest events are dropped first)
+//! - `--metrics-addr`: serve live `/metrics` (Prometheus text) and
+//!   `/healthz` on this address while the run is in flight (port 0 binds an
+//!   ephemeral port; equivalent to setting `AQUA_METRICS_ADDR`). Watch it
+//!   with the `monitor` binary. Deterministic outputs are byte-identical
+//!   with the plane on or off.
 //!
 //! Prints the full run report, including the security-oracle verdict, the
 //! shadow-memory integrity check, and — when a hub is attached — a
@@ -73,15 +79,29 @@ fn main() {
     if let Some(e) = arg("--epochs").and_then(|v| v.parse().ok()) {
         harness.epochs = e;
     }
+    if harness.metrics.is_none() {
+        if let Some(addr) = arg("--metrics-addr") {
+            match aqua_telemetry::MetricsPlane::bind(&addr) {
+                Ok(plane) => harness.metrics = Some(plane),
+                Err(e) => {
+                    eprintln!("cannot bind --metrics-addr {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
 
     let trace_out = arg("--trace-out");
     let timeseries_out = arg("--timeseries-out");
     let histograms_out = arg("--histograms");
     let spans_out = arg("--spans-out");
+    // A live plane needs an enabled hub to snapshot, so it implies one
+    // even when no export file was asked for.
     let want_telemetry = trace_out.is_some()
         || timeseries_out.is_some()
         || histograms_out.is_some()
-        || spans_out.is_some();
+        || spans_out.is_some()
+        || harness.metrics.is_some();
     let telemetry = if want_telemetry {
         let mut cfg = TelemetryConfig {
             trace_activates: flag("--trace-activates"),
@@ -202,5 +222,9 @@ fn main() {
             write_histogram_jsonl(&mut w, name, &data).expect("write histogram");
         }
         println!("wrote {} histograms to {path}", HISTOGRAMS.len());
+    }
+    // Keep the endpoint up for late scrapers (AQUA_METRICS_LINGER_MS).
+    if let Some(plane) = &harness.metrics {
+        plane.linger_from_env();
     }
 }

@@ -35,7 +35,8 @@
 //! - `AQUA_BENCH_JOBS`: worker threads for the experiment matrix
 //!   (default: all available cores; `1` = serial; `0` = auto, same as
 //!   unset).
-//! - `AQUA_BENCH_PROGRESS=1`: per-completion progress lines on stderr.
+//! - `AQUA_BENCH_PROGRESS=1`: per-start/per-completion progress lines on
+//!   stderr (with a per-channel in-flight breakdown on sharded runs).
 //! - `AQUA_BENCH_RETRIES`: seeded re-runs granted to a watchdog-expired
 //!   cell (default 1; the determinism probe after an ordinary panic is
 //!   separate and always exactly one).
@@ -45,6 +46,12 @@
 //!   overrides it.
 //! - `AQUA_BENCH_JOURNAL`: path of the checkpoint/resume journal
 //!   (equivalent to the campaign binaries' `--resume`).
+//! - `AQUA_METRICS_ADDR`: serve live `/metrics` + `/healthz` on this
+//!   address for the whole process ([`aqua_telemetry::MetricsPlane`];
+//!   port 0 = ephemeral, observer-only — outputs stay byte-identical).
+//!   `AQUA_METRICS_PORT_FILE` receives the bound address and
+//!   `AQUA_METRICS_LINGER_MS` keeps the endpoint up after the run;
+//!   `AQUA_ALERT_RULES` overrides the alert rules (DESIGN.md §16).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -56,7 +63,7 @@ pub mod output;
 pub use aqua_sim::pool;
 pub mod supervise;
 
-pub use matrix::{MatrixCell, MatrixResults};
+pub use matrix::{MatrixCell, MatrixHealth, MatrixResults};
 pub use supervise::{Attempted, RunError, Supervisor};
 
 use std::path::PathBuf;
@@ -71,8 +78,13 @@ use aqua_dram::BaselineConfig;
 use aqua_faults::{derive_cell_seed, FaultSpec};
 use aqua_rrs::{RrsConfig, RrsEngine};
 use aqua_sim::{CostAblation, RunReport, ShardedSimulation, SimConfig, Simulation};
-use aqua_telemetry::Telemetry;
+use aqua_telemetry::{
+    AlertEngine, AlertNotice, MetricsPlane, Snapshot, SnapshotTracker, Telemetry, TelemetryConfig,
+    TelemetrySummary,
+};
 use aqua_workload::{channel_seed, mix_table, spec, AddressSpace, RequestGenerator};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// The mitigation schemes the harness can run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +204,11 @@ pub struct Harness {
     /// (the attribution report's what-if re-runs). `CostAblation::NONE`
     /// is the normal, fully-costed configuration.
     pub ablate: CostAblation,
+    /// Live metrics plane (`AQUA_METRICS_ADDR` or `--metrics-addr`).
+    /// Observer-only and excluded from [`Harness::cell_key`], like every
+    /// host-parallelism knob: results are byte-identical with it on or
+    /// off.
+    pub metrics: Option<Arc<MetricsPlane>>,
 }
 
 /// Parses an integer environment value, warning — instead of silently
@@ -283,6 +300,7 @@ impl Harness {
             journal,
             chaos: None,
             ablate: CostAblation::NONE,
+            metrics: MetricsPlane::from_env(),
         }
     }
 
@@ -497,6 +515,9 @@ impl Harness {
         if let Some(hub) = telemetry {
             sim.attach_telemetry(hub.clone());
         }
+        if let Some(plane) = &self.metrics {
+            sim.attach_metrics_plane(Arc::clone(plane), format!("{scheme_name}/{workload};ch0"));
+        }
         let mut report = sim.run();
         report.workload = workload.to_string();
         (report, sim.into_mitigation())
@@ -522,6 +543,9 @@ impl Harness {
             .shard_workers(self.shard_workers);
         if let Some(hub) = telemetry {
             sim.attach_telemetry(hub.clone());
+        }
+        if let Some(plane) = &self.metrics {
+            sim.attach_metrics_plane(Arc::clone(plane), format!("{scheme_name}/{workload}"));
         }
         let mut report = sim.run();
         report.workload = workload.to_string();
@@ -631,6 +655,15 @@ impl Harness {
         workloads: &[String],
         telemetry: Option<&Telemetry>,
     ) -> MatrixResults {
+        // A live metrics plane needs per-epoch snapshots, which only an
+        // enabled hub can feed. When the caller brought none, create an
+        // internal one just for observation: the journal codec drops
+        // telemetry and no CSV writer reads it, so deterministic outputs
+        // are unchanged (the metrics-plane determinism tests diff the
+        // bytes).
+        let auto_hub = (telemetry.is_none() && self.metrics.is_some())
+            .then(|| Telemetry::new(TelemetryConfig::default()));
+        let telemetry = telemetry.or(auto_hub.as_ref());
         // Wallclock phases on the *parent* hub bracket the coordinator's
         // three stages; per-job sim phases land in the per-job forks and
         // merge back underneath.
@@ -651,10 +684,16 @@ impl Harness {
             .iter()
             .map(|&(s, w)| format!("{}/{w}", s.name()))
             .collect();
+        if let Some(plane) = &self.metrics {
+            // Accumulate (not overwrite): campaigns run several matrices
+            // back to back and the board is one run-wide rollup.
+            plane.update_cells(|c| c.total += total as u64);
+        }
         let supervisor = Supervisor {
             max_retries: self.retries,
             telemetry: parent.clone(),
             cancel: None,
+            plane: self.metrics.clone(),
         };
         let binding = journal.as_ref().map(|j| supervise::JournalBinding {
             journal: j,
@@ -666,6 +705,10 @@ impl Harness {
             },
         });
         setup_phase.finish();
+        let heartbeat = self
+            .metrics
+            .as_ref()
+            .map(|plane| Heartbeat::start(Arc::clone(plane), parent.clone()));
         let run_phase = parent.phase("bench.run");
         let outcomes = supervise::run_supervised(
             self.jobs,
@@ -682,6 +725,13 @@ impl Harness {
             },
         );
         run_phase.finish();
+        // Stop the heartbeat before forks merge into the parent: once the
+        // parent hub carries the merged `sim.*` counters, republishing it
+        // as the `bench` source would double-count them in the plane's
+        // aggregates.
+        if let Some(hb) = heartbeat {
+            hb.stop();
+        }
         let merge_phase = parent.phase("bench.merge");
         let cells = jobs
             .into_iter()
@@ -737,6 +787,91 @@ impl Harness {
     }
 }
 
+/// Host-time heartbeat of one matrix run: every 200 ms it publishes the
+/// coordinator hub's snapshot under the `bench` source and evaluates the
+/// host-time (`rate`) alert rules over the aggregate `sim.requests` of
+/// every sim source published on the plane. Host-only by construction:
+/// firings warn on stderr and surface on `/healthz`, but never enter the
+/// deterministic event ring (see [`aqua_telemetry::alerts`]).
+struct Heartbeat {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Heartbeat {
+    const INTERVAL: std::time::Duration = std::time::Duration::from_millis(200);
+
+    fn start(plane: Arc<MetricsPlane>, parent: Telemetry) -> Heartbeat {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("aqua-heartbeat".into())
+            .spawn(move || Self::beat(&plane, &parent, &stop_flag))
+            .expect("spawn heartbeat thread");
+        Heartbeat { stop, handle }
+    }
+
+    fn beat(plane: &MetricsPlane, parent: &Telemetry, stop: &AtomicBool) {
+        let mut engine = AlertEngine::from_env();
+        let mut tracker = SnapshotTracker::new();
+        let mut prev_requests = 0u64;
+        let mut last = std::time::Instant::now();
+        let mut seq = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Self::INTERVAL);
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            if let Some(snap) = tracker.capture(parent) {
+                plane.publish("bench", snap);
+            }
+            let requests = plane.aggregate_counter("sim.requests");
+            let now = std::time::Instant::now();
+            let elapsed_ns = now.duration_since(last).as_nanos() as u64;
+            last = now;
+            seq += 1;
+            // Rate rules only make sense once traffic has been observed:
+            // before the first sim source publishes, every rate is 0 and a
+            // collapse alert would be pure startup noise.
+            if prev_requests > 0 {
+                let snap = Snapshot {
+                    seq,
+                    summary: TelemetrySummary {
+                        counters: vec![("sim.requests".to_string(), requests)],
+                        ..TelemetrySummary::default()
+                    },
+                    counter_deltas: vec![(
+                        "sim.requests".to_string(),
+                        requests.saturating_sub(prev_requests),
+                    )],
+                    host_elapsed_ns: elapsed_ns,
+                    ..Snapshot::default()
+                };
+                for firing in engine.evaluate_host(&snap) {
+                    eprintln!(
+                        "warning: [alert] {} fired on the bench heartbeat: \
+                         observed {} vs threshold {}",
+                        firing.rule, firing.value, firing.threshold
+                    );
+                    plane.note_alert(AlertNotice {
+                        rule: firing.rule.to_string(),
+                        value: firing.value,
+                        threshold: firing.threshold,
+                        source: "bench".to_string(),
+                        host_time: true,
+                    });
+                }
+            }
+            prev_requests = requests;
+        }
+    }
+
+    fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
+}
+
 /// Journal payload codec for matrix cells: the report alone is durable;
 /// the per-job telemetry fork is a live host-side object and is dropped
 /// (a replayed cell merges nothing into the parent hub).
@@ -769,6 +904,7 @@ mod tests {
             journal: None,
             chaos: None,
             ablate: CostAblation::NONE,
+            metrics: None,
         }
     }
 
@@ -788,6 +924,7 @@ mod tests {
             journal: None,
             chaos: None,
             ablate: CostAblation::NONE,
+            metrics: None,
         }
     }
 
@@ -1048,6 +1185,104 @@ mod tests {
             one.3[0].per_core.len(),
             4 * BaselineConfig::tiny().cores as usize
         );
+    }
+
+    /// The metrics plane's determinism contract (DESIGN.md section 16):
+    /// matrix CSV rows, checkpoint journal bytes, merged span and event
+    /// dumps must be **byte-identical** whether or not a live plane is
+    /// attached, at 1 and at 4 shard workers — the plane is an observer,
+    /// never a participant. Runs in both telemetry feature modes (with the
+    /// feature off the plane serves but publishes nothing).
+    #[test]
+    fn metrics_plane_never_changes_deterministic_artifacts() {
+        fn run(with_plane: bool, shard_workers: usize) -> (String, String, Option<String>) {
+            let path = tmp_journal(&format!("plane-det-{with_plane}-{shard_workers}"));
+            let mut h = sim_harness(1); // serial matrix: isolate the plane
+            h.base = h.base.with_channels(4);
+            h.shard_workers = shard_workers;
+            h.faults = Some(FaultSpec {
+                seed: 11,
+                events_per_epoch: 24,
+            });
+            h.journal = Some(path.clone());
+            if with_plane {
+                h.metrics = Some(MetricsPlane::bind("127.0.0.1:0").expect("bind ephemeral"));
+            }
+            let hub = Telemetry::new(Default::default());
+            let schemes = [Scheme::Baseline, Scheme::VictimRefresh, Scheme::Blockhammer];
+            let workloads = vec!["povray".to_string(), "namd".to_string()];
+            let results = h.run_matrix_instrumented(&schemes, &workloads, Some(&hub));
+            results.expect_complete();
+            let mut csv = String::from("scheme,workload,requests_done,migrations\n");
+            for report in results.reports() {
+                csv.push_str(&format!(
+                    "{},{},{},{}\n",
+                    report.scheme,
+                    report.workload,
+                    report.requests_done,
+                    report.mitigation.row_migrations
+                ));
+            }
+            let journal_bytes = std::fs::read_to_string(&path).unwrap();
+            std::fs::remove_file(&path).unwrap();
+            let dumps = hub
+                .is_enabled()
+                .then(|| format!("{:?}{:?}", hub.spans(), hub.trace_events()));
+            if let Some(plane) = &h.metrics {
+                // The observer actually observed: per-channel shard
+                // snapshots landed on the board (feature-on only; with
+                // telemetry compiled out there is nothing to publish).
+                if hub.is_enabled() {
+                    assert!(
+                        plane.aggregate_counter("sim.requests") > 0,
+                        "plane saw no published snapshots"
+                    );
+                }
+                plane.shutdown();
+            }
+            (csv, journal_bytes, dumps)
+        }
+        let off = run(false, 1);
+        assert_eq!(off, run(true, 1), "plane on/off must not change bytes");
+        assert_eq!(off, run(true, 4), "plane + 4 shard workers changed bytes");
+        assert!(off.0.lines().count() > 1, "matrix produced no rows");
+        assert!(!off.1.is_empty(), "journal recorded nothing");
+    }
+
+    /// Deterministic alerting is part of the run, not the plane: a
+    /// fault-heavy campaign trips the default `degraded_rising` /
+    /// `integrity_escape` rules, counts them on `sim.alerts_fired`, and
+    /// records `AlertFired` events in the ring — with no plane attached.
+    #[test]
+    fn alert_rules_fire_on_faulted_runs_without_a_plane() {
+        let mut h = sim_harness(1);
+        h.faults = Some(FaultSpec {
+            seed: 11,
+            events_per_epoch: 24,
+        });
+        let hub = Telemetry::new(Default::default());
+        if !hub.is_enabled() {
+            return; // feature off: no counters, no ring, nothing to alert on
+        }
+        let mut fired = 0;
+        for w in ["povray", "namd", "leela"] {
+            let fork = hub.fork();
+            let engine = tiny_aqua_engine(&h.base);
+            let (report, _) = h.run_engine(engine, w, Some(&fork));
+            fired += report
+                .telemetry
+                .as_ref()
+                .and_then(|t| t.counter("sim.alerts_fired"))
+                .unwrap_or(0);
+            hub.merge_from(&fork);
+        }
+        assert!(fired > 0, "no alert rule fired on a fault-heavy campaign");
+        let ring_alerts = hub
+            .trace_events()
+            .iter()
+            .filter(|e| matches!(e.kind, aqua_telemetry::EventKind::AlertFired { .. }))
+            .count() as u64;
+        assert_eq!(ring_alerts, fired, "every firing lands in the event ring");
     }
 
     /// A reduced AQUA configuration that fits `BaselineConfig::tiny` (the

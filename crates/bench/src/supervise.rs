@@ -22,6 +22,11 @@
 //! Supervision telemetry — retry/resume/quarantine counters and events —
 //! is recorded on the supervisor's hub *after* the pool drains, in input
 //! order, so it is byte-identical regardless of worker count.
+//!
+//! A [`MetricsPlane`], by contrast, is updated *live* (cell started,
+//! in flight, completed, failed, retried, quarantined, resumed) — it is a
+//! host-time observer whose update order legitimately depends on
+//! scheduling, and nothing deterministic ever reads it back.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -30,7 +35,7 @@ use std::sync::Arc;
 use crate::gate::JsonValue;
 use crate::journal::{CellKey, Journal};
 use crate::pool;
-use aqua_telemetry::{EventKind, Telemetry};
+use aqua_telemetry::{EventKind, MetricsPlane, Telemetry};
 
 /// Why an experiment cell has no trustworthy result.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,6 +159,9 @@ pub struct Supervisor {
     /// Cooperative cancellation: once set, cells that have not started
     /// conclude as [`RunError::Canceled`] (journaled as retriable).
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Live metrics plane receiving cell-health updates as they happen
+    /// (see the module docs; `None` = no live observer).
+    pub plane: Option<Arc<MetricsPlane>>,
 }
 
 impl Default for Supervisor {
@@ -162,6 +170,7 @@ impl Default for Supervisor {
             max_retries: 1,
             telemetry: Telemetry::disabled(),
             cancel: None,
+            plane: None,
         }
     }
 }
@@ -230,8 +239,34 @@ where
         .map(|i| binding.and_then(|b| replay(b, i)))
         .collect();
     let pending: Vec<usize> = (0..items.len()).filter(|&i| slots[i].is_none()).collect();
+    if let Some(plane) = &sup.plane {
+        let resumed = (items.len() - pending.len()) as u64;
+        if resumed > 0 {
+            plane.update_cells(|c| c.resumed += resumed);
+        }
+    }
     let ran = pool::run_indexed(jobs, &pending, |_, &i| {
+        if let Some(plane) = &sup.plane {
+            plane.update_cells(|c| {
+                c.started += 1;
+                c.in_flight += 1;
+            });
+        }
         let att = attempt_cell(i, &items[i], sup, &f);
+        if let Some(plane) = &sup.plane {
+            plane.update_cells(|c| {
+                c.in_flight = c.in_flight.saturating_sub(1);
+                c.retried += u64::from(att.attempts.saturating_sub(1));
+                match &att.outcome {
+                    Ok(_) => c.completed += 1,
+                    Err(RunError::Nondeterministic { .. }) => {
+                        c.failed += 1;
+                        c.quarantined += 1;
+                    }
+                    Err(_) => c.failed += 1,
+                }
+            });
+        }
         if let Some(b) = binding {
             append(b, i, &att);
         }

@@ -33,9 +33,9 @@
 use crate::{pool, RunReport, SimConfig, Simulation};
 use aqua_dram::mitigation::Mitigation;
 use aqua_faults::derive_cell_seed;
-use aqua_telemetry::Telemetry;
+use aqua_telemetry::{MetricsPlane, Telemetry};
 use aqua_workload::RequestGenerator;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Runs one independent [`Simulation`] per DRAM channel and merges the
 /// results deterministically.
@@ -85,6 +85,9 @@ where
     generators: GF,
     shard_workers: usize,
     telemetry: Telemetry,
+    /// Live metrics plane plus the base source label; each channel shard
+    /// publishes under `{label};ch{c}`.
+    plane: Option<(Arc<MetricsPlane>, String)>,
 }
 
 impl<M, EF, GF> ShardedSimulation<M, EF, GF>
@@ -101,6 +104,7 @@ where
             generators,
             shard_workers: 0,
             telemetry: Telemetry::disabled(),
+            plane: None,
         }
     }
 
@@ -116,6 +120,14 @@ where
     /// runs against its own fork; forks are merged back in channel order.
     pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
         self.telemetry = telemetry;
+    }
+
+    /// Attaches the live metrics plane. Each channel shard publishes its
+    /// epoch snapshots under `{source};ch{c}` (the single-channel
+    /// pass-through publishes as `{source};ch0`), which is what the
+    /// plane's per-channel imbalance rollup groups on.
+    pub fn attach_metrics_plane(&mut self, plane: Arc<MetricsPlane>, source: impl Into<String>) {
+        self.plane = Some((plane, source.into()));
     }
 
     /// The simulation configuration of one channel shard: a single-channel
@@ -169,6 +181,9 @@ where
                 (self.generators)(0),
             );
             sim.attach_telemetry(self.telemetry.clone());
+            if let Some((plane, source)) = &self.plane {
+                sim.attach_metrics_plane(Arc::clone(plane), format!("{source};ch0"));
+            }
             return sim.run();
         }
         let coordinator = self.telemetry.phase("sim.sharded");
@@ -185,11 +200,18 @@ where
                     (self.generators)(c),
                 );
                 sim.attach_telemetry(hub.clone());
+                if let Some((plane, source)) = &self.plane {
+                    sim.attach_metrics_plane(Arc::clone(plane), format!("{source};ch{c}"));
+                }
                 Mutex::new(Some((sim, hub)))
             })
             .collect();
         let workers = self.effective_workers(channels);
-        let outcomes = pool::run_indexed(workers, &shards, |_, cell| {
+        // Channel labels feed the opt-in progress reporter only
+        // (AQUA_BENCH_PROGRESS=1): a long multi-channel run shows which
+        // channels are still in flight.
+        let labels = (0..channels).map(|c| format!("ch{c}")).collect();
+        let outcomes = pool::run_labeled(workers, &shards, labels, |_, cell| {
             let (mut sim, hub) = cell
                 .lock()
                 .unwrap()

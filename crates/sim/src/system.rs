@@ -11,9 +11,13 @@ use aqua_dram::{
 use aqua_faults::{
     FaultEvent, FaultInjector, FaultKind, FaultPlan, FaultReport, FaultSpec, InjectOutcome,
 };
-use aqua_telemetry::{Counter, EpochRecord, EventKind, Histogram, HistogramData, Telemetry};
+use aqua_telemetry::{
+    AlertEngine, AlertNotice, Counter, EpochRecord, EventKind, Histogram, HistogramData,
+    MetricsPlane, SnapshotTracker, Telemetry,
+};
 use aqua_workload::RequestGenerator;
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -151,6 +155,18 @@ pub struct Simulation<M: Mitigation> {
     integrity_escapes: Counter,
     degraded_epochs: Counter,
     straggler_reports: Counter,
+    alerts_fired: Counter,
+    /// Deterministic alert rules, evaluated at every epoch boundary over
+    /// this run's own snapshot. Present whenever an enabled hub is
+    /// attached — independent of the metrics plane, so the event ring is
+    /// byte-identical with the plane on or off.
+    alerts: Option<AlertEngine>,
+    /// Per-run snapshot history (feeds alert deltas and the plane).
+    snapshots: SnapshotTracker,
+    /// Live metrics plane and this run's source label (`scheme/wl;chN`).
+    /// Strictly an observer: published snapshots are copies, and nothing
+    /// simulated ever reads back from it.
+    plane: Option<(Arc<MetricsPlane>, String)>,
 }
 
 impl<M: Mitigation> Simulation<M> {
@@ -216,6 +232,10 @@ impl<M: Mitigation> Simulation<M> {
             integrity_escapes: detached.counter("sim.integrity_escapes"),
             degraded_epochs: detached.counter("sim.degraded_epochs"),
             straggler_reports: detached.counter("sim.straggler_reports"),
+            alerts_fired: detached.counter("sim.alerts_fired"),
+            alerts: None,
+            snapshots: SnapshotTracker::new(),
+            plane: None,
         }
     }
 
@@ -232,8 +252,21 @@ impl<M: Mitigation> Simulation<M> {
         self.integrity_escapes = telemetry.counter("sim.integrity_escapes");
         self.degraded_epochs = telemetry.counter("sim.degraded_epochs");
         self.straggler_reports = telemetry.counter("sim.straggler_reports");
+        self.alerts_fired = telemetry.counter("sim.alerts_fired");
+        // Deterministic alerting rides on the hub, not the plane: it is
+        // active whenever telemetry records at all, so the event ring (and
+        // every export derived from it) cannot depend on whether anyone is
+        // watching live.
+        self.alerts = telemetry.is_enabled().then(AlertEngine::from_env);
         self.mitigation.attach_telemetry(telemetry.clone());
         self.telemetry = telemetry;
+    }
+
+    /// Attaches the live metrics plane. `source` labels this run's series
+    /// (`scheme/workload;chN` by convention). Observer-only: see the
+    /// determinism rules on [`aqua_telemetry::expose`].
+    pub fn attach_metrics_plane(&mut self, plane: Arc<MetricsPlane>, source: impl Into<String>) {
+        self.plane = Some((plane, source.into()));
     }
 
     /// The attached telemetry hub (disabled if none was attached).
@@ -581,6 +614,56 @@ impl<M: Mitigation> Simulation<M> {
             mitigation,
             channel,
         };
+        self.observe_epoch(epoch);
+    }
+
+    /// The epoch hook of the live metrics plane: captures a snapshot of
+    /// this run's hub, evaluates the deterministic alert rules against it,
+    /// and publishes the snapshot to the plane when one is attached.
+    ///
+    /// Alert firings are recorded into the event ring (at `ts_ps` 0, like
+    /// the straggler escalation: the rule crossing is an epoch-boundary
+    /// observation, not a simulated-time event) and counted on
+    /// `sim.alerts_fired` whether or not a plane is watching, so every
+    /// deterministic output is byte-identical with the plane on or off.
+    fn observe_epoch(&mut self, epoch: u64) {
+        if self.alerts.is_none() && self.plane.is_none() {
+            return;
+        }
+        let Some(snap) = self.snapshots.capture(&self.telemetry) else {
+            return;
+        };
+        if let Some(engine) = &mut self.alerts {
+            for firing in engine.evaluate(&snap) {
+                self.alerts_fired.inc();
+                self.telemetry.record(
+                    0,
+                    EventKind::AlertFired {
+                        rule: firing.rule,
+                        epoch,
+                    },
+                );
+                eprintln!(
+                    "warning: [alert] {} fired at epoch {epoch}: observed {} vs threshold {} ({})",
+                    firing.rule,
+                    firing.value,
+                    firing.threshold,
+                    self.mitigation.name(),
+                );
+                if let Some((plane, source)) = &self.plane {
+                    plane.note_alert(AlertNotice {
+                        rule: firing.rule.to_string(),
+                        value: firing.value,
+                        threshold: firing.threshold,
+                        source: source.clone(),
+                        host_time: false,
+                    });
+                }
+            }
+        }
+        if let Some((plane, source)) = &self.plane {
+            plane.publish(source, snap);
+        }
     }
 
     /// Emits the one-shot straggler escalation: a human-readable stderr
@@ -614,6 +697,9 @@ impl<M: Mitigation> Simulation<M> {
                 elapsed_ms: elapsed.as_millis() as u64,
             },
         );
+        if let Some((plane, _)) = &self.plane {
+            plane.update_cells(|c| c.stragglers += 1);
+        }
     }
 
     /// Runs for `cfg.epochs` refresh windows and reports the results.

@@ -1,0 +1,425 @@
+//! Declarative threshold alerts over snapshot deltas.
+//!
+//! A rule is one line of the grammar (DESIGN.md section 16):
+//!
+//! ```text
+//! rule  := name ':' expr cmp threshold
+//! expr  := counter | 'delta(' counter ')' | 'rate(' counter ')'
+//! cmp   := '>' | '<'
+//! rules := rule (';' rule)*
+//! ```
+//!
+//! `counter` is a registered counter name (`sim.integrity_escapes`),
+//! `delta(...)` its increase since the previous [`Snapshot`], and
+//! `rate(...)` its host-time per-second rate over the capture interval.
+//!
+//! Determinism contract: `counter` and `delta` rules depend only on
+//! simulated state and are evaluated at epoch boundaries by the simulator
+//! itself — their firings are recorded as [`EventKind::AlertFired`] trace
+//! events and are byte-identical across worker counts and with the
+//! metrics plane on or off. `rate` rules read the host clock, so they are
+//! evaluated **only** by the bench heartbeat, print warnings, surface on
+//! `/healthz` — and never enter the event ring.
+//!
+//! Firing is edge-triggered: a rule fires when its condition becomes true
+//! after being false (or at its first true evaluation), not on every
+//! evaluation while it stays true — `integrity_escapes > 0` alerts once
+//! per run, not once per epoch.
+//!
+//! [`EventKind::AlertFired`]: crate::event::EventKind::AlertFired
+//! [`Snapshot`]: crate::snapshot::Snapshot
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock};
+
+use crate::snapshot::Snapshot;
+
+/// What a rule reads from a snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertInput {
+    /// The counter's absolute value.
+    Counter,
+    /// The counter's increase since the previous snapshot.
+    Delta,
+    /// The counter's host-time rate (per second) over the capture
+    /// interval. Host-time: never evaluated by the deterministic path.
+    Rate,
+}
+
+/// The comparison a rule applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertCmp {
+    /// Fires when the observed value exceeds the threshold.
+    Above,
+    /// Fires when the observed value drops below the threshold.
+    Below,
+}
+
+/// One parsed threshold rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRule {
+    /// Rule name, as it appears in warnings and `AlertFired` events.
+    /// Interned so trace events stay `Copy` (`&'static str`).
+    pub name: &'static str,
+    /// Observed counter.
+    pub metric: String,
+    /// How the counter is read.
+    pub input: AlertInput,
+    /// Comparison direction.
+    pub cmp: AlertCmp,
+    /// Threshold the observation is compared against.
+    pub threshold: f64,
+}
+
+impl AlertRule {
+    /// Whether this rule reads the host clock (`rate(...)`): host-time
+    /// rules are evaluated by the bench heartbeat only and never recorded
+    /// into the deterministic event ring.
+    pub fn is_host_time(&self) -> bool {
+        self.input == AlertInput::Rate
+    }
+
+    fn observe(&self, snap: &Snapshot) -> f64 {
+        match self.input {
+            AlertInput::Counter => snap.counter(&self.metric).unwrap_or(0) as f64,
+            AlertInput::Delta => snap.delta(&self.metric) as f64,
+            AlertInput::Rate => snap.rate_per_sec(&self.metric),
+        }
+    }
+
+    fn is_true(&self, value: f64) -> bool {
+        match self.cmp {
+            AlertCmp::Above => value > self.threshold,
+            AlertCmp::Below => value < self.threshold,
+        }
+    }
+}
+
+impl std::fmt::Display for AlertRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let expr = match self.input {
+            AlertInput::Counter => self.metric.clone(),
+            AlertInput::Delta => format!("delta({})", self.metric),
+            AlertInput::Rate => format!("rate({})", self.metric),
+        };
+        let cmp = match self.cmp {
+            AlertCmp::Above => '>',
+            AlertCmp::Below => '<',
+        };
+        write!(f, "{}: {expr} {cmp} {}", self.name, self.threshold)
+    }
+}
+
+/// One firing: a rule whose condition just became true.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertFiring {
+    /// The rule's interned name.
+    pub rule: &'static str,
+    /// The observed value that tripped the rule.
+    pub value: f64,
+    /// The rule's threshold.
+    pub threshold: f64,
+    /// Whether the firing came from a host-time (`rate`) rule.
+    pub host_time: bool,
+}
+
+/// Evaluates a fixed rule set over successive snapshots with per-rule
+/// edge-triggering (see the module docs).
+#[derive(Debug, Clone)]
+pub struct AlertEngine {
+    rules: Vec<AlertRule>,
+    was_true: Vec<bool>,
+}
+
+impl AlertEngine {
+    /// The built-in rule set (DESIGN.md section 16): any integrity escape,
+    /// a rising degraded-epoch count, and a host-side collapse of the
+    /// access rate below one request per second.
+    pub fn default_rules() -> Vec<AlertRule> {
+        vec![
+            AlertRule {
+                name: "integrity_escape",
+                metric: "sim.integrity_escapes".into(),
+                input: AlertInput::Counter,
+                cmp: AlertCmp::Above,
+                threshold: 0.0,
+            },
+            AlertRule {
+                name: "degraded_rising",
+                metric: "sim.degraded_epochs".into(),
+                input: AlertInput::Delta,
+                cmp: AlertCmp::Above,
+                threshold: 0.0,
+            },
+            AlertRule {
+                name: "throughput_collapse",
+                metric: "sim.requests".into(),
+                input: AlertInput::Rate,
+                cmp: AlertCmp::Below,
+                threshold: 1.0,
+            },
+        ]
+    }
+
+    /// An engine over an explicit rule set.
+    pub fn new(rules: Vec<AlertRule>) -> Self {
+        let was_true = vec![false; rules.len()];
+        AlertEngine { rules, was_true }
+    }
+
+    /// An engine over `AQUA_ALERT_RULES` (the grammar in the module docs),
+    /// or the built-in rules when the variable is unset. An unparsable
+    /// spec warns and falls back to the built-ins rather than silently
+    /// disabling alerting.
+    pub fn from_env() -> Self {
+        match std::env::var("AQUA_ALERT_RULES") {
+            Ok(spec) => match Self::parse(&spec) {
+                Ok(rules) => Self::new(rules),
+                Err(e) => {
+                    eprintln!(
+                        "warning: ignoring unparsable AQUA_ALERT_RULES ({e}); using defaults"
+                    );
+                    Self::new(Self::default_rules())
+                }
+            },
+            Err(_) => Self::new(Self::default_rules()),
+        }
+    }
+
+    /// Parses a `;`-separated rule list. Empty entries are skipped, so
+    /// trailing semicolons are harmless.
+    pub fn parse(spec: &str) -> Result<Vec<AlertRule>, String> {
+        spec.split(';')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(parse_rule)
+            .collect()
+    }
+
+    /// The engine's rules.
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    /// Evaluates the **deterministic** rules (`counter` / `delta`) against
+    /// a snapshot, returning the rules that just fired. Host-time (`rate`)
+    /// rules are skipped entirely — their state does not advance here.
+    pub fn evaluate(&mut self, snap: &Snapshot) -> Vec<AlertFiring> {
+        self.evaluate_filtered(snap, false)
+    }
+
+    /// Evaluates the **host-time** (`rate`) rules only. For the bench
+    /// heartbeat: firings must stay out of the deterministic event ring.
+    pub fn evaluate_host(&mut self, snap: &Snapshot) -> Vec<AlertFiring> {
+        self.evaluate_filtered(snap, true)
+    }
+
+    fn evaluate_filtered(&mut self, snap: &Snapshot, host_time: bool) -> Vec<AlertFiring> {
+        let mut fired = Vec::new();
+        for (rule, was) in self.rules.iter().zip(self.was_true.iter_mut()) {
+            if rule.is_host_time() != host_time {
+                continue;
+            }
+            let value = rule.observe(snap);
+            let now = rule.is_true(value);
+            if now && !*was {
+                fired.push(AlertFiring {
+                    rule: rule.name,
+                    value,
+                    threshold: rule.threshold,
+                    host_time,
+                });
+            }
+            *was = now;
+        }
+        fired
+    }
+}
+
+/// Parses one `name: expr cmp threshold` rule.
+fn parse_rule(text: &str) -> Result<AlertRule, String> {
+    let (name, rest) = text
+        .split_once(':')
+        .ok_or_else(|| format!("rule {text:?} has no `name:` prefix"))?;
+    let name = name.trim();
+    if name.is_empty() {
+        return Err(format!("rule {text:?} has an empty name"));
+    }
+    let (cmp, sep) = if rest.contains('>') {
+        (AlertCmp::Above, '>')
+    } else if rest.contains('<') {
+        (AlertCmp::Below, '<')
+    } else {
+        return Err(format!("rule {text:?} has no `>` or `<` comparison"));
+    };
+    let (expr, threshold) = rest
+        .split_once(sep)
+        .expect("separator presence checked above");
+    let threshold: f64 = threshold
+        .trim()
+        .parse()
+        .map_err(|_| format!("rule {text:?} has an unparsable threshold {threshold:?}"))?;
+    let expr = expr.trim();
+    let (input, metric) = if let Some(inner) = strip_call(expr, "delta") {
+        (AlertInput::Delta, inner)
+    } else if let Some(inner) = strip_call(expr, "rate") {
+        (AlertInput::Rate, inner)
+    } else {
+        (AlertInput::Counter, expr)
+    };
+    if metric.is_empty() {
+        return Err(format!("rule {text:?} names no metric"));
+    }
+    Ok(AlertRule {
+        name: intern(name),
+        metric: metric.to_string(),
+        input,
+        cmp,
+        threshold,
+    })
+}
+
+/// `strip_call("delta(x)", "delta")` → `Some("x")`.
+fn strip_call<'a>(expr: &'a str, func: &str) -> Option<&'a str> {
+    expr.strip_prefix(func)
+        .map(str::trim_start)
+        .and_then(|s| s.strip_prefix('('))
+        .and_then(|s| s.strip_suffix(')'))
+        .map(str::trim)
+}
+
+/// Interns a rule name as `&'static str` so [`AlertFiring::rule`] (and the
+/// `AlertFired` trace event) stay `Copy`. Leaks at most one allocation per
+/// *distinct* rule name per process — bounded by the rule vocabulary, not
+/// by the number of engines or runs.
+fn intern(name: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<BTreeMap<String, &'static str>>> = OnceLock::new();
+    let cache = INTERNED.get_or_init(|| Mutex::new(BTreeMap::new()));
+    let mut cache = cache.lock().unwrap_or_else(|e| e.into_inner());
+    if let Some(&s) = cache.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    cache.insert(name.to_string(), leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(counters: &[(&str, u64)], deltas: &[(&str, u64)], elapsed_ns: u64) -> Snapshot {
+        Snapshot {
+            summary: crate::TelemetrySummary {
+                counters: counters.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+                ..Default::default()
+            },
+            counter_deltas: deltas.iter().map(|&(n, v)| (n.to_string(), v)).collect(),
+            host_elapsed_ns: elapsed_ns,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn grammar_round_trips() {
+        let rules = AlertEngine::parse(
+            "escape: sim.integrity_escapes > 0; \
+             degraded: delta(sim.degraded_epochs) > 2; \
+             stall: rate(sim.requests) < 100.5;",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].name, "escape");
+        assert_eq!(rules[0].input, AlertInput::Counter);
+        assert_eq!(rules[1].input, AlertInput::Delta);
+        assert_eq!(rules[1].threshold, 2.0);
+        assert_eq!(rules[2].input, AlertInput::Rate);
+        assert!(rules[2].is_host_time());
+        assert_eq!(rules[2].cmp, AlertCmp::Below);
+        // Display re-renders parsable rules.
+        for r in &rules {
+            let again = &AlertEngine::parse(&r.to_string()).unwrap()[0];
+            assert_eq!(again, r);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_rules() {
+        assert!(AlertEngine::parse("no separator here").is_err());
+        assert!(AlertEngine::parse("x: metric = 4").is_err());
+        assert!(AlertEngine::parse("x: metric > lots").is_err());
+        assert!(AlertEngine::parse(": metric > 1").is_err());
+        assert!(AlertEngine::parse("x: delta() > 1").is_err());
+        assert!(AlertEngine::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn firing_is_edge_triggered() {
+        let mut engine =
+            AlertEngine::new(AlertEngine::parse("escape: sim.integrity_escapes > 0").unwrap());
+        assert!(engine
+            .evaluate(&snap(&[("sim.integrity_escapes", 0)], &[], 0))
+            .is_empty());
+        let fired = engine.evaluate(&snap(&[("sim.integrity_escapes", 2)], &[], 0));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].rule, "escape");
+        assert_eq!(fired[0].value, 2.0);
+        assert!(!fired[0].host_time);
+        // Still true: no re-fire.
+        assert!(engine
+            .evaluate(&snap(&[("sim.integrity_escapes", 3)], &[], 0))
+            .is_empty());
+        // Falls false, then true again: re-fires.
+        assert!(engine
+            .evaluate(&snap(&[("sim.integrity_escapes", 0)], &[], 0))
+            .is_empty());
+        assert_eq!(
+            engine
+                .evaluate(&snap(&[("sim.integrity_escapes", 1)], &[], 0))
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn host_rules_are_partitioned_from_deterministic_ones() {
+        let mut engine = AlertEngine::new(AlertEngine::default_rules());
+        // 0 requests over 1 s: the rate rule is true, but evaluate() must
+        // not touch it.
+        let s = snap(
+            &[("sim.requests", 0)],
+            &[("sim.requests", 0)],
+            1_000_000_000,
+        );
+        assert!(engine.evaluate(&s).is_empty());
+        let host = engine.evaluate_host(&s);
+        assert_eq!(host.len(), 1);
+        assert_eq!(host[0].rule, "throughput_collapse");
+        assert!(host[0].host_time);
+    }
+
+    #[test]
+    fn delta_rules_read_snapshot_deltas() {
+        let mut engine =
+            AlertEngine::new(AlertEngine::parse("deg: delta(sim.degraded_epochs) > 0").unwrap());
+        let quiet = snap(
+            &[("sim.degraded_epochs", 5)],
+            &[("sim.degraded_epochs", 0)],
+            0,
+        );
+        assert!(engine.evaluate(&quiet).is_empty(), "flat count never fires");
+        let rising = snap(
+            &[("sim.degraded_epochs", 6)],
+            &[("sim.degraded_epochs", 1)],
+            0,
+        );
+        assert_eq!(engine.evaluate(&rising).len(), 1);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = intern("same-rule");
+        let b = intern("same-rule");
+        assert!(std::ptr::eq(a, b), "repeated interns share one allocation");
+    }
+}

@@ -103,6 +103,15 @@ pub enum EventKind {
         /// Host wallclock elapsed at escalation, milliseconds.
         elapsed_ms: u64,
     },
+    /// A deterministic alert rule crossed its threshold at an epoch
+    /// boundary (edge-triggered: recorded on the false→true transition
+    /// only). Host-time `rate(...)` rules never reach the ring.
+    AlertFired {
+        /// Interned rule name (stable across the process).
+        rule: &'static str,
+        /// Zero-based epoch whose boundary evaluation fired the rule.
+        epoch: u64,
+    },
 }
 
 impl EventKind {
@@ -122,6 +131,7 @@ impl EventKind {
             EventKind::RetryAttempt { .. } => "RetryAttempt",
             EventKind::CellResumed { .. } => "CellResumed",
             EventKind::StragglerReport { .. } => "StragglerReport",
+            EventKind::AlertFired { .. } => "AlertFired",
         }
     }
 
@@ -180,6 +190,12 @@ impl EventKind {
                 put(&mut out, "epoch", epoch.to_string());
                 put(&mut out, "elapsed_ms", elapsed_ms.to_string());
             }
+            EventKind::AlertFired { rule, epoch } => {
+                let mut quoted = String::new();
+                json::push_str(&mut quoted, rule);
+                put(&mut out, "rule", quoted);
+                put(&mut out, "epoch", epoch.to_string());
+            }
         }
         out.push('}');
         out
@@ -215,6 +231,10 @@ mod tests {
             EventKind::StragglerReport {
                 epoch: 1,
                 elapsed_ms: 950,
+            },
+            EventKind::AlertFired {
+                rule: "integrity_escape",
+                epoch: 7,
             },
         ];
         for k in kinds {

@@ -627,6 +627,21 @@ impl Telemetry {
             wallclock,
         })
     }
+
+    /// Full bucket data of every registered histogram, sorted by name
+    /// (empty when disabled). Each entry is copied through the shared
+    /// [`Histogram::snapshot`] helper, one registry lock per histogram.
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramData)> {
+        let Some(i) = self.inner.as_ref() else {
+            return Vec::new();
+        };
+        i.histograms
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.to_string(), Histogram(Some(Arc::clone(h))).snapshot()))
+            .collect()
+    }
 }
 
 /// Monotone counter handle (shared atomic when live).
@@ -712,14 +727,6 @@ impl Histogram {
         }
     }
 
-    /// Snapshot of the underlying data (empty for detached handles).
-    pub fn snapshot(&self) -> crate::hist::HistogramData {
-        self.0
-            .as_ref()
-            .map(|h| h.lock().unwrap().clone())
-            .unwrap_or_default()
-    }
-
     /// The `q`-quantile of recorded samples (0 for detached handles).
     pub fn percentile(&self, q: f64) -> f64 {
         self.0
@@ -736,6 +743,28 @@ impl Histogram {
     /// 99th-percentile shorthand for [`Histogram::percentile`]`(0.99)`.
     pub fn p99(&self) -> f64 {
         self.percentile(0.99)
+    }
+}
+
+/// Shared [`Histogram`] surface. Exactly one `Histogram` type exists per
+/// compilation (shared handle with the `enabled` feature, ZST without), so
+/// this single ungated impl serves both modes — snapshotting logic lives
+/// here once instead of in two near-identical gated copies.
+impl Histogram {
+    /// Snapshot of the underlying data (empty for detached handles, and
+    /// always empty with the feature off).
+    pub fn snapshot(&self) -> crate::hist::HistogramData {
+        #[cfg(feature = "enabled")]
+        {
+            self.0
+                .as_ref()
+                .map(|h| h.lock().unwrap().clone())
+                .unwrap_or_default()
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            crate::hist::HistogramData::new()
+        }
     }
 }
 
@@ -1069,6 +1098,11 @@ impl Telemetry {
     pub fn summary(&self) -> Option<TelemetrySummary> {
         None
     }
+
+    /// Always empty in this mode.
+    pub fn histogram_snapshots(&self) -> Vec<(String, crate::hist::HistogramData)> {
+        Vec::new()
+    }
 }
 
 /// Plain local counter cell: a bare `u64` increment (feature off).
@@ -1129,11 +1163,6 @@ impl Histogram {
     /// No-op.
     #[inline]
     pub fn merge(&self, _batch: &crate::hist::HistogramData) {}
-
-    /// Always empty in this mode.
-    pub fn snapshot(&self) -> crate::hist::HistogramData {
-        crate::hist::HistogramData::new()
-    }
 
     /// Always 0 in this mode.
     pub fn percentile(&self, _q: f64) -> f64 {

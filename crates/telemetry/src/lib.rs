@@ -24,6 +24,12 @@
 //!   speed campaign. Zero-cost (no clock reads) with the feature off.
 //! * [`export`] — JSONL and Chrome `about:tracing` writers for all of the
 //!   above, hand-rolled so no serialization dependency is required.
+//! * [`Snapshot`] / [`SnapshotTracker`] — read-only, point-in-time views
+//!   of a live hub with per-counter deltas; [`MetricsPlane`] — the opt-in
+//!   live scrape endpoint (`/metrics` Prometheus text + `/healthz` JSON,
+//!   hand-rolled over `std::net::TcpListener`); [`AlertEngine`] — a small
+//!   declarative threshold-rule engine over snapshots that fires typed
+//!   [`EventKind::AlertFired`] events.
 //! * [`stat_struct!`] — the declarative macro behind the workspace's plain
 //!   `u64` stats structs (`Default + AddAssign + aggregate + diff` and
 //!   field iteration from a single field list).
@@ -32,17 +38,24 @@
 //! [`EpochSeries`]) are compiled unconditionally so they stay property-
 //! testable in both feature modes; only the shared-hub plumbing is gated.
 
+pub mod alerts;
 pub mod epoch;
 pub mod event;
 pub mod export;
+pub mod expose;
 pub mod hist;
 pub mod hub;
 mod json;
 pub mod ring;
+pub mod snapshot;
 pub mod span;
 mod stats;
 pub mod summary;
 pub mod wallclock;
+
+pub use alerts::{AlertCmp, AlertEngine, AlertFiring, AlertInput, AlertRule};
+pub use expose::{AlertNotice, CellHealth, MetricsPlane};
+pub use snapshot::{Snapshot, SnapshotTracker};
 
 pub use epoch::{EpochRecord, EpochSeries};
 pub use event::{Event, EventKind};
